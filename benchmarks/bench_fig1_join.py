@@ -1,0 +1,64 @@
+"""Regenerates the Fig. 1 running example (Examples 2.1-2.3, 4.4).
+
+- threshold synthesis for the join revision (expected 10000),
+- symbolic bound lenA*lenB (Example 2.3 / Section 5),
+- refutation of t = 9999 (Example 4.4),
+- per-phase timing breakdown (invariants / constraints / encoding / LP).
+"""
+
+import pytest
+
+from repro import (
+    analyze_diffcost,
+    load_program,
+    parse_polynomial,
+    prove_symbolic_bound,
+    refute_threshold,
+)
+from repro.bench.suite import JOIN_NEW_SOURCE, JOIN_OLD_SOURCE
+
+
+@pytest.fixture(scope="module")
+def join_pair():
+    return (
+        load_program(JOIN_OLD_SOURCE, name="join_old"),
+        load_program(JOIN_NEW_SOURCE, name="join_new"),
+    )
+
+
+def test_fig1_threshold(benchmark, join_pair):
+    old, new = join_pair
+    result = benchmark.pedantic(
+        analyze_diffcost, args=(old, new),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert result.is_threshold
+    assert result.threshold_display == 10000
+    benchmark.extra_info["threshold"] = result.threshold_display
+    benchmark.extra_info["paper"] = 10000
+    benchmark.extra_info.update(
+        {f"phase_{k}": round(v, 3) for k, v in result.timings.items()}
+    )
+
+
+def test_fig1_symbolic_bound(benchmark, join_pair):
+    old, new = join_pair
+    bound = parse_polynomial("lenA * lenB")
+    result = benchmark.pedantic(
+        prove_symbolic_bound, args=(old, new, bound),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert result.is_proved
+    benchmark.extra_info["bound"] = str(bound)
+
+
+def test_example_4_4_refutation(benchmark, join_pair):
+    old, new = join_pair
+    result = benchmark.pedantic(
+        refute_threshold, args=(old, new, 9999),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert result.is_refuted
+    assert float(result.guaranteed_difference) >= 10000 - 1e-4
+    benchmark.extra_info["refuted_candidate"] = 9999
+    benchmark.extra_info["witness"] = str(result.witness_input)

@@ -1,0 +1,48 @@
+"""Ablation: float (HiGHS) vs exact rational simplex LP backends.
+
+The paper used Gurobi; we provide scipy-HiGHS (fast, float) and a pure
+Python exact simplex (slow, certificate-exact).  Both must agree on the
+computed thresholds; the bench records the runtime gap.
+"""
+
+import pytest
+
+from repro import AnalysisConfig, analyze_diffcost
+from repro.bench import load_pair
+
+# Small/medium pairs where the exact backend stays reasonable.
+PAIRS = ["simple_single", "ex2", "ex4", "dis2"]
+
+
+@pytest.mark.parametrize("name", PAIRS)
+@pytest.mark.parametrize("backend", ["scipy", "exact"])
+def test_backend(benchmark, name, backend):
+    old, new = load_pair(name)
+    config = AnalysisConfig(lp_backend=backend)
+    result = benchmark.pedantic(
+        analyze_diffcost, args=(old, new), kwargs={"config": config},
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert result.is_threshold
+    benchmark.extra_info["threshold"] = float(result.threshold)
+
+
+@pytest.mark.parametrize("name", PAIRS)
+def test_backends_agree(benchmark, name):
+    old, new = load_pair(name)
+
+    def both():
+        scipy_result = analyze_diffcost(
+            old, new, AnalysisConfig(lp_backend="scipy")
+        )
+        exact_result = analyze_diffcost(
+            old, new, AnalysisConfig(lp_backend="exact")
+        )
+        return scipy_result, exact_result
+
+    scipy_result, exact_result = benchmark.pedantic(
+        both, rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert float(scipy_result.threshold) == pytest.approx(
+        float(exact_result.threshold), abs=1e-4
+    )

@@ -1,0 +1,59 @@
+"""Ablation: the naive two-pass baseline vs simultaneous synthesis.
+
+Section 1 argues that computing the PF and anti-PF independently "might
+lead to imprecision"; Section 8 repeats the point against adapting unary
+tools.  This bench quantifies it on suite pairs: the naive threshold is
+never better and is strictly worse whenever coordinating φ against χ
+matters (disjunctive / relational cost).
+"""
+
+import pytest
+
+from repro import analyze_diffcost, naive_diffcost
+from repro.bench import load_pair
+
+PAIRS = ["join", "simple_single", "ddec", "sum", "dis2"]
+
+
+@pytest.mark.parametrize("name", PAIRS)
+def test_simultaneous(benchmark, name):
+    old, new = load_pair(name)
+    result = benchmark.pedantic(
+        analyze_diffcost, args=(old, new),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert result.is_threshold
+    benchmark.extra_info["threshold"] = float(result.threshold)
+
+
+@pytest.mark.parametrize("name", PAIRS)
+def test_naive_baseline(benchmark, name):
+    old, new = load_pair(name)
+    simultaneous = analyze_diffcost(old, new)
+    naive = benchmark.pedantic(
+        naive_diffcost, args=(old, new),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    benchmark.extra_info["simultaneous"] = float(simultaneous.threshold)
+    if naive.is_threshold:
+        benchmark.extra_info["naive"] = float(naive.threshold)
+        # The baseline is sound but never tighter.
+        assert float(naive.threshold) >= float(simultaneous.threshold) - 1e-4
+    else:
+        benchmark.extra_info["naive"] = "unknown"
+
+
+def test_naive_strictly_worse_somewhere(benchmark):
+    """On ddec (min(n, m)-shaped cost) coordination matters."""
+    old, new = load_pair("ddec")
+
+    def both():
+        return analyze_diffcost(old, new), naive_diffcost(old, new)
+
+    simultaneous, naive = benchmark.pedantic(
+        both, rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert naive.is_threshold
+    benchmark.extra_info["simultaneous"] = float(simultaneous.threshold)
+    benchmark.extra_info["naive"] = float(naive.threshold)
+    assert float(naive.threshold) > float(simultaneous.threshold) + 1

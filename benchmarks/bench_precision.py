@@ -1,0 +1,36 @@
+"""Regenerates the Section 7 experiment: single-program cost bounds with
+precision guarantees, on representative programs of the suite.
+
+For deterministic programs the gap p should be (near) 0 — the bounds are
+provably exact; for nondeterministic ones p certifies the spread.
+"""
+
+import pytest
+
+from repro import analyze_single_program
+from repro.bench import load_pair
+
+
+CASES = [
+    # (benchmark providing the single program, which side, expected gap)
+    ("join", "old", 0),                # deterministic: exact bounds
+    ("sequential_single", "new", 0),   # deterministic: exact bounds
+    ("simple_single", "old", 100),     # nondet branch: spread n <= 100
+    ("ddec_modified", "new", 0),       # down-counting loop
+]
+
+
+@pytest.mark.parametrize("name,side,expected_gap", CASES,
+                         ids=[f"{n}_{s}" for n, s, _ in CASES])
+def test_single_program_precision(benchmark, name, side, expected_gap):
+    old, new = load_pair(name)
+    program = old if side == "old" else new
+    result = benchmark.pedantic(
+        analyze_single_program, args=(program,),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert result.is_bounded
+    gap = float(result.precision)
+    benchmark.extra_info["precision_gap"] = round(gap, 4)
+    benchmark.extra_info["expected"] = expected_gap
+    assert gap == pytest.approx(expected_gap, abs=1e-3)

@@ -1,0 +1,55 @@
+"""Regenerates Table 1: tightness of differential thresholds.
+
+One benchmark per Table 1 row (19 program pairs).  Each measurement runs
+the complete pipeline — invariant generation, constraint extraction,
+Handelman encoding, LP solve — exactly like the paper's per-benchmark
+"Time (s)" column.  ``extra_info`` records the computed threshold, the
+ground-truth tight value, the paper's numbers, and whether the
+qualitative shape matches.
+
+Run: ``pytest benchmarks/bench_table1.py --benchmark-only``
+"""
+
+import pytest
+
+from repro.bench import SUITE, format_table, run_pair
+from repro.bench.suite import GROUP_RUNNING
+
+TABLE1_ROWS = [pair for pair in SUITE if pair.group != GROUP_RUNNING]
+
+
+@pytest.mark.parametrize("pair", TABLE1_ROWS, ids=lambda p: p.name)
+def test_table1_row(benchmark, pair):
+    outcome = benchmark.pedantic(
+        run_pair, args=(pair,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    benchmark.extra_info.update(outcome.row())
+    # Soundness: a computed threshold must dominate the tight value.
+    if outcome.computed is not None and pair.tight is not None:
+        assert outcome.computed >= pair.tight - 1e-4
+    # Reproduction: the qualitative shape of the paper's row must hold.
+    assert outcome.matches_paper_shape, (
+        f"{pair.name}: computed {outcome.computed}, tight {pair.tight}, "
+        f"paper computed {pair.paper_computed}"
+    )
+
+
+def test_table1_summary(benchmark, capsys):
+    """Runs the whole table once and prints it (the paper's headline:
+    tight thresholds on ~74% of the benchmarks)."""
+    outcomes = benchmark.pedantic(
+        lambda: [run_pair(pair) for pair in TABLE1_ROWS],
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    table = format_table(outcomes)
+    with capsys.disabled():
+        print()
+        print(table)
+    tight = sum(1 for outcome in outcomes if outcome.is_tight)
+    solved = sum(1 for outcome in outcomes if outcome.computed is not None)
+    benchmark.extra_info["tight"] = tight
+    benchmark.extra_info["solved"] = solved
+    # Paper: 14/19 tight, 17/19 solved.  Require at least that.
+    assert tight >= 14
+    assert solved >= 17
+    assert all(outcome.matches_paper_shape for outcome in outcomes)

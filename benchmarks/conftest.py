@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench runs the full analysis pipeline once per measurement
+(``pedantic`` with one round): the pipeline is seconds-scale, mirroring
+the paper's Table 1 "Time (s)" column, so statistical repetition would
+only slow the suite without changing conclusions.
+"""
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Benchmark ``function`` with a single round/iteration."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once():
+    return run_once

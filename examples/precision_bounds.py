@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Single-program cost bounds with precision guarantees (paper §7).
+
+For a single program the same machinery synthesizes an upper bound φ and
+a lower bound χ simultaneously, with a minimized gap p such that every
+run's cost lies within p of both bounds (Theorem 7.1).  The paper notes
+no other cost analysis provides such quality guarantees.
+
+Run: ``python examples/precision_bounds.py``
+"""
+
+from repro import analyze_single_program, load_program
+from repro.ts import CostSearch
+
+DETERMINISTIC = """
+proc transfer(blocks, chunk) {
+  assume(1 <= blocks && blocks <= 50);
+  assume(1 <= chunk && chunk <= 8);
+  var b = 0;
+  var c = 0;
+  while (b < blocks) {
+    c = 0;
+    while (c < chunk) { tick(1); c = c + 1; }
+    b = b + 1;
+  }
+}
+"""
+
+NONDETERMINISTIC = """
+proc retry_loop(n) {
+  assume(1 <= n && n <= 40);
+  var i = 0;
+  while (i < n) {
+    if (*) { tick(2); } else { tick(1); }   # cache miss vs hit
+    i = i + 1;
+  }
+}
+"""
+
+
+def show(name: str, source: str, probe: dict) -> None:
+    program = load_program(source, name=name)
+    result = analyze_single_program(program)
+    print(f"{name}:")
+    if not result.is_bounded:
+        print(f"  {result.message}")
+        return
+    print(f"  precision guarantee p = "
+          f"{float(result.precision):.4g} "
+          "(gap between upper and lower bound on ALL inputs)")
+    low, high = result.bounds_at(probe)
+    shown = {k: v for k, v in probe.items() if k in program.params}
+    print(f"  on input {shown}: {float(low):.4g} <= cost <= {float(high):.4g}")
+    true_low, true_high = CostSearch(program.system).cost_bounds(probe)
+    print(f"  exhaustive ground truth:  {true_low} <= cost <= {true_high}")
+    print()
+
+
+def main() -> None:
+    print("Simultaneous upper/lower cost bounds (Theorem 7.1)\n")
+    show("transfer (deterministic, quadratic cost)", DETERMINISTIC,
+         {"blocks": 10, "chunk": 4, "b": 0, "c": 0})
+    show("retry_loop (nondeterministic cost n..2n)", NONDETERMINISTIC,
+         {"n": 12, "i": 0})
+    print("For the deterministic program p = 0: the bounds are exact.\n"
+          "For the nondeterministic one p equals the true spread n <= 40:\n"
+          "no pair of bounds can be closer, and the analysis certifies\n"
+          "that its bounds achieve exactly that.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""repro — Differential cost analysis with simultaneous potentials and
+anti-potentials.
+
+A from-scratch reproduction of Žikelić, Chang, Bolignano & Raimondi,
+*"Differential Cost Analysis with Simultaneous Potentials and
+Anti-potentials"* (PLDI 2022), including every substrate the paper's
+prototype depended on: an imperative frontend, transition systems with a
+concrete interpreter, affine invariant generation, Handelman-based
+constraint conversion and LP solving.
+
+Quick start::
+
+    from repro import load_program, analyze_diffcost
+
+    old = load_program(OLD_SOURCE, name="join_old")
+    new = load_program(NEW_SOURCE, name="join_new")
+    result = analyze_diffcost(old, new)
+    print(result.threshold_display)
+"""
+
+from repro.config import AnalysisConfig
+from repro.errors import ReproError
+from repro.lang import load_program, parse_program
+from repro.core import (
+    AnalysisStatus,
+    BoundProofResult,
+    CertificateChecker,
+    DiffCostAnalyzer,
+    DiffCostResult,
+    PotentialFunction,
+    RefutationResult,
+    SingleProgramResult,
+    analyze_diffcost,
+    analyze_single_program,
+    naive_diffcost,
+    prove_symbolic_bound,
+    refute_threshold,
+    find_difference_witness,
+)
+from repro.poly import Polynomial, parse_polynomial
+from repro.ts import CostSearch, Interpreter, TransitionSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisConfig",
+    "ReproError",
+    "load_program",
+    "parse_program",
+    "AnalysisStatus",
+    "DiffCostAnalyzer",
+    "DiffCostResult",
+    "BoundProofResult",
+    "RefutationResult",
+    "SingleProgramResult",
+    "PotentialFunction",
+    "CertificateChecker",
+    "analyze_diffcost",
+    "analyze_single_program",
+    "naive_diffcost",
+    "prove_symbolic_bound",
+    "refute_threshold",
+    "find_difference_witness",
+    "Polynomial",
+    "parse_polynomial",
+    "TransitionSystem",
+    "Interpreter",
+    "CostSearch",
+    "__version__",
+]

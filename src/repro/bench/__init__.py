@@ -1,0 +1,32 @@
+"""The benchmark suite of the paper's evaluation (Table 1 + Fig. 1).
+
+The 19 program pairs of Table 1 are reconstructions (see DESIGN.md §4):
+the original artifacts are not available offline, so each pair was
+rebuilt from the source papers' looping patterns and the paper's own
+pairing recipe, calibrated to the same "Tight" thresholds under the same
+``[1, 100]`` input boxes.
+"""
+
+from repro.bench.suite import (
+    BenchmarkPair,
+    SUITE,
+    get_pair,
+    load_pair,
+    pairs_in_group,
+)
+from repro.bench.runner import BenchmarkOutcome, run_pair, run_suite
+from repro.bench.reporting import format_csv, format_markdown, format_table
+
+__all__ = [
+    "BenchmarkPair",
+    "SUITE",
+    "get_pair",
+    "load_pair",
+    "pairs_in_group",
+    "BenchmarkOutcome",
+    "run_pair",
+    "run_suite",
+    "format_table",
+    "format_markdown",
+    "format_csv",
+]

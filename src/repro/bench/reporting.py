@@ -1,0 +1,81 @@
+"""Text rendering of benchmark outcomes in the shape of Table 1."""
+
+from __future__ import annotations
+
+from repro.bench.runner import BenchmarkOutcome
+from repro.utils.rationals import snap_to_int
+
+
+def _fmt(value: float | int | None) -> str:
+    if value is None:
+        return "✗"
+    snapped = snap_to_int(value, tolerance=1e-4)
+    if isinstance(snapped, int):
+        return str(snapped)
+    return f"{float(value):.2f}"
+
+
+def format_table(outcomes: list[BenchmarkOutcome],
+                 title: str = "Tightness of differential thresholds") -> str:
+    """Render outcomes as an aligned text table mirroring Table 1."""
+    header = (
+        f"{'Benchmark':<22} {'Tight':>7} {'Computed':>10} "
+        f"{'Paper':>10} {'Time(s)':>8}  Shape"
+    )
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    group = None
+    for outcome in outcomes:
+        if outcome.pair.group != group:
+            group = outcome.pair.group
+            lines.append(f"-- {group} --")
+        mark = "ok" if outcome.matches_paper_shape else "DIFFERS"
+        lines.append(
+            f"{outcome.pair.name:<22} {_fmt(outcome.pair.tight):>7} "
+            f"{_fmt(outcome.computed):>10} "
+            f"{_fmt(outcome.pair.paper_computed):>10} "
+            f"{outcome.seconds:>8.2f}  {mark}"
+        )
+    tight = sum(1 for o in outcomes if o.is_tight)
+    solved = sum(1 for o in outcomes if o.computed is not None)
+    lines.append("-" * len(header))
+    lines.append(
+        f"tight {tight}/{len(outcomes)}; thresholds computed "
+        f"{solved}/{len(outcomes)}"
+    )
+    return "\n".join(lines)
+
+
+def format_markdown(outcomes: list[BenchmarkOutcome]) -> str:
+    """Render outcomes as a GitHub-flavoured markdown table (the layout
+    used in EXPERIMENTS.md)."""
+    lines = [
+        "| Benchmark | Tight | Computed | Paper tight | Paper computed "
+        "| Time (s) | Shape |",
+        "|---|---:|---:|---:|---:|---:|---|",
+    ]
+    for outcome in outcomes:
+        mark = "ok" if outcome.matches_paper_shape else "DIFFERS"
+        lines.append(
+            f"| {outcome.pair.name} | {_fmt(outcome.pair.tight)} "
+            f"| {_fmt(outcome.computed)} | {_fmt(outcome.pair.paper_tight)} "
+            f"| {_fmt(outcome.pair.paper_computed)} "
+            f"| {outcome.seconds:.2f} | {mark} |"
+        )
+    return "\n".join(lines)
+
+
+def format_csv(outcomes: list[BenchmarkOutcome]) -> str:
+    """Render outcomes as CSV for downstream tooling / plotting."""
+    import csv
+    import io
+
+    buffer = io.StringIO()
+    fields = [
+        "benchmark", "group", "tight", "computed", "paper_tight",
+        "paper_computed", "is_tight", "matches_paper", "seconds",
+    ]
+    writer = csv.DictWriter(buffer, fieldnames=fields)
+    writer.writeheader()
+    for outcome in outcomes:
+        writer.writerow(outcome.row())
+    return buffer.getvalue()

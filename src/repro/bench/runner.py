@@ -1,0 +1,93 @@
+"""Running the benchmark suite end-to-end (regenerates Table 1)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.bench.suite import SUITE, BenchmarkPair, load_pair
+from repro.core.diffcost import DiffCostAnalyzer
+from repro.core.results import DiffCostResult
+
+
+@dataclass
+class BenchmarkOutcome:
+    """One Table 1 row as measured by this reproduction."""
+
+    pair: BenchmarkPair
+    result: DiffCostResult
+    seconds: float
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def computed(self) -> float | None:
+        """The computed threshold (``None`` for ✗)."""
+        if not self.result.is_threshold:
+            return None
+        return float(self.result.threshold)
+
+    @property
+    def is_tight(self) -> bool:
+        """Tight in the paper's sense: for integer-valued programs a
+        computed threshold within 1 of the true maximum is tight
+        (Section 6's discussion of Ex2/Ex4/sum)."""
+        if self.computed is None or self.pair.tight is None:
+            return False
+        return self.computed < self.pair.tight + 1
+
+    @property
+    def matches_paper_shape(self) -> bool:
+        """Did we reproduce the qualitative outcome of the paper's row?
+
+        Success/failure must agree; when the paper was tight we must be
+        tight; when the paper over-approximated, any sound threshold
+        (possibly tight — reconstructions can differ) is accepted.
+        """
+        paper_failed = self.pair.paper_computed is None
+        we_failed = self.computed is None
+        if paper_failed or we_failed:
+            return paper_failed == we_failed
+        paper_was_tight = self.pair.paper_computed < self.pair.paper_tight + 1
+        if paper_was_tight:
+            return self.is_tight
+        # Sound, possibly loose (reconstructions can be easier or harder
+        # than the originals); 1e-4 absorbs float-LP noise.
+        return self.computed >= self.pair.tight - 1e-4
+
+    def row(self) -> dict:
+        """A plain-dict rendering for reporting."""
+        return {
+            "benchmark": self.pair.name,
+            "group": self.pair.group,
+            "tight": self.pair.tight,
+            "computed": self.computed,
+            "paper_tight": self.pair.paper_tight,
+            "paper_computed": self.pair.paper_computed,
+            "is_tight": self.is_tight,
+            "matches_paper": self.matches_paper_shape,
+            "seconds": round(self.seconds, 2),
+        }
+
+
+def run_pair(pair: BenchmarkPair, lp_backend: str = "scipy") -> BenchmarkOutcome:
+    """Analyze one benchmark pair and time it."""
+    old, new = load_pair(pair.name)
+    start = time.perf_counter()
+    analyzer = DiffCostAnalyzer(old, new, pair.config(lp_backend))
+    result = analyzer.compute_threshold()
+    elapsed = time.perf_counter() - start
+    return BenchmarkOutcome(pair, result, elapsed, result.timings)
+
+
+def run_suite(names: list[str] | None = None,
+              lp_backend: str = "scipy",
+              include_running_example: bool = True) -> list[BenchmarkOutcome]:
+    """Run the whole suite (or a named subset) and collect outcomes."""
+    outcomes: list[BenchmarkOutcome] = []
+    for pair in SUITE:
+        if names is not None and pair.name not in names:
+            continue
+        if not include_running_example and pair.group == "Fig. 1 running example":
+            continue
+        outcomes.append(run_pair(pair, lp_backend))
+    return outcomes

@@ -1,0 +1,217 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro-diffcost diff OLD.imp NEW.imp [-d 2] [-K 2] [--backend scipy]
+    repro-diffcost bound OLD.imp NEW.imp --bound "lenA * lenB"
+    repro-diffcost refute OLD.imp NEW.imp --candidate 9999
+    repro-diffcost single PROGRAM.imp
+    repro-diffcost suite [--names a,b,c]
+    repro-diffcost show PROGRAM.imp [--dot]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import AnalysisConfig
+from repro.core import (
+    analyze_diffcost,
+    analyze_single_program,
+    prove_symbolic_bound,
+    refute_threshold,
+)
+from repro.errors import ReproError
+from repro.lang import load_program
+from repro.poly import parse_polynomial
+from repro.ts.pretty import render_dot, render_text
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-d", "--degree", type=int, default=2,
+                        help="maximal template degree (default 2)")
+    parser.add_argument("-K", "--max-products", type=int, default=2,
+                        help="Handelman product bound (default 2)")
+    parser.add_argument("--backend", choices=["scipy", "exact"],
+                        default="scipy", help="LP backend")
+
+
+def _config(args: argparse.Namespace) -> AnalysisConfig:
+    return AnalysisConfig(
+        degree=args.degree,
+        max_products=args.max_products,
+        lp_backend=args.backend,
+    )
+
+
+def _load(path: str, name: str | None = None):
+    with open(path) as handle:
+        return load_program(handle.read(), name=name)
+
+
+def _command_diff(args: argparse.Namespace) -> int:
+    old = _load(args.old, "old")
+    new = _load(args.new, "new")
+    result = analyze_diffcost(old, new, _config(args))
+    print(result)
+    if result.is_threshold and args.certificates:
+        print(result.potential_new)
+        print(result.anti_potential_old)
+    return 0 if result.is_threshold else 1
+
+
+def _command_bound(args: argparse.Namespace) -> int:
+    old = _load(args.old, "old")
+    new = _load(args.new, "new")
+    bound = parse_polynomial(args.bound)
+    result = prove_symbolic_bound(old, new, bound, _config(args))
+    if result.is_proved:
+        print(f"proved: cost_new - cost_old <= {bound}")
+        return 0
+    print(f"could not prove the bound {bound}: {result.message}")
+    return 1
+
+
+def _command_refute(args: argparse.Namespace) -> int:
+    old = _load(args.old, "old")
+    new = _load(args.new, "new")
+    result = refute_threshold(old, new, args.candidate, _config(args))
+    print(result)
+    return 0 if result.is_refuted else 1
+
+
+def _command_single(args: argparse.Namespace) -> int:
+    program = _load(args.program)
+    result = analyze_single_program(program, _config(args))
+    print(result)
+    if result.is_bounded and args.certificates:
+        print(result.upper)
+        print(result.lower)
+    return 0 if result.is_bounded else 1
+
+
+def _command_suite(args: argparse.Namespace) -> int:
+    from repro.bench import format_csv, format_markdown, format_table, run_suite
+
+    names = args.names.split(",") if args.names else None
+    outcomes = run_suite(names=names, lp_backend=args.backend)
+    formatters = {
+        "text": format_table,
+        "markdown": format_markdown,
+        "csv": format_csv,
+    }
+    print(formatters[args.format](outcomes))
+    return 0
+
+
+def _command_witness(args: argparse.Namespace) -> int:
+    from repro.core.witness import find_difference_witness
+
+    old = _load(args.old, "old")
+    new = _load(args.new, "new")
+    witness = find_difference_witness(
+        old, new, exceed=args.exceed, extra_samples=args.samples
+    )
+    if witness is None:
+        print("no witness found (state spaces too large on all candidates)")
+        return 1
+    print(witness)
+    if args.exceed is not None and witness.difference <= args.exceed:
+        print(f"best found difference does not exceed {args.exceed}")
+        return 1
+    return 0
+
+
+def _command_show(args: argparse.Namespace) -> int:
+    program = _load(args.program)
+    if args.dot:
+        print(render_dot(program.system))
+    else:
+        print(render_text(program.system))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-diffcost",
+        description="Differential cost analysis with simultaneous "
+                    "potentials and anti-potentials (PLDI 2022)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    diff = subparsers.add_parser("diff", help="compute a minimized threshold")
+    diff.add_argument("old")
+    diff.add_argument("new")
+    diff.add_argument("--certificates", action="store_true",
+                      help="print the synthesized PF and anti-PF")
+    _add_config_arguments(diff)
+    diff.set_defaults(handler=_command_diff)
+
+    bound = subparsers.add_parser("bound", help="prove a symbolic bound")
+    bound.add_argument("old")
+    bound.add_argument("new")
+    bound.add_argument("--bound", required=True,
+                       help='polynomial over inputs, e.g. "lenA * lenB"')
+    _add_config_arguments(bound)
+    bound.set_defaults(handler=_command_bound)
+
+    refute = subparsers.add_parser("refute", help="refute a candidate threshold")
+    refute.add_argument("old")
+    refute.add_argument("new")
+    refute.add_argument("--candidate", type=float, required=True)
+    _add_config_arguments(refute)
+    refute.set_defaults(handler=_command_refute)
+
+    single = subparsers.add_parser(
+        "single", help="single-program bounds with a precision guarantee"
+    )
+    single.add_argument("program")
+    single.add_argument("--certificates", action="store_true")
+    _add_config_arguments(single)
+    single.set_defaults(handler=_command_single)
+
+    suite = subparsers.add_parser("suite", help="run the Table 1 suite")
+    suite.add_argument("--names", default=None,
+                       help="comma-separated benchmark subset")
+    suite.add_argument("--backend", choices=["scipy", "exact"],
+                       default="scipy")
+    suite.add_argument("--format", choices=["text", "markdown", "csv"],
+                       default="text", help="output format")
+    suite.set_defaults(handler=_command_suite)
+
+    witness = subparsers.add_parser(
+        "witness", help="find a concrete input exhibiting a cost difference"
+    )
+    witness.add_argument("old")
+    witness.add_argument("new")
+    witness.add_argument("--exceed", type=float, default=None,
+                         help="stop at the first difference above this")
+    witness.add_argument("--samples", type=int, default=16,
+                         help="random interior inputs to try (plus corners)")
+    witness.set_defaults(handler=_command_witness)
+
+    show = subparsers.add_parser("show", help="print a lowered program")
+    show.add_argument("program")
+    show.add_argument("--dot", action="store_true",
+                      help="emit Graphviz instead of text")
+    show.set_defaults(handler=_command_show)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Analysis configuration.
+
+One dataclass collects every knob of the synthesis pipeline so that the
+benchmark harness and ablation benches can sweep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError
+
+
+@dataclass
+class AnalysisConfig:
+    """Configuration of the simultaneous PF/anti-PF synthesis.
+
+    Attributes
+    ----------
+    degree:
+        Maximal degree ``d`` of the potential templates (paper default
+        2; the 'nested' benchmark needs 3).
+    max_products:
+        Handelman parameter ``K``: products of at most this many premise
+        inequalities (paper default 2).
+    lp_backend:
+        ``"scipy"`` (float, HiGHS — fast) or ``"exact"`` (rational
+        simplex — exact but slower).
+    widening_delay / narrowing_passes:
+        Invariant-engine tuning.
+    template_includes_params_only:
+        When True, templates at the initial/terminal location still use
+        all variables; no restriction is applied.  (Reserved for
+        experimentation; default False means full templates everywhere.)
+    check_certificates:
+        Re-verify synthesized certificates (empirical run-based check).
+    check_tolerance:
+        Numeric slack allowed when checking float-backend certificates.
+    """
+
+    degree: int = 2
+    max_products: int = 2
+    lp_backend: str = "scipy"
+    widening_delay: int = 3
+    narrowing_passes: int = 2
+    check_certificates: bool = False
+    check_tolerance: float = 1e-6
+
+    def __post_init__(self):
+        if self.degree < 0:
+            raise AnalysisError("degree must be nonnegative")
+        if self.max_products < 1:
+            raise AnalysisError("max_products (K) must be at least 1")
+        if self.lp_backend not in ("scipy", "exact"):
+            raise AnalysisError(
+                f"unknown lp_backend {self.lp_backend!r} (use 'scipy' or 'exact')"
+            )
+
+
+DEFAULT_CONFIG = AnalysisConfig()

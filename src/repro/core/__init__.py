@@ -1,0 +1,54 @@
+"""The paper's primary contribution: differential cost analysis with
+simultaneous potentials and anti-potentials.
+
+Public entry points:
+
+- :class:`~repro.core.diffcost.DiffCostAnalyzer` /
+  :func:`~repro.core.diffcost.analyze_diffcost` — compute and minimize a
+  differential threshold (Sections 4-5);
+- :func:`~repro.core.symbolic.prove_symbolic_bound` — verify a symbolic
+  polynomial bound on the cost difference (Section 5);
+- :func:`~repro.core.refutation.refute_threshold` — prove a candidate
+  threshold can be exceeded (Theorem 4.3);
+- :func:`~repro.core.precision.analyze_single_program` — single-program
+  upper/lower bounds with a precision guarantee (Section 7);
+- :func:`~repro.core.naive.naive_diffcost` — the two-pass baseline the
+  paper argues against (Section 1);
+- :class:`~repro.core.checker.CertificateChecker` — independent
+  verification of synthesized certificates.
+"""
+
+from repro.core.potentials import PotentialFunction
+from repro.core.results import (
+    AnalysisStatus,
+    BoundProofResult,
+    DiffCostResult,
+    RefutationResult,
+    SingleProgramResult,
+)
+from repro.core.diffcost import DiffCostAnalyzer, analyze_diffcost
+from repro.core.symbolic import prove_symbolic_bound
+from repro.core.refutation import refute_threshold
+from repro.core.precision import analyze_single_program
+from repro.core.naive import naive_diffcost
+from repro.core.checker import CertificateChecker
+from repro.core.witness import DifferenceWitness, bracket_threshold, find_difference_witness
+
+__all__ = [
+    "PotentialFunction",
+    "AnalysisStatus",
+    "DiffCostResult",
+    "BoundProofResult",
+    "RefutationResult",
+    "SingleProgramResult",
+    "DiffCostAnalyzer",
+    "analyze_diffcost",
+    "prove_symbolic_bound",
+    "refute_threshold",
+    "analyze_single_program",
+    "naive_diffcost",
+    "CertificateChecker",
+    "DifferenceWitness",
+    "find_difference_witness",
+    "bracket_threshold",
+]

@@ -1,0 +1,263 @@
+"""Independent verification of synthesized certificates.
+
+Two layers of checking:
+
+1. **Run-based** (``check_*``): on concrete inputs sampled from Θ0, the
+   exhaustive :class:`~repro.ts.interpreter.CostSearch` computes the true
+   ``CostInf``/``CostSup`` and the checker asserts the Theorem 4.1 / 4.2
+   claims — ``φ(ℓ0,x) ≥ CostSup``, ``χ(ℓ0,x) ≤ CostInf`` and
+   ``φ_new − χ_old ≤ t`` — plus the local preservation conditions along
+   sampled runs.
+2. **State-based** (``check_conditions_on_states``): the defining PF /
+   anti-PF conditions on explicitly enumerated reachable states.
+
+Float-backend certificates carry LP rounding noise, so all comparisons
+take a configurable tolerance (0 for the exact backend).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.core.potentials import PotentialFunction
+from repro.errors import CertificateError, InterpreterError
+from repro.invariants.polyhedron import Polyhedron
+from repro.ts.interpreter import CostSearch, Interpreter
+from repro.ts.system import COST_VAR, NondetUpdate, TransitionSystem
+
+
+@dataclass
+class CheckReport:
+    """Outcome of a certificate check."""
+
+    checked_inputs: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True iff no violation was found."""
+        return not self.violations
+
+    def require_ok(self) -> None:
+        """Raise :class:`CertificateError` when violations were found."""
+        if not self.ok:
+            summary = "; ".join(self.violations[:5])
+            raise CertificateError(
+                f"certificate check failed ({len(self.violations)} "
+                f"violations): {summary}"
+            )
+
+
+def sample_inputs(system: TransitionSystem, count: int,
+                  rng: random.Random,
+                  max_range: int = 6) -> list[dict[str, int]]:
+    """Sample inputs from Θ0, shrunk so exhaustive search stays cheap.
+
+    Each variable is drawn from the low end of its Θ0 interval (at most
+    ``max_range`` wide); rejection sampling handles non-box Θ0
+    constraints such as orderings.
+    """
+    theta0 = Polyhedron(system.init_constraint)
+    variables = [v for v in system.state_variables]
+    ranges: dict[str, tuple[int, int]] = {}
+    for var in variables:
+        interval = theta0.var_bounds(var)
+        low = 0 if interval.lower is None else int(interval.lower)
+        high = low + max_range if interval.upper is None else int(interval.upper)
+        high = min(high, low + max_range)
+        ranges[var] = (low, high)
+
+    samples: list[dict[str, int]] = []
+    attempts = 0
+    while len(samples) < count and attempts < count * 50:
+        attempts += 1
+        candidate = {
+            var: rng.randint(low, high) for var, (low, high) in ranges.items()
+        }
+        if theta0.contains_point(candidate):
+            samples.append(candidate)
+    return samples
+
+
+class CertificateChecker:
+    """Checks PFs / anti-PFs and differential results on concrete data."""
+
+    def __init__(self, tolerance: float = 1e-6, max_states: int = 500_000):
+        self.tolerance = tolerance
+        self.max_states = max_states
+
+    # -- single certificates -------------------------------------------------
+
+    def check_potential(self, certificate: PotentialFunction,
+                        inputs: Iterable[Mapping[str, int]]) -> CheckReport:
+        """Check the Theorem 4.1 claim and local conditions on inputs."""
+        report = CheckReport()
+        system = certificate.system
+        search = CostSearch(system, max_states=self.max_states)
+        for inputs_value in inputs:
+            report.checked_inputs += 1
+            try:
+                cost_inf, cost_sup = search.cost_bounds(inputs_value)
+            except InterpreterError as error:
+                report.violations.append(f"search failed on {inputs_value}: {error}")
+                continue
+            initial = float(certificate.initial_value(inputs_value))
+            if certificate.kind == "potential":
+                if initial < cost_sup - self.tolerance:
+                    report.violations.append(
+                        f"phi(l0,{dict(inputs_value)}) = {initial} < "
+                        f"CostSup = {cost_sup}"
+                    )
+            else:
+                if initial > cost_inf + self.tolerance:
+                    report.violations.append(
+                        f"chi(l0,{dict(inputs_value)}) = {initial} > "
+                        f"CostInf = {cost_inf}"
+                    )
+            self._check_along_runs(certificate, inputs_value, report)
+        return report
+
+    def _check_along_runs(self, certificate: PotentialFunction,
+                          inputs_value: Mapping[str, int],
+                          report: CheckReport) -> None:
+        """Local preservation/termination conditions along concrete runs
+        (several nondeterminism resolutions)."""
+        system = certificate.system
+        interpreter = Interpreter(system)
+        rng = random.Random(17)
+        choosers = [None, None, None]  # three random resolutions
+        for chooser_index in range(len(choosers)):
+            state = interpreter.initial_state(inputs_value)
+            for _ in range(100_000):
+                if interpreter.is_terminal(state):
+                    if not certificate.check_terminal(
+                            state.values(), self.tolerance):
+                        report.violations.append(
+                            f"terminal condition fails at {state}"
+                        )
+                    break
+                options = interpreter.enabled(state)
+                if not options:
+                    break  # blocked run: no condition applies
+                transition = rng.choice(options)
+                nondet = _random_nondet_values(transition, state.values(), rng)
+                successor = interpreter.apply(state, transition, nondet)
+                if not certificate.check_transition(
+                        state.location, successor.location,
+                        state.values(), successor.values(), self.tolerance):
+                    report.violations.append(
+                        f"preservation fails on {transition.name} at {state}"
+                    )
+                    break
+                state = successor
+
+    # -- differential results ----------------------------------------------------
+
+    def check_diffcost(self, old_system: TransitionSystem,
+                       new_system: TransitionSystem,
+                       threshold: float,
+                       potential_new: PotentialFunction,
+                       anti_potential_old: PotentialFunction,
+                       inputs: Iterable[Mapping[str, int]]) -> CheckReport:
+        """Check the full Theorem 4.2 chain on concrete inputs."""
+        report = CheckReport()
+        old_search = CostSearch(old_system, max_states=self.max_states)
+        new_search = CostSearch(new_system, max_states=self.max_states)
+        for inputs_value in inputs:
+            report.checked_inputs += 1
+            old_inputs = {
+                v: inputs_value.get(v, 0) for v in old_system.state_variables
+            }
+            new_inputs = {
+                v: inputs_value.get(v, 0) for v in new_system.state_variables
+            }
+            try:
+                old_inf, _old_sup = old_search.cost_bounds(old_inputs)
+                _new_inf, new_sup = new_search.cost_bounds(new_inputs)
+            except InterpreterError as error:
+                report.violations.append(f"search failed: {error}")
+                continue
+            phi = float(potential_new.initial_value(new_inputs))
+            chi = float(anti_potential_old.initial_value(old_inputs))
+            if phi < new_sup - self.tolerance:
+                report.violations.append(
+                    f"phi_new({new_inputs}) = {phi} < CostSup = {new_sup}"
+                )
+            if chi > old_inf + self.tolerance:
+                report.violations.append(
+                    f"chi_old({old_inputs}) = {chi} > CostInf = {old_inf}"
+                )
+            if phi - chi > float(threshold) + self.tolerance:
+                report.violations.append(
+                    f"phi - chi = {phi - chi} exceeds threshold {threshold}"
+                )
+            if new_sup - old_inf > float(threshold) + self.tolerance:
+                report.violations.append(
+                    f"actual difference {new_sup - old_inf} exceeds "
+                    f"threshold {threshold} on {dict(inputs_value)}"
+                )
+        return report
+
+
+def certify_implications_exact(constraints, assignment,
+                               max_products: int) -> list[str]:
+    """Exactly certify instantiated implication constraints.
+
+    ``assignment`` maps every template symbol (including the threshold)
+    to a :class:`fractions.Fraction`.  For each implication the
+    (now-concrete) consequent polynomial is re-derived and a small exact
+    LP searches for nonnegative Handelman multipliers witnessing it.
+    Returns the names of implications that could NOT be certified (empty
+    list = the whole certificate is exactly verified).
+
+    Note: failure to certify is not a disproof — the rationalized values
+    may sit exactly on the feasibility boundary — but success is a
+    machine-checked proof independent of the float solver.
+    """
+    from repro.handelman.encode import encode_implication
+    from repro.lp.model import LPModel
+    from repro.lp.simplex import ExactSimplexBackend
+    from repro.lp.solution import LPStatus
+    from repro.poly.template import TemplatePolynomial
+    from repro.utils.naming import FreshNameGenerator
+
+    solver = ExactSimplexBackend()
+    failures: list[str] = []
+    for constraint in constraints:
+        concrete = constraint.consequent.instantiate(
+            _total_assignment(constraint.consequent.symbols, assignment)
+        )
+        instantiated = type(constraint)(
+            premise=constraint.premise,
+            consequent=TemplatePolynomial.from_polynomial(concrete),
+            name=constraint.name,
+        )
+        model = LPModel()
+        encode_implication(
+            instantiated, model, FreshNameGenerator(), max_products
+        )
+        solution = solver.solve(model)
+        if solution.status is not LPStatus.OPTIMAL:
+            failures.append(constraint.name)
+    return failures
+
+
+def _total_assignment(symbols, assignment):
+    from fractions import Fraction
+
+    return {name: assignment.get(name, Fraction(0)) for name in symbols}
+
+
+def _random_nondet_values(transition, valuation, rng) -> dict[str, int]:
+    values: dict[str, int] = {}
+    for var, update in transition.updates.items():
+        if not isinstance(update, NondetUpdate):
+            continue
+        low = 0 if update.lower is None else int(update.lower.evaluate(valuation))
+        high = low if update.upper is None else int(update.upper.evaluate(valuation))
+        if update.lower is None and update.upper is not None:
+            low = high
+        values[var] = rng.randint(min(low, high), max(low, high))
+    return values

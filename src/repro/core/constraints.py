@@ -1,0 +1,172 @@
+"""Template construction and constraint collection (paper Steps 1-2).
+
+For each location a symbolic polynomial template of degree ≤ d is fixed;
+the defining conditions of PFs / anti-PFs are collected as
+:class:`~repro.handelman.encode.ImplicationConstraint` objects over the
+invariant-guard premises, with nondeterministic updates replaced by
+fresh universally quantified variables bounded in the premise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.handelman.encode import ImplicationConstraint
+from repro.invariants.generator import InvariantMap
+from repro.invariants.polyhedron import Polyhedron
+from repro.poly.polynomial import Polynomial
+from repro.poly.template import TemplatePolynomial
+from repro.ts.guards import LinIneq
+from repro.ts.system import (
+    COST_VAR,
+    Location,
+    NondetUpdate,
+    TransitionSystem,
+)
+from repro.utils.naming import FreshNameGenerator
+
+UPPER = "upper"
+LOWER = "lower"
+
+
+@dataclass
+class TemplateSet:
+    """Symbolic templates, one per location of a system."""
+
+    system: TransitionSystem
+    degree: int
+    prefix: str
+    templates: dict[Location, TemplatePolynomial] = field(default_factory=dict)
+
+    @staticmethod
+    def build(system: TransitionSystem, degree: int,
+              prefix: str) -> "TemplateSet":
+        """Fix a degree-``degree`` template for every location.
+
+        Template symbols are named ``u[prefix][location][monomial]`` so
+        LP instances are self-describing.
+        """
+        templates: dict[Location, TemplatePolynomial] = {}
+        variables = list(system.state_variables)
+        for location in system.locations:
+            templates[location] = TemplatePolynomial.fresh(
+                variables,
+                degree,
+                name_of=lambda mono, loc=location.name: (
+                    f"u[{prefix}][{loc}][{mono}]"
+                ),
+            )
+        return TemplateSet(system, degree, prefix, templates)
+
+    def at(self, location: Location) -> TemplatePolynomial:
+        """Template at ``location``."""
+        return self.templates[location]
+
+    @property
+    def symbols(self) -> frozenset[str]:
+        """All template symbols across locations."""
+        names: set[str] = set()
+        for template in self.templates.values():
+            names.update(template.symbols)
+        return frozenset(names)
+
+
+def collect_certificate_constraints(
+        system: TransitionSystem,
+        invariants: InvariantMap,
+        templates: TemplateSet,
+        kind: str,
+        fresh: FreshNameGenerator) -> list[ImplicationConstraint]:
+    """The PF (``kind="upper"``) or anti-PF (``kind="lower"``)
+    constraints of the paper's Step 2.
+
+    - Preservation at every transition, with the invariant-plus-guard
+      premise; transitions with an infeasible premise (unreachable by
+      the invariant) are skipped, which is sound and more permissive
+      than encoding a vacuous implication.
+    - The termination condition at the terminal location.
+    """
+    constraints: list[ImplicationConstraint] = []
+
+    for transition in system.transitions:
+        if (transition.source == system.terminal_location
+                and transition.is_identity()):
+            continue  # the paper's terminal self-loop is trivially fine
+        source_invariant = invariants.at(transition.source)
+        if source_invariant.is_bottom():
+            continue  # unreachable source
+        premise: list[LinIneq] = list(source_invariant.ineqs)
+        premise.extend(transition.guard)
+        if Polyhedron(premise).is_empty():
+            continue  # guard contradicts the invariant: vacuous
+
+        substitution: dict[str, Polynomial] = {}
+        for var, update in transition.updates.items():
+            if var == COST_VAR:
+                continue
+            if isinstance(update, NondetUpdate):
+                fresh_var = fresh.fresh(f"nd[{var}]")
+                fresh_poly = Polynomial.variable(fresh_var)
+                substitution[var] = fresh_poly
+                if update.lower is not None:
+                    premise.append(LinIneq.geq(fresh_poly, update.lower))
+                if update.upper is not None:
+                    premise.append(LinIneq.leq(fresh_poly, update.upper))
+            else:
+                substitution[var] = update
+
+        post_template = templates.at(transition.target).substitute(substitution)
+        pre_template = templates.at(transition.source)
+        delta = transition.cost_delta()
+        if kind == UPPER:
+            # φ(ℓ,x) - φ(ℓ',Up(x)) - Δcost >= 0
+            consequent = pre_template - post_template - delta
+        elif kind == LOWER:
+            # χ(ℓ',Up(x)) + Δcost - χ(ℓ,x) >= 0
+            consequent = post_template + delta - pre_template
+        else:
+            raise ValueError(f"unknown certificate kind {kind!r}")
+        constraints.append(
+            ImplicationConstraint(
+                premise=tuple(premise),
+                consequent=consequent,
+                name=f"{templates.prefix}.{kind}.{transition.name}",
+            )
+        )
+
+    terminal = system.terminal_location
+    terminal_invariant = invariants.at(terminal)
+    if not terminal_invariant.is_bottom():
+        terminal_template = templates.at(terminal)
+        consequent = (
+            terminal_template if kind == UPPER else -terminal_template
+        )
+        constraints.append(
+            ImplicationConstraint(
+                premise=terminal_invariant.ineqs,
+                consequent=consequent,
+                name=f"{templates.prefix}.{kind}.terminal",
+            )
+        )
+    return constraints
+
+
+def differential_constraint(
+        theta0: tuple[LinIneq, ...],
+        new_initial_template: TemplatePolynomial,
+        old_initial_template: TemplatePolynomial,
+        bound: TemplatePolynomial,
+        name: str = "diffcost") -> ImplicationConstraint:
+    """The differential cost constraint of Step 2:
+
+        x ∈ Θ0  ⇒  bound(x) - φ_new(ℓ0,x) + χ_old(ℓ0,x) >= 0
+
+    ``bound`` is the symbolic threshold ``t`` for the DiffCost problem,
+    or an arbitrary (embedded) polynomial for symbolic bound proving.
+    """
+    consequent = bound - new_initial_template + old_initial_template
+    return ImplicationConstraint(
+        premise=tuple(theta0),
+        consequent=consequent,
+        name=name,
+    )

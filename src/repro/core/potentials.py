@@ -1,0 +1,88 @@
+"""Concrete potential / anti-potential certificates (paper Section 4.1).
+
+A :class:`PotentialFunction` maps each location to a concrete polynomial
+over the program's state variables.  ``kind`` distinguishes potentials
+(upper bounds; sufficiency conditions) from anti-potentials (lower
+bounds; the dual insufficiency conditions).  The class can evaluate
+itself on states and check its defining conditions on concrete
+transitions — the building block of the certificate checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Mapping
+
+from repro.errors import CertificateError
+from repro.poly.polynomial import Polynomial
+from repro.ts.system import COST_VAR, Location, TransitionSystem
+
+POTENTIAL = "potential"
+ANTI_POTENTIAL = "anti-potential"
+
+
+@dataclass
+class PotentialFunction:
+    """A location-indexed polynomial certificate.
+
+    ``kind`` is :data:`POTENTIAL` (φ: upper bounds on cost-to-go) or
+    :data:`ANTI_POTENTIAL` (χ: lower bounds on cost-to-go).
+    """
+
+    system: TransitionSystem
+    mapping: dict[Location, Polynomial] = field(default_factory=dict)
+    kind: str = POTENTIAL
+
+    def __post_init__(self):
+        if self.kind not in (POTENTIAL, ANTI_POTENTIAL):
+            raise CertificateError(f"unknown certificate kind {self.kind!r}")
+        for location, poly in self.mapping.items():
+            if COST_VAR in poly.variables:
+                raise CertificateError(
+                    f"certificate at {location} mentions {COST_VAR!r}: {poly}"
+                )
+
+    def at(self, location: Location) -> Polynomial:
+        """The polynomial at ``location`` (0 if absent)."""
+        return self.mapping.get(location, Polynomial.zero())
+
+    def value(self, location: Location,
+              valuation: Mapping[str, int]) -> Fraction:
+        """Evaluate the certificate on a concrete state."""
+        return self.at(location).evaluate(valuation)
+
+    def initial_value(self, valuation: Mapping[str, int]) -> Fraction:
+        """Evaluate at the initial location."""
+        return self.value(self.system.initial_location, valuation)
+
+    # -- condition checking on concrete data -------------------------------
+
+    def check_transition(self, source: Location, target: Location,
+                         pre: Mapping[str, int], post: Mapping[str, int],
+                         tolerance: float = 0.0) -> bool:
+        """Check the preservation condition on one concrete step.
+
+        For potentials: ``φ(ℓ,x) >= φ(ℓ',x') + Δcost``; for
+        anti-potentials the reversed inequality.
+        """
+        delta_cost = post[COST_VAR] - pre[COST_VAR]
+        before = self.value(source, pre)
+        after = self.value(target, post)
+        if self.kind == POTENTIAL:
+            return float(before - after - delta_cost) >= -tolerance
+        return float(after + delta_cost - before) >= -tolerance
+
+    def check_terminal(self, valuation: Mapping[str, int],
+                       tolerance: float = 0.0) -> bool:
+        """Check the termination condition on a terminal state."""
+        value = self.value(self.system.terminal_location, valuation)
+        if self.kind == POTENTIAL:
+            return float(value) >= -tolerance
+        return float(value) <= tolerance
+
+    def __str__(self) -> str:
+        lines = [f"{self.kind} for {self.system.name}:"]
+        for location in self.system.locations:
+            lines.append(f"  {location}: {self.at(location)}")
+        return "\n".join(lines)

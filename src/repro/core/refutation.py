@@ -1,0 +1,180 @@
+"""Threshold refutation via PFs and anti-PFs (Theorem 4.3).
+
+Dual use of the machinery: an *anti*-potential for the **new** version
+(lower bound on its cost) and a potential for the **old** version (upper
+bound on its cost).  If for some input ``x ∈ Θ0``
+
+    χ_new(ℓ0,x) − φ_old(ℓ0,x) > t
+
+then every pair of runs on ``x`` differs by more than ``t``, so ``t`` is
+not a threshold.  For a *fixed* witness input the left-hand side is
+linear in the template symbols, so maximizing it is again an LP; we try
+a set of witness candidates (box corners and the center of Θ0 by
+default) and keep the best certified gap.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable
+
+from repro.config import AnalysisConfig
+from repro.core.constraints import (
+    LOWER,
+    UPPER,
+    TemplateSet,
+    collect_certificate_constraints,
+)
+from repro.core.diffcost import DiffCostAnalyzer, ProgramLike, extract_certificate
+from repro.core.potentials import ANTI_POTENTIAL, POTENTIAL
+from repro.core.results import AnalysisStatus, RefutationResult
+from repro.handelman.encode import encode_implication
+from repro.invariants.polyhedron import Polyhedron
+from repro.lp.backend import get_backend
+from repro.lp.model import LPModel
+from repro.lp.solution import LPStatus
+from repro.ts.system import COST_VAR, TransitionSystem
+from repro.utils.naming import FreshNameGenerator
+from repro.utils.rationals import Numeric
+
+
+def default_witnesses(old_system: TransitionSystem,
+                      new_system: TransitionSystem,
+                      theta0: Polyhedron,
+                      limit: int = 33) -> list[dict[str, int]]:
+    """Candidate witness inputs: Θ0-box corners plus the box center.
+
+    Variables without finite bounds default to 0.  Points violating Θ0
+    (e.g. ordering side constraints) are filtered out.
+    """
+    variables = sorted(
+        (set(old_system.variables) | set(new_system.variables)) - {COST_VAR}
+    )
+    choices: list[list[int]] = []
+    for var in variables:
+        interval = theta0.var_bounds(var)
+        low = 0 if interval.lower is None else int(interval.lower)
+        high = low if interval.upper is None else int(interval.upper)
+        choices.append([low] if low == high else [low, high])
+
+    candidates: list[dict[str, int]] = []
+
+    def expand(index: int, current: dict[str, int]) -> None:
+        if len(candidates) >= limit - 1:
+            return
+        if index == len(variables):
+            candidates.append(dict(current))
+            return
+        for value in choices[index]:
+            current[variables[index]] = value
+            expand(index + 1, current)
+
+    expand(0, {})
+    center = {
+        var: (values[0] + values[-1]) // 2
+        for var, values in zip(variables, choices)
+    }
+    candidates.append(center)
+    return [c for c in candidates if theta0.contains_point(c)]
+
+
+def refute_threshold(old: ProgramLike, new: ProgramLike,
+                     candidate: Numeric,
+                     config: AnalysisConfig | None = None,
+                     witnesses: Iterable[dict[str, int]] | None = None,
+                     ) -> RefutationResult:
+    """Try to prove that ``candidate`` is *not* a valid threshold.
+
+    Sound for nondeterministic programs; complete only for deterministic
+    ones (paper discussion after Theorem 4.3).
+    """
+    analyzer = DiffCostAnalyzer(old, new, config)
+    old_invariants, new_invariants = analyzer.invariants()
+    theta0 = Polyhedron(analyzer.combined_theta0())
+    if witnesses is None:
+        witnesses = default_witnesses(
+            analyzer.old_system, analyzer.new_system, theta0
+        )
+    witnesses = list(witnesses)
+    if not witnesses:
+        return RefutationResult(
+            status=AnalysisStatus.UNKNOWN,
+            candidate=candidate,
+            message="no witness candidates inside Theta0",
+        )
+
+    # Certificate constraints are witness-independent: build them once.
+    fresh = FreshNameGenerator()
+    new_templates = TemplateSet.build(
+        analyzer.new_system, analyzer.config.degree, prefix="refute-new"
+    )
+    old_templates = TemplateSet.build(
+        analyzer.old_system, analyzer.config.degree, prefix="refute-old"
+    )
+    constraints = collect_certificate_constraints(
+        analyzer.new_system, new_invariants, new_templates, LOWER, fresh
+    )
+    constraints.extend(
+        collect_certificate_constraints(
+            analyzer.old_system, old_invariants, old_templates, UPPER, fresh
+        )
+    )
+
+    backend = get_backend(analyzer.config.lp_backend)
+    best_gap: Fraction | float | None = None
+    best_witness: dict[str, int] | None = None
+    best_solution = None
+    for witness in witnesses:
+        model = LPModel()
+        encoding_fresh = FreshNameGenerator()
+        for constraint in constraints:
+            encode_implication(
+                constraint, model, encoding_fresh, analyzer.config.max_products
+            )
+        chi_at_witness = new_templates.at(
+            analyzer.new_system.initial_location
+        ).evaluate_program_vars(witness)
+        phi_at_witness = old_templates.at(
+            analyzer.old_system.initial_location
+        ).evaluate_program_vars(witness)
+        model.maximize(chi_at_witness - phi_at_witness)
+        solution = backend.solve(model)
+        if solution.status is not LPStatus.OPTIMAL:
+            continue
+        gap = (chi_at_witness - phi_at_witness).evaluate(
+            {name: solution.value(name)
+             for name in (chi_at_witness - phi_at_witness).symbols}
+        ) if analyzer.config.lp_backend == "exact" else -float(
+            solution.objective_value  # objective was negated by maximize()
+        )
+        if best_gap is None or float(gap) > float(best_gap):
+            best_gap = gap
+            best_witness = witness
+            best_solution = solution
+
+    if best_gap is None:
+        return RefutationResult(
+            status=AnalysisStatus.UNKNOWN,
+            candidate=candidate,
+            message="no refutation certificate found (LP infeasible)",
+        )
+
+    refuted = float(best_gap) > float(candidate)
+    result = RefutationResult(
+        status=AnalysisStatus.REFUTED if refuted else AnalysisStatus.UNKNOWN,
+        candidate=candidate,
+        witness_input=best_witness,
+        guaranteed_difference=best_gap,
+        anti_potential_new=extract_certificate(
+            new_templates, best_solution, ANTI_POTENTIAL
+        ),
+        potential_old=extract_certificate(
+            old_templates, best_solution, POTENTIAL
+        ),
+    )
+    if not refuted:
+        result.message = (
+            f"best certified difference {best_gap} does not exceed "
+            f"candidate {candidate}"
+        )
+    return result

@@ -1,0 +1,87 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so that
+callers can catch a single base class.  Sub-hierarchies follow the package
+structure (language frontend, transition systems, LP solving, analysis).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class PolynomialError(ReproError):
+    """Raised for invalid polynomial operations (e.g. non-affine input
+    where an affine expression is required)."""
+
+
+class LanguageError(ReproError):
+    """Base class for frontend (lexer/parser/typecheck/lowering) errors."""
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"line {line}:{column or 0}: {message}"
+        super().__init__(message)
+
+
+class LexerError(LanguageError):
+    """Raised when the lexer encounters an invalid character sequence."""
+
+
+class ParseError(LanguageError):
+    """Raised when the parser encounters unexpected syntax."""
+
+
+class TypecheckError(LanguageError):
+    """Raised by semantic checks (undefined variables, non-affine guards,
+    malformed cost updates, ...)."""
+
+
+class LoweringError(LanguageError):
+    """Raised when AST-to-transition-system lowering fails."""
+
+
+class TransitionSystemError(ReproError):
+    """Raised for structurally invalid transition systems."""
+
+
+class InterpreterError(ReproError):
+    """Raised during concrete execution (e.g. stuck states, unresolved
+    nondeterminism, step-budget exhaustion)."""
+
+
+class NonTerminationError(InterpreterError):
+    """Raised when a run exceeds its step budget, which under the paper's
+    standing assumption indicates (apparent) non-termination."""
+
+
+class InvariantError(ReproError):
+    """Raised by invariant generation (e.g. unsupported constructs)."""
+
+
+class LPError(ReproError):
+    """Base class for linear-programming layer errors."""
+
+
+class LPInfeasibleError(LPError):
+    """Raised when an LP instance is proven infeasible."""
+
+
+class LPUnboundedError(LPError):
+    """Raised when an LP instance is unbounded in the objective
+    direction."""
+
+
+class AnalysisError(ReproError):
+    """Raised for invalid analysis requests (mismatched variable sets,
+    degree/K out of range, ...)."""
+
+
+class CertificateError(ReproError):
+    """Raised when a synthesized certificate fails independent
+    verification."""

@@ -1,0 +1,23 @@
+"""Handelman-based positivity encoding (paper Step 3).
+
+Converts implication constraints
+
+    aff_1(x) >= 0 ∧ ... ∧ aff_k(x) >= 0  ⇒  poly(x) >= 0
+
+(with ``poly`` linear in the symbolic template variables) into purely
+existentially quantified *linear* constraints by requiring ``poly`` to be
+a nonnegative combination of products of at most ``K`` of the ``aff_i``
+(Handelman's theorem gives completeness for strictly positive ``poly``
+over compact ``⟨Aff⟩``).
+"""
+
+from repro.handelman.products import generate_products
+from repro.handelman.encode import ImplicationConstraint, encode_implication
+from repro.handelman.farkas import encode_affine_implication
+
+__all__ = [
+    "generate_products",
+    "ImplicationConstraint",
+    "encode_implication",
+    "encode_affine_implication",
+]

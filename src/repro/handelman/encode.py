@@ -1,0 +1,79 @@
+"""Encoding of implication constraints into LP equalities.
+
+Each :class:`ImplicationConstraint` ``⋀ aff_i >= 0 ⇒ poly >= 0`` becomes
+
+    poly(x)  ==  Σ_{g ∈ Prod_K(Aff)} c_g · g(x),   c_g >= 0
+
+as a polynomial identity: for every monomial, the (template-linear)
+coefficient on the left equals the linear combination of the products'
+coefficients on the right.  All generated constraints are linear in the
+template symbols and the fresh ``c_g``, so the result is an LP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.handelman.products import generate_products
+from repro.lp.model import LPModel
+from repro.poly.linexpr import AffineExpr
+from repro.poly.monomial import Monomial
+from repro.poly.template import TemplatePolynomial
+from repro.ts.guards import LinIneq
+from repro.utils.naming import FreshNameGenerator
+
+
+@dataclass
+class ImplicationConstraint:
+    """``premise ⇒ consequent >= 0`` with a template-linear consequent."""
+
+    premise: tuple[LinIneq, ...]
+    consequent: TemplatePolynomial
+    name: str
+
+    def __str__(self) -> str:
+        premise = " and ".join(str(p) for p in self.premise) or "true"
+        return f"[{self.name}] {premise} => {self.consequent} >= 0"
+
+
+@dataclass
+class EncodingStats:
+    """Size accounting for one encoded implication."""
+
+    products: int
+    monomials: int
+
+
+def encode_implication(constraint: ImplicationConstraint, model: LPModel,
+                       fresh: FreshNameGenerator,
+                       max_factors: int) -> EncodingStats:
+    """Encode one implication into ``model``; returns size statistics.
+
+    Fresh nonnegative multiplier variables are named
+    ``c[<constraint name>]!<index>``.
+    """
+    affine_polys = [ineq.expr.to_polynomial() for ineq in constraint.premise]
+    products = generate_products(affine_polys, max_factors)
+
+    combination = TemplatePolynomial.zero()
+    for product in products:
+        multiplier = fresh.fresh(f"c[{constraint.name}]")
+        model.add_variable(multiplier, lower=0)
+        # Normalize the product to unit max-coefficient: mathematically
+        # a reparametrization of c_g (which is nonnegative either way)
+        # but it keeps the LP matrix well-conditioned — degree-3
+        # products of [1,100]-box constraints otherwise reach 1e6-scale
+        # coefficients that make HiGHS fail.
+        largest = max(abs(coeff) for _, coeff in product.terms())
+        if largest > 1:
+            product = product.scale(1 / largest)
+        combination = combination + TemplatePolynomial.from_symbol(
+            multiplier
+        ).multiply_polynomial(product)
+
+    difference = constraint.consequent - combination
+    monomials: list[Monomial] = difference.monomials()
+    for mono in monomials:
+        coefficient: AffineExpr = difference.coefficient(mono)
+        model.add_equality(coefficient, name=f"{constraint.name}:{mono}")
+    return EncodingStats(products=len(products), monomials=len(monomials))

@@ -1,0 +1,51 @@
+"""Generation of the product set ``Prod_K(Aff)``.
+
+``Prod_K(Aff)`` is the set of products of at most ``K`` (with
+repetition) affine expressions from ``Aff``, including the empty product
+``1``.  Every element is nonnegative wherever all ``aff_i >= 0`` hold,
+which is what makes the encoding sound.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.poly.polynomial import Polynomial
+
+
+def generate_products(affine_exprs: list[Polynomial],
+                      max_factors: int) -> list[Polynomial]:
+    """All products of at most ``max_factors`` expressions (paper's
+    ``Prod_K``), deduplicated as polynomials, constant ``1`` first.
+
+    >>> x = Polynomial.variable("x")
+    >>> [str(p) for p in generate_products([x], 2)]
+    ['1', 'x', 'x^2']
+    """
+    products: list[Polynomial] = []
+    seen: set[Polynomial] = set()
+
+    def add(poly: Polynomial) -> None:
+        if poly.is_zero():
+            return
+        if poly not in seen:
+            seen.add(poly)
+            products.append(poly)
+
+    add(Polynomial.constant(1))
+    # Deduplicate the generators themselves first (guards often repeat
+    # invariant inequalities verbatim).
+    generators: list[Polynomial] = []
+    generator_seen: set[Polynomial] = set()
+    for expr in affine_exprs:
+        if expr not in generator_seen and not expr.is_zero():
+            generator_seen.add(expr)
+            generators.append(expr)
+
+    for count in range(1, max_factors + 1):
+        for combo in itertools.combinations_with_replacement(generators, count):
+            product = Polynomial.constant(1)
+            for factor in combo:
+                product = product * factor
+            add(product)
+    return products

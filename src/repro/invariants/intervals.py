@@ -1,0 +1,149 @@
+"""Interval arithmetic over (possibly unbounded) rational intervals.
+
+Used by the invariant generator to bound the value of a *non-affine*
+polynomial update from interval bounds on its inputs, and by the
+Handelman encoder's compactness check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping
+
+from repro.poly.polynomial import Polynomial
+
+Bound = Fraction | None  # None encodes the corresponding infinity.
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval with optional infinite endpoints.
+
+    ``lower is None`` means −∞; ``upper is None`` means +∞.
+    """
+
+    lower: Bound = None
+    upper: Bound = None
+
+    def __post_init__(self):
+        if (self.lower is not None and self.upper is not None
+                and self.lower > self.upper):
+            raise ValueError(f"empty interval [{self.lower}, {self.upper}]")
+
+    @staticmethod
+    def top() -> "Interval":
+        """The unbounded interval."""
+        return Interval(None, None)
+
+    @staticmethod
+    def point(value: Fraction | int) -> "Interval":
+        """A singleton interval."""
+        value = Fraction(value)
+        return Interval(value, value)
+
+    def is_bounded(self) -> bool:
+        """True iff both endpoints are finite."""
+        return self.lower is not None and self.upper is not None
+
+    def contains(self, value: Fraction | int) -> bool:
+        """Membership test."""
+        value = Fraction(value)
+        if self.lower is not None and value < self.lower:
+            return False
+        if self.upper is not None and value > self.upper:
+            return False
+        return True
+
+    # -- arithmetic -------------------------------------------------------
+
+    def add(self, other: "Interval") -> "Interval":
+        """Interval addition."""
+        return Interval(
+            _add(self.lower, other.lower),
+            _add(self.upper, other.upper),
+        )
+
+    def negate(self) -> "Interval":
+        """Interval negation."""
+        return Interval(
+            None if self.upper is None else -self.upper,
+            None if self.lower is None else -self.lower,
+        )
+
+    def scale(self, factor: Fraction) -> "Interval":
+        """Multiplication by a constant."""
+        if factor == 0:
+            return Interval.point(0)
+        if factor > 0:
+            return Interval(
+                None if self.lower is None else self.lower * factor,
+                None if self.upper is None else self.upper * factor,
+            )
+        return self.negate().scale(-factor)
+
+    def multiply(self, other: "Interval") -> "Interval":
+        """Full interval multiplication."""
+        candidates: list[Bound] = []
+        unbounded = False
+        for a in (self.lower, self.upper):
+            for b in (other.lower, other.upper):
+                if a is None or b is None:
+                    # An infinite endpoint makes the product unbounded
+                    # unless the other side is identically zero; keep it
+                    # simple and go to top on that side.
+                    unbounded = True
+                else:
+                    candidates.append(a * b)
+        if unbounded or not candidates:
+            # Zero-crossing refinements are possible but unnecessary for
+            # our use (bounded program variables).
+            if self == Interval.point(0) or other == Interval.point(0):
+                return Interval.point(0)
+            return Interval.top()
+        return Interval(min(candidates), max(candidates))
+
+    def power(self, exponent: int) -> "Interval":
+        """Interval exponentiation by repeated multiplication."""
+        result = Interval.point(1)
+        for _ in range(exponent):
+            result = result.multiply(self)
+        return result
+
+    def hull(self, other: "Interval") -> "Interval":
+        """Smallest interval containing both."""
+        lower = None
+        if self.lower is not None and other.lower is not None:
+            lower = min(self.lower, other.lower)
+        upper = None
+        if self.upper is not None and other.upper is not None:
+            upper = max(self.upper, other.upper)
+        return Interval(lower, upper)
+
+    def __str__(self) -> str:
+        low = "-oo" if self.lower is None else str(self.lower)
+        high = "+oo" if self.upper is None else str(self.upper)
+        return f"[{low}, {high}]"
+
+
+def _add(a: Bound, b: Bound) -> Bound:
+    if a is None or b is None:
+        return None
+    return a + b
+
+
+def polynomial_range(poly: Polynomial,
+                     bounds: Mapping[str, Interval]) -> Interval:
+    """Bound the value of ``poly`` given interval bounds per variable.
+
+    Missing variables are treated as unbounded.
+    """
+    total = Interval.point(0)
+    for mono, coeff in poly.terms():
+        factor = Interval.point(1)
+        for var, exp in mono.items():
+            factor = factor.multiply(
+                bounds.get(var, Interval.top()).power(exp)
+            )
+        total = total.add(factor.scale(coeff))
+    return total

@@ -1,0 +1,472 @@
+"""A polyhedra-lite abstract domain: conjunctions of affine inequalities.
+
+Operations are implemented with exact rational LPs
+(:class:`~repro.lp.simplex.ExactSimplexBackend`), so the domain is sound
+by construction — no floating-point tolerance enters invariant
+generation.  The join is the *weak join* (mutual entailment filter),
+which over-approximates the convex hull; widening is the standard
+constraint-dropping widening.  Existential projection uses
+Fourier-Motzkin elimination with eager redundancy pruning.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping, Sequence
+
+from repro.invariants.intervals import Interval, polynomial_range
+from repro.lp.model import LPModel
+from repro.lp.scipy_backend import ScipyBackend
+from repro.lp.simplex import ExactSimplexBackend
+from repro.lp.solution import LPStatus
+from repro.poly.polynomial import Polynomial
+from repro.ts.guards import LinIneq
+from repro.ts.system import COST_VAR, NondetUpdate, Transition
+
+_SOLVER = ExactSimplexBackend()
+_FLOAT_SOLVER = ScipyBackend()
+_POST_SUFFIX = "!post"
+
+# Hybrid solving: HiGHS answers the (tiny) entailment/emptiness LPs fast;
+# verdicts within _MARGIN of the decision boundary — and every verdict
+# whose error would make the abstract domain *unsound* (claimed
+# entailment, claimed emptiness) that is not clear-cut — are re-decided
+# with the exact rational simplex.
+_MARGIN = 1e-6
+
+# Memo tables (polyhedra are immutable value objects, so results are
+# shared freely across instances with equal constraint sets).
+_ENTAILS_CACHE: dict[tuple, bool] = {}
+_EMPTY_CACHE: dict[frozenset, bool] = {}
+_CACHE_LIMIT = 200_000
+
+
+class Polyhedron:
+    """An immutable conjunction of :class:`LinIneq` (or bottom)."""
+
+    __slots__ = ("_ineqs", "_bottom")
+
+    def __init__(self, ineqs: Iterable[LinIneq] = (), bottom: bool = False):
+        normalized: list[LinIneq] = []
+        seen: set[LinIneq] = set()
+        for ineq in ineqs:
+            canonical = ineq.normalize()
+            if canonical.is_trivial() or canonical in seen:
+                continue
+            if canonical.is_contradiction():
+                bottom = True
+                break
+            seen.add(canonical)
+            normalized.append(canonical)
+        self._bottom = bottom
+        self._ineqs: tuple[LinIneq, ...] = () if bottom else tuple(normalized)
+
+    # -- constructors ---------------------------------------------------
+
+    @staticmethod
+    def top() -> "Polyhedron":
+        """The universe (no constraints)."""
+        return Polyhedron()
+
+    @staticmethod
+    def bottom() -> "Polyhedron":
+        """The empty polyhedron."""
+        return Polyhedron(bottom=True)
+
+    # -- inspection -----------------------------------------------------
+
+    @property
+    def ineqs(self) -> tuple[LinIneq, ...]:
+        """The constraint conjunction (empty for top and bottom)."""
+        return self._ineqs
+
+    def is_bottom(self) -> bool:
+        """True iff the polyhedron is (known) empty.
+
+        The constructor only detects syntactic contradictions; call
+        :meth:`reduce` to decide emptiness semantically.
+        """
+        return self._bottom
+
+    @property
+    def variables(self) -> frozenset[str]:
+        """Variables mentioned by any constraint."""
+        names: set[str] = set()
+        for ineq in self._ineqs:
+            names.update(ineq.variables)
+        return frozenset(names)
+
+    def contains_point(self, valuation: Mapping[str, int]) -> bool:
+        """Membership test for a concrete valuation."""
+        if self._bottom:
+            return False
+        return all(ineq.holds(valuation) for ineq in self._ineqs)
+
+    # -- LP-backed queries ------------------------------------------------
+
+    def _feasibility_model(self) -> LPModel:
+        model = LPModel()
+        for ineq in self._ineqs:
+            model.add_inequality(ineq.expr)
+        return model
+
+    def is_empty(self) -> bool:
+        """Semantic emptiness (hybrid float/exact feasibility LP).
+
+        A "feasible" float verdict is accepted (erring on the sound,
+        larger-polyhedron side); an "infeasible" verdict is confirmed by
+        the exact simplex before bottom is reported, because wrongly
+        declaring emptiness would make the abstract domain unsound.
+        """
+        if self._bottom:
+            return True
+        if not self._ineqs:
+            return False
+        key = frozenset(self._ineqs)
+        cached = _EMPTY_CACHE.get(key)
+        if cached is not None:
+            return cached
+        float_solution = _FLOAT_SOLVER.solve(self._feasibility_model())
+        if float_solution.status is LPStatus.INFEASIBLE:
+            exact = _SOLVER.solve(self._feasibility_model())
+            result = exact.status is LPStatus.INFEASIBLE
+        else:
+            result = False
+        if len(_EMPTY_CACHE) < _CACHE_LIMIT:
+            _EMPTY_CACHE[key] = result
+        return result
+
+    def minimize(self, expr) -> Fraction | None:
+        """Exact minimum of an affine expression over the polyhedron.
+
+        Returns ``None`` when unbounded below; raises nothing on bottom
+        (callers should check).  ``expr`` is an
+        :class:`~repro.poly.linexpr.AffineExpr`.
+        """
+        model = self._feasibility_model()
+        model.minimize(expr)
+        solution = _SOLVER.solve(model)
+        if solution.status is LPStatus.UNBOUNDED:
+            return None
+        if solution.status is LPStatus.INFEASIBLE:
+            raise ValueError("minimize called on an empty polyhedron")
+        return solution.objective_value
+
+    def entails(self, ineq: LinIneq) -> bool:
+        """Does every point of the polyhedron satisfy ``ineq``?
+
+        Hybrid: a clearly positive float minimum accepts entailment, a
+        clearly negative one rejects it; borderline values (and the
+        degenerate solver statuses) fall back to the exact simplex.
+        Positive verdicts are the soundness-critical direction, so the
+        acceptance margin is applied to them as well.
+        """
+        if self._bottom:
+            return True
+        canonical = ineq.normalize()
+        if canonical.is_trivial():
+            return True
+        if not self._ineqs:
+            return False
+        if canonical in self._ineqs:
+            return True
+        key = (frozenset(self._ineqs), canonical)
+        cached = _ENTAILS_CACHE.get(key)
+        if cached is not None:
+            return cached
+        result = self._entails_uncached(ineq)
+        if len(_ENTAILS_CACHE) < _CACHE_LIMIT:
+            _ENTAILS_CACHE[key] = result
+        return result
+
+    def _entails_uncached(self, ineq: LinIneq) -> bool:
+        model = self._feasibility_model()
+        model.minimize(ineq.expr)
+        float_solution = _FLOAT_SOLVER.solve(model)
+        if float_solution.status is LPStatus.OPTIMAL:
+            value = float(float_solution.objective_value)
+            scale = 1.0 + abs(value)
+            if value >= _MARGIN * scale:
+                # Clear-cut positive: accepted without exact replay.  On
+                # these tiny LPs HiGHS is accurate to ~1e-9, far inside
+                # the margin; end-to-end soundness is additionally
+                # monitored by the run-based certificate checker.
+                return True
+            if value <= -_MARGIN * scale:
+                return False
+        elif float_solution.status is LPStatus.UNBOUNDED:
+            return False
+        return self._entails_exact(ineq)
+
+    def _entails_exact(self, ineq: LinIneq) -> bool:
+        """Exact decision with the rational simplex (borderline cases)."""
+        model = self._feasibility_model()
+        model.minimize(ineq.expr)
+        solution = _SOLVER.solve(model)
+        if solution.status is LPStatus.INFEASIBLE:
+            return True
+        if solution.status is LPStatus.UNBOUNDED:
+            return False
+        return solution.objective_value >= 0
+
+    def _entails_for_pruning(self, ineq: LinIneq) -> bool:
+        """Float-only entailment used by redundancy *pruning*.
+
+        Dropping a constraint always enlarges the polyhedron, so a wrong
+        "entailed" verdict here costs precision, never soundness; an
+        ambiguous verdict defaults to "not entailed" (keep).  This
+        avoids the exact simplex entirely on the hot Fourier-Motzkin
+        pruning path.
+        """
+        if self._bottom:
+            return True
+        canonical = ineq.normalize()
+        if canonical.is_trivial():
+            return True
+        if not self._ineqs:
+            return False
+        if canonical in self._ineqs:
+            return True
+        model = self._feasibility_model()
+        model.minimize(ineq.expr)
+        solution = _FLOAT_SOLVER.solve(model)
+        if solution.status is LPStatus.INFEASIBLE:
+            return True
+        if solution.status is not LPStatus.OPTIMAL:
+            return False
+        value = float(solution.objective_value)
+        return value >= _MARGIN * (1.0 + abs(value))
+
+    def entails_all(self, other: "Polyhedron") -> bool:
+        """Inclusion check ``self ⊆ other``."""
+        if self._bottom:
+            return True
+        if other._bottom:
+            return self.is_empty()
+        return all(self.entails(ineq) for ineq in other._ineqs)
+
+    def var_bounds(self, var: str) -> Interval:
+        """Exact interval bounds of ``var`` over the polyhedron."""
+        if self._bottom:
+            return Interval.point(0)
+        from repro.poly.linexpr import AffineExpr
+
+        expr = AffineExpr.variable(var)
+        lower = self.minimize(expr)
+        negated_upper = self.minimize(-expr)
+        upper = None if negated_upper is None else -negated_upper
+        if lower is not None and upper is not None and lower > upper:
+            return Interval.point(0)  # empty; callers treat as degenerate
+        return Interval(lower, upper)
+
+    def all_bounds(self) -> dict[str, Interval]:
+        """Interval bounds for every mentioned variable."""
+        return {var: self.var_bounds(var) for var in sorted(self.variables)}
+
+    # -- lattice operations --------------------------------------------------
+
+    def meet(self, other: "Polyhedron | Iterable[LinIneq]") -> "Polyhedron":
+        """Conjunction."""
+        if isinstance(other, Polyhedron):
+            if self._bottom or other._bottom:
+                return Polyhedron.bottom()
+            return Polyhedron(self._ineqs + other._ineqs)
+        if self._bottom:
+            return Polyhedron.bottom()
+        return Polyhedron(self._ineqs + tuple(other))
+
+    def join(self, other: "Polyhedron") -> "Polyhedron":
+        """Weak join: keep each side's constraints entailed by the other.
+
+        Sound (the result contains both operands) though weaker than the
+        convex hull.  All mutually entailed constraints are kept, even
+        mutually redundant ones: a constraint such as ``i <= n + 1`` may
+        be redundant w.r.t. a transient ``i <= 1`` now but must survive
+        the widening that later drops the transient one — eager
+        redundancy elimination here is exactly what loses loop bounds.
+        """
+        if self._bottom or self.is_empty():
+            return other
+        if other._bottom or other.is_empty():
+            return self
+        kept = [ineq for ineq in self._ineqs if other.entails(ineq)]
+        present = set(kept)
+        for ineq in other._ineqs:
+            canonical = ineq.normalize()
+            if canonical not in present and self.entails(ineq):
+                present.add(canonical)
+                kept.append(ineq)
+        return Polyhedron(kept)
+
+    def widen(self, newer: "Polyhedron") -> "Polyhedron":
+        """Standard widening: drop constraints not entailed by ``newer``."""
+        if self._bottom:
+            return newer
+        if newer._bottom:
+            return self
+        return Polyhedron(
+            ineq for ineq in self._ineqs if newer.entails(ineq)
+        )
+
+    def reduce(self) -> "Polyhedron":
+        """Remove redundant constraints; detect emptiness.
+
+        Purely a pruning operation (the result is never smaller than
+        the input as a set of points), so the float-only entailment is
+        used throughout.
+        """
+        if self._bottom:
+            return self
+        if self.is_empty():
+            return Polyhedron.bottom()
+        kept: list[LinIneq] = list(self._ineqs)
+        index = 0
+        while index < len(kept):
+            candidate = kept[index]
+            rest = Polyhedron(kept[:index] + kept[index + 1:])
+            if rest._entails_for_pruning(candidate):
+                kept.pop(index)
+            else:
+                index += 1
+        return Polyhedron(kept)
+
+    # -- projection -------------------------------------------------------------
+
+    def project_out(self, variables: Sequence[str],
+                    max_constraints: int = 64) -> "Polyhedron":
+        """Existentially quantify ``variables`` via Fourier-Motzkin.
+
+        After each elimination the constraint set is pruned; if it still
+        exceeds ``max_constraints``, the loosest constraints are dropped
+        (sound: dropping constraints only enlarges the polyhedron).
+        """
+        if self._bottom:
+            return self
+        current = list(self._ineqs)
+        remaining = list(variables)
+        while remaining:
+            # Pick the variable with the fewest pairings to limit growth.
+            def elimination_size(var: str) -> int:
+                pos = sum(1 for i in current if i.expr.coefficient(var) > 0)
+                neg = sum(1 for i in current if i.expr.coefficient(var) < 0)
+                return pos * neg
+
+            remaining.sort(key=elimination_size)
+            var = remaining.pop(0)
+            current = _eliminate(current, var)
+            if len(current) > max_constraints:
+                reduced = Polyhedron(current).reduce()
+                current = list(reduced.ineqs)
+                if len(current) > max_constraints:
+                    current = current[:max_constraints]
+        return Polyhedron(current)
+
+    # -- transfer function ---------------------------------------------------------
+
+    def transfer(self, transition: Transition,
+                 state_variables: Sequence[str]) -> "Polyhedron":
+        """Strongest affine postcondition (over-approximated).
+
+        The pre-state is constrained by the guard; post-state variables
+        are introduced as primed copies related to the pre-state by the
+        updates (equalities for affine updates, interval bounds for
+        non-affine ones, bound inequalities for nondet); pre-state
+        variables are then projected out.  The ``cost`` variable is not
+        tracked (potentials never mention it).
+        """
+        guarded = self.meet(transition.guard)
+        if guarded.is_empty():
+            return Polyhedron.bottom()
+
+        constraints: list[LinIneq] = list(guarded.ineqs)
+        primed: list[str] = []
+        interval_cache: dict[str, Interval] | None = None
+        for var in state_variables:
+            if var == COST_VAR:
+                continue
+            update = transition.update_of(var)
+            post = var + _POST_SUFFIX
+            primed.append(var)
+            if isinstance(update, NondetUpdate):
+                post_poly = Polynomial.variable(post)
+                if update.lower is not None:
+                    constraints.append(LinIneq.geq(post_poly, update.lower))
+                if update.upper is not None:
+                    constraints.append(LinIneq.leq(post_poly, update.upper))
+                continue
+            if update.is_affine():
+                post_poly = Polynomial.variable(post)
+                constraints.extend(LinIneq.equals(post_poly, update))
+                continue
+            # Non-affine polynomial update: fall back to interval bounds.
+            if interval_cache is None:
+                interval_cache = guarded.all_bounds()
+            value_range = polynomial_range(update, interval_cache)
+            post_poly = Polynomial.variable(post)
+            if value_range.lower is not None:
+                constraints.append(
+                    LinIneq.geq(post_poly, Polynomial.constant(value_range.lower))
+                )
+            if value_range.upper is not None:
+                constraints.append(
+                    LinIneq.leq(post_poly, Polynomial.constant(value_range.upper))
+                )
+
+        polyhedron = Polyhedron(constraints)
+        polyhedron = polyhedron.project_out(
+            [var for var in state_variables if var != COST_VAR]
+        )
+        renaming = {var + _POST_SUFFIX: var for var in primed}
+        return Polyhedron(ineq.rename(renaming) for ineq in polyhedron.ineqs)
+
+    # -- dunder plumbing ---------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polyhedron):
+            return NotImplemented
+        if self._bottom or other._bottom:
+            return self._bottom == other._bottom
+        return set(self._ineqs) == set(other._ineqs)
+
+    def __hash__(self) -> int:
+        return hash((self._bottom, frozenset(self._ineqs)))
+
+    def __str__(self) -> str:
+        if self._bottom:
+            return "false"
+        if not self._ineqs:
+            return "true"
+        return " and ".join(str(ineq) for ineq in self._ineqs)
+
+    def __repr__(self) -> str:
+        return f"Polyhedron({str(self)!r})"
+
+
+def _eliminate(ineqs: list[LinIneq], var: str) -> list[LinIneq]:
+    """One Fourier-Motzkin elimination step."""
+    free: list[LinIneq] = []
+    positive: list[LinIneq] = []
+    negative: list[LinIneq] = []
+    for ineq in ineqs:
+        coefficient = ineq.expr.coefficient(var)
+        if coefficient > 0:
+            positive.append(ineq)
+        elif coefficient < 0:
+            negative.append(ineq)
+        else:
+            free.append(ineq)
+    for pos in positive:
+        a_pos = pos.expr.coefficient(var)
+        for neg in negative:
+            a_neg = neg.expr.coefficient(var)
+            combined = pos.expr.scale(-a_neg) + neg.expr.scale(a_pos)
+            free.append(LinIneq(combined).normalize())
+    # Drop syntactic duplicates and trivia.
+    result: list[LinIneq] = []
+    seen: set[LinIneq] = set()
+    for ineq in free:
+        if ineq.is_trivial() or ineq in seen:
+            continue
+        seen.add(ineq)
+        result.append(ineq)
+    return result

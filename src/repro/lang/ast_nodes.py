@@ -1,0 +1,243 @@
+"""AST for the `imp` language.
+
+Arithmetic expressions are represented directly as
+:class:`~repro.poly.polynomial.Polynomial` (the parser folds them);
+boolean conditions keep a small AST so that negation and DNF conversion
+can happen during lowering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TypecheckError
+from repro.poly.polynomial import Polynomial
+from repro.ts.guards import LinIneq
+
+
+# -- boolean conditions -----------------------------------------------------
+
+
+class Condition:
+    """Base class of condition nodes."""
+
+    def negate(self) -> "Condition":
+        """Logical negation (pushed inward lazily via De Morgan)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Comparison(Condition):
+    """``lhs op rhs`` with ``op`` one of < <= > >= == !=."""
+
+    op: str
+    lhs: Polynomial
+    rhs: Polynomial
+
+    _NEGATION = {"<": ">=", "<=": ">", ">": "<=", ">=": "<", "==": "!=", "!=": "=="}
+
+    def negate(self) -> "Comparison":
+        return Comparison(self._NEGATION[self.op], self.lhs, self.rhs)
+
+    def __str__(self) -> str:
+        return f"{self.lhs} {self.op} {self.rhs}"
+
+
+@dataclass(frozen=True)
+class BoolAnd(Condition):
+    """Conjunction."""
+
+    left: Condition
+    right: Condition
+
+    def negate(self) -> Condition:
+        return BoolOr(self.left.negate(), self.right.negate())
+
+    def __str__(self) -> str:
+        return f"({self.left} && {self.right})"
+
+
+@dataclass(frozen=True)
+class BoolOr(Condition):
+    """Disjunction."""
+
+    left: Condition
+    right: Condition
+
+    def negate(self) -> Condition:
+        return BoolAnd(self.left.negate(), self.right.negate())
+
+    def __str__(self) -> str:
+        return f"({self.left} || {self.right})"
+
+
+@dataclass(frozen=True)
+class BoolLit(Condition):
+    """``true`` or ``false``."""
+
+    value: bool
+
+    def negate(self) -> "BoolLit":
+        return BoolLit(not self.value)
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class Star(Condition):
+    """The nondeterministic condition ``*`` (both branches possible)."""
+
+    def negate(self) -> "Star":
+        return Star()
+
+    def __str__(self) -> str:
+        return "*"
+
+
+def condition_to_dnf(cond: Condition) -> list[tuple[LinIneq, ...]]:
+    """Convert a (star-free) condition to a list of conjunctions of
+    affine inequalities — the guards of the parallel transitions.
+
+    ``false`` yields the empty list; ``true`` yields one empty
+    conjunction.  Raises :class:`TypecheckError` on non-affine
+    comparisons or on ``*`` (callers handle ``*`` separately).
+    """
+    if isinstance(cond, Star):
+        raise TypecheckError("'*' cannot be combined with boolean operators")
+    if isinstance(cond, BoolLit):
+        return [()] if cond.value else []
+    if isinstance(cond, Comparison):
+        return _comparison_to_dnf(cond)
+    if isinstance(cond, BoolAnd):
+        result: list[tuple[LinIneq, ...]] = []
+        for left in condition_to_dnf(cond.left):
+            for right in condition_to_dnf(cond.right):
+                result.append(left + right)
+        return result
+    if isinstance(cond, BoolOr):
+        return condition_to_dnf(cond.left) + condition_to_dnf(cond.right)
+    raise TypecheckError(f"unsupported condition {cond!r}")
+
+
+def _comparison_to_dnf(cmp: Comparison) -> list[tuple[LinIneq, ...]]:
+    difference = cmp.lhs - cmp.rhs
+    if not difference.is_affine():
+        raise TypecheckError(
+            f"guard must be affine (paper assumption 2): {cmp} "
+            "(assign the non-affine part to a temporary variable first)"
+        )
+    if cmp.op == "<":
+        return [(LinIneq.less_than(cmp.lhs, cmp.rhs),)]
+    if cmp.op == "<=":
+        return [(LinIneq.leq(cmp.lhs, cmp.rhs),)]
+    if cmp.op == ">":
+        return [(LinIneq.greater_than(cmp.lhs, cmp.rhs),)]
+    if cmp.op == ">=":
+        return [(LinIneq.geq(cmp.lhs, cmp.rhs),)]
+    if cmp.op == "==":
+        return [LinIneq.equals(cmp.lhs, cmp.rhs)]
+    if cmp.op == "!=":
+        return [
+            (LinIneq.less_than(cmp.lhs, cmp.rhs),),
+            (LinIneq.greater_than(cmp.lhs, cmp.rhs),),
+        ]
+    raise TypecheckError(f"unknown comparison operator {cmp.op!r}")
+
+
+# -- statements -------------------------------------------------------------
+
+
+class Statement:
+    """Base class of statement nodes; carries a source line."""
+
+    line: int = 0
+
+
+@dataclass
+class VarDecl(Statement):
+    """``var x;`` (zero-initialized) or ``var x = e;``."""
+
+    name: str
+    init: Polynomial | None
+    line: int = 0
+
+
+@dataclass
+class Assign(Statement):
+    """``x = e;``."""
+
+    name: str
+    expr: Polynomial
+    line: int = 0
+
+
+@dataclass
+class NondetAssign(Statement):
+    """``x = nondet(lo, hi);`` or unbounded ``x = nondet();``."""
+
+    name: str
+    lower: Polynomial | None
+    upper: Polynomial | None
+    line: int = 0
+
+
+@dataclass
+class Assume(Statement):
+    """``assume(cond);`` — blocks executions violating ``cond``."""
+
+    cond: Condition
+    line: int = 0
+
+
+@dataclass
+class Tick(Statement):
+    """``tick(e);`` — increments ``cost`` by ``e`` (may be negative)."""
+
+    expr: Polynomial
+    line: int = 0
+
+
+@dataclass
+class Skip(Statement):
+    """``skip;`` — no effect."""
+
+    line: int = 0
+
+
+@dataclass
+class InvariantHint(Statement):
+    """``invariant(cond);`` — an annotation strengthening the generated
+    invariant at the innermost enclosing loop head (conjunction only)."""
+
+    cond: Condition
+    line: int = 0
+
+
+@dataclass
+class If(Statement):
+    """``if (cond) {...} else {...}`` (else optional)."""
+
+    cond: Condition
+    then_body: list[Statement]
+    else_body: list[Statement]
+    line: int = 0
+
+
+@dataclass
+class While(Statement):
+    """``while (cond) {...}``."""
+
+    cond: Condition
+    body: list[Statement]
+    line: int = 0
+
+
+@dataclass
+class Program:
+    """A single `imp` procedure."""
+
+    name: str
+    params: list[str]
+    body: list[Statement]
+    source: str = field(default="", repr=False)

@@ -1,0 +1,85 @@
+"""Lexer for the `imp` language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LexerError
+
+KEYWORDS = frozenset({
+    "proc", "var", "while", "for", "if", "else", "assume", "tick", "skip",
+    "nondet", "invariant", "true", "false",
+})
+
+# Multi-character operators must be listed before their prefixes.
+OPERATORS = (
+    "**", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "^", "<", ">", "=", "!",
+    "(", ")", "{", "}", ";", ",",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its source position (1-based)."""
+
+    kind: str  # "ident", "int", "keyword", "op", "eof"
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return self.text if self.kind != "eof" else "<eof>"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; comments start with ``#`` or ``//``."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    pos = 0
+    length = len(source)
+
+    while pos < length:
+        char = source[pos]
+        if char == "\n":
+            pos += 1
+            line += 1
+            column = 1
+            continue
+        if char in " \t\r":
+            pos += 1
+            column += 1
+            continue
+        if char == "#" or source.startswith("//", pos):
+            while pos < length and source[pos] != "\n":
+                pos += 1
+            continue
+        if char.isdigit():
+            start = pos
+            while pos < length and source[pos].isdigit():
+                pos += 1
+            text = source[start:pos]
+            tokens.append(Token("int", text, line, column))
+            column += len(text)
+            continue
+        if char.isalpha() or char == "_":
+            start = pos
+            while pos < length and (source[pos].isalnum() or source[pos] == "_"):
+                pos += 1
+            text = source[start:pos]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, column))
+            column += len(text)
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, pos):
+                tokens.append(Token("op", op, line, column))
+                pos += len(op)
+                column += len(op)
+                break
+        else:
+            raise LexerError(f"unexpected character {char!r}", line, column)
+
+    tokens.append(Token("eof", "", line, column))
+    return tokens

@@ -1,0 +1,460 @@
+"""Lowering of `imp` ASTs to transition systems.
+
+The lowering is a forward symbolic walk that keeps a *frontier* of
+partially-built transitions (source location, guard conjunction, pending
+updates).  Straight-line statements compose into the pending updates, so
+the generated systems have one location per control point (loop heads,
+branch joins that cannot be composed), matching the compact systems in
+the paper's Appendix A rather than one location per statement.
+
+Composition rules:
+
+- an assignment ``x = e`` substitutes the pending updates into ``e``;
+- reading a variable with a pending *nondeterministic* update forces the
+  frontier to materialize a location first (the value must be fixed by a
+  transition before it can be observed);
+- conditions are conjoined into guards after substituting pending
+  updates; if that would make a guard non-affine, the frontier likewise
+  materializes first;
+- leading ``assume`` statements become Θ0 (the set of initial
+  valuations), exactly like the ``assume`` in the paper's Fig. 1;
+- declared variables are zero-initialized, recorded as Θ0 equalities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LoweringError, PolynomialError, TypecheckError
+from repro.lang.ast_nodes import (
+    Assign,
+    Assume,
+    BoolLit,
+    Condition,
+    If,
+    InvariantHint,
+    NondetAssign,
+    Program,
+    Skip,
+    Star,
+    Statement,
+    Tick,
+    VarDecl,
+    While,
+    condition_to_dnf,
+)
+from repro.poly.polynomial import Polynomial
+from repro.ts.guards import LinIneq
+from repro.ts.system import (
+    COST_VAR,
+    Location,
+    NondetUpdate,
+    Transition,
+    TransitionSystem,
+    UpdateExpr,
+)
+from repro.ts.validate import validate_system
+
+
+@dataclass
+class LoweredProgram:
+    """The result of lowering: the system plus frontend metadata."""
+
+    program: Program
+    system: TransitionSystem
+    invariant_hints: dict[str, tuple[LinIneq, ...]] = field(default_factory=dict)
+
+    @property
+    def params(self) -> list[str]:
+        """The procedure parameters (the analysis inputs)."""
+        return list(self.program.params)
+
+
+@dataclass
+class _Edge:
+    """A partially-built transition out of ``source``."""
+
+    source: Location
+    guard: tuple[LinIneq, ...]
+    updates: dict[str, UpdateExpr]
+
+    def polynomial_updates(self) -> dict[str, Polynomial]:
+        """The pending updates that are polynomials (for substitution)."""
+        return {
+            var: up for var, up in self.updates.items()
+            if isinstance(up, Polynomial)
+        }
+
+    def nondet_vars(self) -> set[str]:
+        """Variables with a pending nondeterministic update."""
+        return {
+            var for var, up in self.updates.items()
+            if isinstance(up, NondetUpdate)
+        }
+
+
+class _Lowerer:
+    def __init__(self, program: Program, name: str | None):
+        self.program = program
+        self.name = name or program.name
+        self.locations: list[Location] = []
+        self.transitions: list[Transition] = []
+        self.init_constraint: list[LinIneq] = []
+        self.invariant_hints: dict[str, tuple[LinIneq, ...]] = {}
+        self.variables: list[str] = list(program.params)
+        self._counter = 0
+        self._transition_counter = 0
+
+    # -- location / transition helpers ------------------------------------
+
+    def _fresh_location(self) -> Location:
+        location = Location(f"l{self._counter}")
+        self._counter += 1
+        self.locations.append(location)
+        return location
+
+    def _terminal(self) -> Location:
+        location = Location("l_out")
+        self.locations.append(location)
+        return location
+
+    def _emit(self, edge: _Edge, target: Location) -> None:
+        name = f"t{self._transition_counter}"
+        self._transition_counter += 1
+        self.transitions.append(
+            Transition(edge.source, target, edge.guard, dict(edge.updates), name)
+        )
+
+    def _materialize(self, frontier: list[_Edge]) -> list[_Edge]:
+        """Flush all pending edges into a fresh location."""
+        if not frontier:
+            return []
+        if (len(frontier) == 1 and not frontier[0].guard
+                and not frontier[0].updates):
+            return frontier
+        target = self._fresh_location()
+        for edge in frontier:
+            self._emit(edge, target)
+        return [_Edge(target, (), {})]
+
+    # -- statement composition -----------------------------------------------
+
+    def _substitute(self, edge: _Edge, expr: Polynomial,
+                    line: int) -> Polynomial | None:
+        """Read ``expr`` through the pending updates; ``None`` signals
+        that materialization is required (a nondet variable is read)."""
+        if expr.variables & edge.nondet_vars():
+            return None
+        return expr.substitute(edge.polynomial_updates())
+
+    def _compose_into_frontier(self, frontier: list[_Edge], statement: Statement,
+                               apply) -> list[_Edge]:
+        """Apply a per-edge composition, materializing on demand."""
+        result: list[_Edge] = []
+        materialized: list[_Edge] | None = None
+        for edge in frontier:
+            new_edge = apply(edge)
+            if new_edge is None:
+                # This edge cannot absorb the statement: flush everything
+                # and retry on the merged location (simplest sound rule).
+                materialized = self._materialize(frontier)
+                break
+            result.append(new_edge)
+        if materialized is not None:
+            return [
+                composed
+                for edge in materialized
+                for composed in [apply(edge)]
+                if composed is not None
+            ] or self._fail(statement)
+        return result
+
+    def _fail(self, statement: Statement):
+        raise LoweringError(
+            f"cannot lower statement {statement!r}", statement.line
+        )
+
+    # -- statements ----------------------------------------------------------
+
+    def lower_block(self, statements: list[Statement],
+                    frontier: list[_Edge]) -> list[_Edge]:
+        for statement in statements:
+            frontier = self.lower_statement(statement, frontier)
+        return frontier
+
+    def lower_statement(self, statement: Statement,
+                        frontier: list[_Edge]) -> list[_Edge]:
+        if not frontier:
+            return []  # unreachable code
+        if isinstance(statement, Skip):
+            return frontier
+        if isinstance(statement, VarDecl):
+            init = statement.init
+            if init is None:
+                init = Polynomial.constant(0)
+            return self._lower_assign(statement.name, init, statement, frontier)
+        if isinstance(statement, Assign):
+            return self._lower_assign(statement.name, statement.expr,
+                                      statement, frontier)
+        if isinstance(statement, NondetAssign):
+            return self._lower_nondet_assign(statement, frontier)
+        if isinstance(statement, Tick):
+            return self._lower_tick(statement, frontier)
+        if isinstance(statement, Assume):
+            return self._conjoin_condition(frontier, statement.cond,
+                                           statement.line)
+        if isinstance(statement, InvariantHint):
+            # Hints are consumed by the enclosing While; a hint reaching
+            # here was validated to be loop-leading, so this is a bug.
+            raise LoweringError("orphan invariant(...)", statement.line)
+        if isinstance(statement, If):
+            return self._lower_if(statement, frontier)
+        if isinstance(statement, While):
+            return self._lower_while(statement, frontier)
+        raise LoweringError(f"unknown statement {statement!r}", statement.line)
+
+    def _lower_assign(self, name: str, expr: Polynomial, statement: Statement,
+                      frontier: list[_Edge]) -> list[_Edge]:
+        def apply(edge: _Edge) -> _Edge | None:
+            substituted = self._substitute(edge, expr, statement.line)
+            if substituted is None:
+                return None
+            updates = dict(edge.updates)
+            updates[name] = substituted
+            return _Edge(edge.source, edge.guard, updates)
+
+        return self._compose_into_frontier(frontier, statement, apply)
+
+    def _lower_nondet_assign(self, statement: NondetAssign,
+                             frontier: list[_Edge]) -> list[_Edge]:
+        def apply(edge: _Edge) -> _Edge | None:
+            bounds: list[Polynomial | None] = []
+            for bound in (statement.lower, statement.upper):
+                if bound is None:
+                    bounds.append(None)
+                    continue
+                substituted = self._substitute(edge, bound, statement.line)
+                if substituted is None or not substituted.is_affine():
+                    return None
+                bounds.append(substituted)
+            updates = dict(edge.updates)
+            updates[statement.name] = NondetUpdate(bounds[0], bounds[1])
+            return _Edge(edge.source, edge.guard, updates)
+
+        return self._compose_into_frontier(frontier, statement, apply)
+
+    def _lower_tick(self, statement: Tick,
+                    frontier: list[_Edge]) -> list[_Edge]:
+        cost = Polynomial.variable(COST_VAR)
+
+        def apply(edge: _Edge) -> _Edge | None:
+            substituted = self._substitute(edge, statement.expr, statement.line)
+            if substituted is None:
+                return None
+            updates = dict(edge.updates)
+            current = updates.get(COST_VAR, cost)
+            assert isinstance(current, Polynomial)
+            updates[COST_VAR] = current + substituted
+            return _Edge(edge.source, edge.guard, updates)
+
+        return self._compose_into_frontier(frontier, statement, apply)
+
+    def _conjoin_condition(self, frontier: list[_Edge], cond: Condition,
+                           line: int) -> list[_Edge]:
+        """Constrain the frontier to states satisfying ``cond``."""
+        if isinstance(cond, Star):
+            return frontier
+        try:
+            dnf = condition_to_dnf(cond)
+        except TypecheckError as error:
+            raise LoweringError(str(error), line) from error
+        result: list[_Edge] = []
+        for edge in frontier:
+            conjoined = self._conjoin_edge(edge, dnf)
+            if conjoined is None:
+                # Substitution failed somewhere: materialize everything
+                # and conjoin on the fresh location (no pending updates,
+                # so conjoining cannot fail again).
+                merged = self._materialize(frontier)
+                return [
+                    _Edge(e.source, e.guard + disjunct, dict(e.updates))
+                    for e in merged
+                    for disjunct in dnf
+                ]
+            result.extend(conjoined)
+        return result
+
+    def _conjoin_edge(self, edge: _Edge,
+                      dnf: list[tuple[LinIneq, ...]]) -> list[_Edge] | None:
+        nondet_vars = edge.nondet_vars()
+        poly_updates = edge.polynomial_updates()
+        edges: list[_Edge] = []
+        for disjunct in dnf:
+            guards: list[LinIneq] = list(edge.guard)
+            for ineq in disjunct:
+                if ineq.variables & nondet_vars:
+                    return None
+                try:
+                    guards.append(ineq.substitute(poly_updates))
+                except PolynomialError:
+                    return None
+            edges.append(_Edge(edge.source, tuple(guards), dict(edge.updates)))
+        return edges
+
+    def _lower_if(self, statement: If, frontier: list[_Edge]) -> list[_Edge]:
+        if isinstance(statement.cond, Star):
+            then_frontier = [
+                _Edge(e.source, e.guard, dict(e.updates)) for e in frontier
+            ]
+            else_frontier = [
+                _Edge(e.source, e.guard, dict(e.updates)) for e in frontier
+            ]
+        else:
+            # Both branch guards must be attached to the *same* source
+            # states: if either needs materialization (the condition
+            # reads a pending nondet update or substitution turns
+            # non-affine), materialize once and share the location, so
+            # the branch point stays a single location with exclusive
+            # guards rather than two pre-split copies.
+            try:
+                dnf_then = condition_to_dnf(statement.cond)
+                dnf_else = condition_to_dnf(statement.cond.negate())
+            except TypecheckError as error:
+                raise LoweringError(str(error), statement.line) from error
+            needs_materialization = any(
+                self._conjoin_edge(edge, dnf_then) is None
+                or self._conjoin_edge(edge, dnf_else) is None
+                for edge in frontier
+            )
+            if needs_materialization:
+                frontier = self._materialize(frontier)
+            then_frontier = self._conjoin_condition(
+                frontier, statement.cond, statement.line
+            )
+            else_frontier = self._conjoin_condition(
+                frontier, statement.cond.negate(), statement.line
+            )
+        then_exit = self.lower_block(statement.then_body, then_frontier)
+        else_exit = self.lower_block(statement.else_body, else_frontier)
+        return then_exit + else_exit
+
+    def _lower_while(self, statement: While,
+                     frontier: list[_Edge]) -> list[_Edge]:
+        # Loop heads always materialize: the head is the target of the
+        # back edges and carries the invariant annotations.
+        merged = self._materialize(frontier)
+        if not merged:
+            return []
+        if merged[0].source in {t.source for t in self.transitions} or \
+                merged[0].guard or merged[0].updates:
+            # The merged edge reuses an existing location that already
+            # has outgoing transitions; give the loop head its own
+            # location to keep back edges unambiguous.
+            head = self._fresh_location()
+            for edge in merged:
+                self._emit(edge, head)
+        else:
+            head = merged[0].source
+
+        body_statements = list(statement.body)
+        hints: list[LinIneq] = []
+        while body_statements and isinstance(body_statements[0], InvariantHint):
+            hint = body_statements.pop(0)
+            try:
+                dnf = condition_to_dnf(hint.cond)
+            except TypecheckError as error:
+                raise LoweringError(str(error), hint.line) from error
+            if len(dnf) != 1:
+                raise LoweringError(
+                    "invariant(...) must be a conjunction", hint.line
+                )
+            hints.extend(dnf[0])
+        if hints:
+            existing = self.invariant_hints.get(head.name, ())
+            self.invariant_hints[head.name] = existing + tuple(hints)
+
+        if isinstance(statement.cond, Star):
+            enter_frontier = [_Edge(head, (), {})]
+            exit_frontier = [_Edge(head, (), {})]
+        else:
+            head_edge = [_Edge(head, (), {})]
+            enter_frontier = self._conjoin_condition(
+                head_edge, statement.cond, statement.line
+            )
+            exit_frontier = self._conjoin_condition(
+                [_Edge(head, (), {})], statement.cond.negate(), statement.line
+            )
+
+        body_exit = self.lower_block(body_statements, enter_frontier)
+        for edge in body_exit:
+            self._emit(edge, head)
+        return exit_frontier
+
+    # -- program -----------------------------------------------------------------
+
+    def lower(self) -> LoweredProgram:
+        entry = self._fresh_location()
+        frontier = [_Edge(entry, (), {})]
+
+        # Leading assumes define Θ0 when they are pure conjunctions.
+        body = list(self.program.body)
+        while body and isinstance(body[0], (Assume, Skip)):
+            statement = body.pop(0)
+            if isinstance(statement, Skip):
+                continue
+            try:
+                dnf = condition_to_dnf(statement.cond)
+            except TypecheckError as error:
+                raise LoweringError(str(error), statement.line) from error
+            if len(dnf) != 1:
+                # A disjunctive assume cannot be part of Θ0 (which the
+                # paper requires to be a conjunction): keep it as guards.
+                frontier = self._conjoin_condition(
+                    frontier, statement.cond, statement.line
+                )
+                break
+            self.init_constraint.extend(dnf[0])
+
+        # Collect declared variables (they are zero-initialized, which
+        # Θ0 records so the analysis knows their initial values).
+        declared = _declared_variables(self.program.body)
+        for var in declared:
+            self.variables.append(var)
+            zero = Polynomial.variable(var)
+            self.init_constraint.append(LinIneq.geq(zero, 0))
+            self.init_constraint.append(LinIneq.leq(zero, 0))
+
+        frontier = self.lower_block(body, frontier)
+        terminal = self._terminal()
+        for edge in frontier:
+            self._emit(edge, terminal)
+
+        system = TransitionSystem(
+            name=self.name,
+            variables=self.variables + [COST_VAR],
+            locations=self.locations,
+            transitions=self.transitions,
+            initial_location=entry,
+            terminal_location=terminal,
+            init_constraint=self.init_constraint,
+        )
+        validate_system(system)
+        return LoweredProgram(self.program, system, self.invariant_hints)
+
+
+def _declared_variables(statements: list[Statement]) -> list[str]:
+    declared: list[str] = []
+    for statement in statements:
+        if isinstance(statement, VarDecl):
+            declared.append(statement.name)
+        elif isinstance(statement, If):
+            declared.extend(_declared_variables(statement.then_body))
+            declared.extend(_declared_variables(statement.else_body))
+        elif isinstance(statement, While):
+            declared.extend(_declared_variables(statement.body))
+    return declared
+
+
+def lower_program(program: Program, name: str | None = None) -> LoweredProgram:
+    """Lower a checked `imp` AST to a transition system."""
+    return _Lowerer(program, name).lower()

@@ -1,0 +1,342 @@
+"""Recursive-descent parser for the `imp` language.
+
+Grammar (statements end with ``;``, blocks use braces)::
+
+    program  := 'proc' ident '(' params? ')' block
+    block    := '{' statement* '}'
+    statement:= 'var' ident ('=' expr)? ';'
+              | ident '=' 'nondet' '(' (expr ',' expr)? ')' ';'
+              | ident '=' expr ';'
+              | 'assume' '(' cond ')' ';'
+              | 'invariant' '(' cond ')' ';'
+              | 'tick' '(' expr ')' ';'
+              | 'skip' ';'
+              | 'if' '(' cond ')' block ('else' block)?
+              | 'while' '(' cond ')' block
+              | 'for' '(' ident '=' expr ';' cond ';' ident '=' expr ')' block
+    cond     := disjunctions/conjunctions/negations of comparisons,
+                'true', 'false', or the nondeterministic '*'
+    expr     := polynomial integer arithmetic with + - * ^/**
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lang.ast_nodes import (
+    Assign,
+    Assume,
+    BoolAnd,
+    BoolLit,
+    BoolOr,
+    Comparison,
+    Condition,
+    If,
+    InvariantHint,
+    NondetAssign,
+    Program,
+    Skip,
+    Star,
+    Statement,
+    Tick,
+    VarDecl,
+    While,
+)
+from repro.lang.lexer import Token, tokenize
+from repro.poly.polynomial import Polynomial
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], source: str):
+        self._tokens = tokens
+        self._pos = 0
+        self._source = source
+
+    # -- token helpers -----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _next(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _error(self, message: str, token: Token | None = None) -> ParseError:
+        token = token or self._peek()
+        return ParseError(message, token.line, token.column)
+
+    def _expect(self, text: str) -> Token:
+        token = self._next()
+        if token.text != text:
+            raise self._error(f"expected {text!r} but found {str(token)!r}", token)
+        return token
+
+    def _expect_ident(self) -> Token:
+        token = self._next()
+        if token.kind != "ident":
+            raise self._error(f"expected identifier, found {str(token)!r}", token)
+        return token
+
+    def _accept(self, text: str) -> bool:
+        if self._peek().text == text and self._peek().kind != "eof":
+            self._pos += 1
+            return True
+        return False
+
+    # -- program -----------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        self._expect("proc")
+        name = self._expect_ident().text
+        self._expect("(")
+        params: list[str] = []
+        if self._peek().text != ")":
+            params.append(self._expect_ident().text)
+            while self._accept(","):
+                params.append(self._expect_ident().text)
+        self._expect(")")
+        body = self._parse_block()
+        if self._peek().kind != "eof":
+            raise self._error("trailing input after procedure body")
+        return Program(name, params, body, source=self._source)
+
+    def _parse_block(self) -> list[Statement]:
+        self._expect("{")
+        statements: list[Statement] = []
+        while self._peek().text != "}":
+            if self._peek().kind == "eof":
+                raise self._error("unterminated block (missing '}')")
+            parsed = self._parse_statement()
+            if isinstance(parsed, list):  # desugared 'for'
+                statements.extend(parsed)
+            else:
+                statements.append(parsed)
+        self._expect("}")
+        return statements
+
+    # -- statements -----------------------------------------------------------
+
+    def _parse_statement(self) -> "Statement | list[Statement]":
+        token = self._peek()
+        if token.text == "var":
+            return self._parse_var_decl()
+        if token.text == "assume":
+            return self._parse_call_cond(Assume)
+        if token.text == "invariant":
+            return self._parse_call_cond(InvariantHint)
+        if token.text == "tick":
+            return self._parse_tick()
+        if token.text == "skip":
+            self._next()
+            self._expect(";")
+            return Skip(line=token.line)
+        if token.text == "if":
+            return self._parse_if()
+        if token.text == "while":
+            return self._parse_while()
+        if token.text == "for":
+            return self._parse_for()
+        if token.kind == "ident":
+            return self._parse_assignment()
+        raise self._error(f"unexpected token {str(token)!r} at statement start", token)
+
+    def _parse_var_decl(self) -> VarDecl:
+        token = self._expect("var")
+        name = self._expect_ident().text
+        init: Polynomial | None = None
+        if self._accept("="):
+            init = self._parse_expr()
+        self._expect(";")
+        return VarDecl(name, init, line=token.line)
+
+    def _parse_call_cond(self, node_type) -> Statement:
+        token = self._next()  # 'assume' or 'invariant'
+        self._expect("(")
+        cond = self._parse_condition()
+        self._expect(")")
+        self._expect(";")
+        return node_type(cond, line=token.line)
+
+    def _parse_tick(self) -> Tick:
+        token = self._expect("tick")
+        self._expect("(")
+        expr = self._parse_expr()
+        self._expect(")")
+        self._expect(";")
+        return Tick(expr, line=token.line)
+
+    def _parse_if(self) -> If:
+        token = self._expect("if")
+        self._expect("(")
+        cond = self._parse_condition()
+        self._expect(")")
+        then_body = self._parse_block()
+        else_body: list[Statement] = []
+        if self._accept("else"):
+            if self._peek().text == "if":
+                else_body = [self._parse_if()]
+            else:
+                else_body = self._parse_block()
+        return If(cond, then_body, else_body, line=token.line)
+
+    def _parse_while(self) -> While:
+        token = self._expect("while")
+        self._expect("(")
+        cond = self._parse_condition()
+        self._expect(")")
+        body = self._parse_block()
+        return While(cond, body, line=token.line)
+
+    def _parse_for(self) -> Statement:
+        """``for (x = e; cond; x = e') { body }`` — sugar for an
+        assignment followed by a while loop with the step appended.
+        The init and step clauses must be plain assignments (possibly to
+        an undeclared name in init, which then acts as ``var x = e``)."""
+        token = self._expect("for")
+        self._expect("(")
+        init_name = self._expect_ident().text
+        self._expect("=")
+        init_expr = self._parse_expr()
+        self._expect(";")
+        cond = self._parse_condition()
+        self._expect(";")
+        step_name = self._expect_ident().text
+        self._expect("=")
+        step_expr = self._parse_expr()
+        self._expect(")")
+        body = self._parse_block()
+        body.append(Assign(step_name, step_expr, line=token.line))
+        loop = While(cond, body, line=token.line)
+        # Desugar to [var x = e; while (cond) { body; step }].  The init
+        # clause *declares* the loop variable, so the name must be fresh
+        # (the typechecker rejects redeclarations).
+        init = VarDecl(init_name, init_expr, line=token.line)
+        return [init, loop]
+
+    def _parse_assignment(self) -> Statement:
+        name_token = self._expect_ident()
+        self._expect("=")
+        if self._peek().text == "nondet":
+            self._next()
+            self._expect("(")
+            lower = upper = None
+            if self._peek().text != ")":
+                lower = self._parse_expr()
+                self._expect(",")
+                upper = self._parse_expr()
+            self._expect(")")
+            self._expect(";")
+            return NondetAssign(name_token.text, lower, upper,
+                                line=name_token.line)
+        expr = self._parse_expr()
+        self._expect(";")
+        return Assign(name_token.text, expr, line=name_token.line)
+
+    # -- conditions --------------------------------------------------------------
+
+    def _parse_condition(self) -> Condition:
+        return self._parse_or()
+
+    def _parse_or(self) -> Condition:
+        left = self._parse_and()
+        while self._accept("||"):
+            left = BoolOr(left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Condition:
+        left = self._parse_not()
+        while self._accept("&&"):
+            left = BoolAnd(left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Condition:
+        if self._accept("!"):
+            return self._parse_not().negate()
+        return self._parse_cond_atom()
+
+    def _parse_cond_atom(self) -> Condition:
+        token = self._peek()
+        if token.text == "*":
+            self._next()
+            return Star()
+        if token.text == "true":
+            self._next()
+            return BoolLit(True)
+        if token.text == "false":
+            self._next()
+            return BoolLit(False)
+        if token.text == "(":
+            # Ambiguity: '(' may open a boolean group or an arithmetic
+            # parenthesis.  Try boolean first with backtracking.
+            saved = self._pos
+            self._next()
+            try:
+                inner = self._parse_condition()
+                self._expect(")")
+                return inner
+            except ParseError:
+                self._pos = saved
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Comparison:
+        lhs = self._parse_expr()
+        token = self._next()
+        if token.text not in ("<", "<=", ">", ">=", "==", "!="):
+            raise self._error(
+                f"expected comparison operator, found {str(token)!r}", token
+            )
+        rhs = self._parse_expr()
+        return Comparison(token.text, lhs, rhs)
+
+    # -- arithmetic expressions ------------------------------------------------
+
+    def _parse_expr(self) -> Polynomial:
+        result = self._parse_term()
+        while self._peek().text in ("+", "-"):
+            op = self._next().text
+            rhs = self._parse_term()
+            result = result + rhs if op == "+" else result - rhs
+        return result
+
+    def _parse_term(self) -> Polynomial:
+        result = self._parse_factor()
+        while self._peek().text == "*":
+            # Don't confuse multiplication with a '*' condition: a '*'
+            # followed by something that cannot start a factor is not
+            # multiplication; inside expressions it always is.
+            self._next()
+            result = result * self._parse_factor()
+        return result
+
+    def _parse_factor(self) -> Polynomial:
+        base = self._parse_primary()
+        if self._peek().text in ("^", "**"):
+            self._next()
+            token = self._next()
+            if token.kind != "int":
+                raise self._error("exponent must be an integer literal", token)
+            base = base ** int(token.text)
+        return base
+
+    def _parse_primary(self) -> Polynomial:
+        token = self._next()
+        if token.text == "(":
+            inner = self._parse_expr()
+            self._expect(")")
+            return inner
+        if token.text == "-":
+            return -self._parse_factor()
+        if token.text == "+":
+            return self._parse_factor()
+        if token.kind == "int":
+            return Polynomial.constant(int(token.text))
+        if token.kind == "ident":
+            return Polynomial.variable(token.text)
+        raise self._error(f"unexpected token {str(token)!r} in expression", token)
+
+
+def parse_program(source: str) -> Program:
+    """Parse `imp` source text into a :class:`Program` AST."""
+    return _Parser(tokenize(source), source).parse_program()

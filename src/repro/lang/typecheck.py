@@ -1,0 +1,164 @@
+"""Semantic checks for `imp` programs.
+
+Checks performed before lowering:
+
+- every referenced variable is a parameter or previously declared;
+- no variable is declared twice and no parameter is shadowed;
+- the reserved name ``cost`` is never declared, assigned or read
+  (``tick`` is the only way to incur cost);
+- nondet bounds are affine;
+- ``invariant(...)`` annotations appear only at the start of a loop body
+  and are plain conjunctions of comparisons.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TypecheckError
+from repro.lang.ast_nodes import (
+    Assign,
+    Assume,
+    BoolAnd,
+    BoolLit,
+    BoolOr,
+    Comparison,
+    Condition,
+    If,
+    InvariantHint,
+    NondetAssign,
+    Program,
+    Skip,
+    Star,
+    Statement,
+    Tick,
+    VarDecl,
+    While,
+)
+from repro.poly.polynomial import Polynomial
+from repro.ts.system import COST_VAR
+
+
+def check_program(program: Program) -> None:
+    """Raise :class:`TypecheckError` on the first violated rule."""
+    scope: set[str] = set()
+    for param in program.params:
+        if param == COST_VAR:
+            raise TypecheckError(f"parameter may not be named {COST_VAR!r}")
+        if param in scope:
+            raise TypecheckError(f"duplicate parameter {param!r}")
+        scope.add(param)
+    _check_block(program.body, scope, in_loop_prefix=False)
+
+
+def _check_block(statements: list[Statement], scope: set[str],
+                 in_loop_prefix: bool) -> None:
+    prefix = in_loop_prefix
+    for statement in statements:
+        if not isinstance(statement, InvariantHint):
+            prefix = False
+        _check_statement(statement, scope, prefix)
+
+
+def _check_statement(statement: Statement, scope: set[str],
+                     in_loop_prefix: bool) -> None:
+    line = statement.line
+    if isinstance(statement, VarDecl):
+        if statement.name == COST_VAR:
+            raise TypecheckError(
+                f"{COST_VAR!r} is reserved; use tick(e)", line
+            )
+        if statement.name in scope:
+            raise TypecheckError(
+                f"variable {statement.name!r} already declared", line
+            )
+        if statement.init is not None:
+            _check_expr(statement.init, scope, line)
+        scope.add(statement.name)
+    elif isinstance(statement, Assign):
+        _check_lvalue(statement.name, scope, line)
+        _check_expr(statement.expr, scope, line)
+    elif isinstance(statement, NondetAssign):
+        _check_lvalue(statement.name, scope, line)
+        for bound in (statement.lower, statement.upper):
+            if bound is not None:
+                _check_expr(bound, scope, line)
+                if not bound.is_affine():
+                    raise TypecheckError(
+                        f"nondet bound must be affine: {bound}", line
+                    )
+    elif isinstance(statement, Assume):
+        _check_condition(statement.cond, scope, line, allow_star=False)
+    elif isinstance(statement, InvariantHint):
+        if not in_loop_prefix:
+            raise TypecheckError(
+                "invariant(...) must appear at the start of a loop body", line
+            )
+        _check_condition(statement.cond, scope, line, allow_star=False)
+        if _mentions_or(statement.cond):
+            raise TypecheckError(
+                "invariant(...) must be a conjunction of comparisons", line
+            )
+    elif isinstance(statement, Tick):
+        _check_expr(statement.expr, scope, line)
+    elif isinstance(statement, Skip):
+        pass
+    elif isinstance(statement, If):
+        _check_condition(statement.cond, scope, line, allow_star=True)
+        # Branch-local declarations stay visible afterwards (variables
+        # are zero-initialized at entry), matching the flat variable
+        # space of transition systems.
+        _check_block(statement.then_body, scope, in_loop_prefix=False)
+        _check_block(statement.else_body, scope, in_loop_prefix=False)
+    elif isinstance(statement, While):
+        _check_condition(statement.cond, scope, line, allow_star=True)
+        _check_block(statement.body, scope, in_loop_prefix=True)
+    else:
+        raise TypecheckError(f"unknown statement {statement!r}", line)
+
+
+def _check_lvalue(name: str, scope: set[str], line: int) -> None:
+    if name == COST_VAR:
+        raise TypecheckError(f"{COST_VAR!r} is reserved; use tick(e)", line)
+    if name not in scope:
+        raise TypecheckError(f"assignment to undeclared variable {name!r}", line)
+
+
+def _check_expr(expr: Polynomial, scope: set[str], line: int) -> None:
+    if COST_VAR in expr.variables:
+        raise TypecheckError(f"{COST_VAR!r} may not be read", line)
+    unknown = expr.variables - scope
+    if unknown:
+        raise TypecheckError(f"undeclared variables {sorted(unknown)}", line)
+
+
+def _check_condition(cond: Condition, scope: set[str], line: int,
+                     allow_star: bool) -> None:
+    if isinstance(cond, Star):
+        if not allow_star:
+            raise TypecheckError("'*' is only allowed in if/while conditions", line)
+        return
+    if isinstance(cond, BoolLit):
+        return
+    if isinstance(cond, Comparison):
+        _check_expr(cond.lhs, scope, line)
+        _check_expr(cond.rhs, scope, line)
+        if not (cond.lhs - cond.rhs).is_affine():
+            raise TypecheckError(
+                f"condition must be affine: {cond} "
+                "(assign the non-affine part to a temporary first)",
+                line,
+            )
+        return
+    if isinstance(cond, (BoolAnd, BoolOr)):
+        # '*' may not be combined with boolean operators.
+        _check_condition(cond.left, scope, line, allow_star=False)
+        _check_condition(cond.right, scope, line, allow_star=False)
+        return
+    raise TypecheckError(f"unknown condition {cond!r}", line)
+
+
+def _mentions_or(cond: Condition) -> bool:
+    if isinstance(cond, BoolOr):
+        return True
+    if isinstance(cond, BoolAnd):
+        return _mentions_or(cond.left) or _mentions_or(cond.right)
+    return False

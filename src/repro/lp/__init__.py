@@ -1,0 +1,30 @@
+"""Linear-programming layer.
+
+The synthesis algorithm reduces to a single LP instance (paper Step 4).
+This package provides a solver-independent :class:`LPModel` plus two
+interchangeable backends:
+
+- :class:`ScipyBackend` — floating-point, ``scipy.optimize.linprog`` with
+  the HiGHS method (the stand-in for the paper's Gurobi);
+- :class:`ExactSimplexBackend` — a pure-Python two-phase simplex over
+  exact rationals (Bland's rule), used for certificate-exact results on
+  small instances and as an independent cross-check of the float backend.
+"""
+
+from repro.lp.model import Constraint, LPModel, Objective
+from repro.lp.solution import LPSolution, LPStatus
+from repro.lp.scipy_backend import ScipyBackend
+from repro.lp.simplex import ExactSimplexBackend
+from repro.lp.backend import LPBackend, get_backend
+
+__all__ = [
+    "Constraint",
+    "LPModel",
+    "Objective",
+    "LPSolution",
+    "LPStatus",
+    "LPBackend",
+    "ScipyBackend",
+    "ExactSimplexBackend",
+    "get_backend",
+]

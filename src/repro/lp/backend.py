@@ -1,0 +1,36 @@
+"""Backend protocol and registry for LP solvers."""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.errors import LPError
+from repro.lp.model import LPModel
+from repro.lp.solution import LPSolution
+
+
+class LPBackend(Protocol):
+    """Anything that can solve an :class:`LPModel`."""
+
+    name: str
+
+    def solve(self, model: LPModel) -> LPSolution:
+        """Solve ``model`` and report status, values and objective."""
+        ...
+
+
+def get_backend(name: str) -> LPBackend:
+    """Look up a backend by name (``"scipy"`` or ``"exact"``)."""
+    # Imports are local to avoid import cycles at package-load time.
+    from repro.lp.scipy_backend import ScipyBackend
+    from repro.lp.simplex import ExactSimplexBackend
+
+    backends: dict[str, type] = {
+        "scipy": ScipyBackend,
+        "exact": ExactSimplexBackend,
+    }
+    if name not in backends:
+        raise LPError(
+            f"unknown LP backend {name!r}; available: {sorted(backends)}"
+        )
+    return backends[name]()

@@ -1,0 +1,195 @@
+"""A solver-independent linear-program model.
+
+Constraints are affine expressions over named variables compared with 0
+(``expr == 0`` or ``expr >= 0``); bounds live on the variables.  The model
+preserves insertion order everywhere so that generated instances are
+deterministic and backends produce reproducible pivots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.errors import LPError
+from repro.poly.linexpr import AffineExpr
+from repro.utils.rationals import Numeric, as_fraction
+
+EQ = "=="
+GE = ">="
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A linear constraint ``expr sense 0``."""
+
+    expr: AffineExpr
+    sense: str
+    name: str = ""
+
+    def __post_init__(self):
+        if self.sense not in (EQ, GE):
+            raise LPError(f"unknown constraint sense {self.sense!r}")
+
+    def __str__(self) -> str:
+        label = f"[{self.name}] " if self.name else ""
+        return f"{label}{self.expr} {self.sense} 0"
+
+
+@dataclass(frozen=True)
+class Objective:
+    """A linear objective; only minimization is exposed (maximize by
+    negating)."""
+
+    expr: AffineExpr
+
+    def __str__(self) -> str:
+        return f"minimize {self.expr}"
+
+
+@dataclass
+class VariableInfo:
+    """Bounds for a single LP variable; ``None`` means unbounded."""
+
+    lower: Fraction | None
+    upper: Fraction | None
+
+
+class LPModel:
+    """A linear program: variables with bounds, constraints, objective.
+
+    Variables are referenced by name.  They may be declared explicitly
+    with :meth:`add_variable` (to set bounds) or implicitly by appearing
+    in a constraint, in which case they are free.
+    """
+
+    def __init__(self):
+        self._variables: dict[str, VariableInfo] = {}
+        self._constraints: list[Constraint] = []
+        self._objective: Objective | None = None
+
+    # -- variables --------------------------------------------------------
+
+    def add_variable(self, name: str, lower: Numeric | None = None,
+                     upper: Numeric | None = None) -> str:
+        """Declare ``name`` with optional bounds; returns the name.
+
+        Re-declaring an existing variable tightens its bounds (the
+        intersection is kept).
+        """
+        low = None if lower is None else as_fraction(lower)
+        up = None if upper is None else as_fraction(upper)
+        info = self._variables.get(name)
+        if info is None:
+            self._variables[name] = VariableInfo(low, up)
+        else:
+            if low is not None:
+                info.lower = low if info.lower is None else max(info.lower, low)
+            if up is not None:
+                info.upper = up if info.upper is None else min(info.upper, up)
+        return name
+
+    def _register_expr_variables(self, expr: AffineExpr) -> None:
+        for name, _ in expr.coefficients():
+            if name not in self._variables:
+                self._variables[name] = VariableInfo(None, None)
+
+    @property
+    def variable_names(self) -> list[str]:
+        """All variables in declaration order."""
+        return list(self._variables)
+
+    def bounds(self, name: str) -> tuple[Fraction | None, Fraction | None]:
+        """The ``(lower, upper)`` bounds of a variable."""
+        info = self._variables[name]
+        return (info.lower, info.upper)
+
+    # -- constraints -------------------------------------------------------
+
+    def add_equality(self, expr: AffineExpr, name: str = "") -> None:
+        """Add the constraint ``expr == 0``."""
+        self._register_expr_variables(expr)
+        self._constraints.append(Constraint(expr, EQ, name))
+
+    def add_inequality(self, expr: AffineExpr, name: str = "") -> None:
+        """Add the constraint ``expr >= 0``."""
+        self._register_expr_variables(expr)
+        self._constraints.append(Constraint(expr, GE, name))
+
+    @property
+    def constraints(self) -> list[Constraint]:
+        """All constraints in insertion order."""
+        return list(self._constraints)
+
+    # -- objective -----------------------------------------------------------
+
+    def minimize(self, expr: AffineExpr) -> None:
+        """Set the objective to ``minimize expr``."""
+        self._register_expr_variables(expr)
+        self._objective = Objective(expr)
+
+    def maximize(self, expr: AffineExpr) -> None:
+        """Set the objective to ``maximize expr`` (stored negated)."""
+        self.minimize(-expr)
+
+    def clear_objective(self) -> None:
+        """Turn the instance into a pure feasibility problem."""
+        self._objective = None
+
+    @property
+    def objective(self) -> Objective | None:
+        """The current (minimization) objective, if any."""
+        return self._objective
+
+    # -- statistics ------------------------------------------------------------
+
+    @property
+    def num_variables(self) -> int:
+        """Number of declared variables."""
+        return len(self._variables)
+
+    @property
+    def num_constraints(self) -> int:
+        """Number of constraints."""
+        return len(self._constraints)
+
+    def check_assignment(self, values: dict[str, Numeric],
+                         tolerance: Numeric = 0) -> list[str]:
+        """Return descriptions of all constraints/bounds violated by
+        ``values`` beyond ``tolerance`` (empty list means feasible)."""
+        tol = as_fraction(tolerance)
+        violations: list[str] = []
+        for name, info in self._variables.items():
+            value = as_fraction(values.get(name, 0))
+            if info.lower is not None and value < info.lower - tol:
+                violations.append(f"{name} = {value} < lower bound {info.lower}")
+            if info.upper is not None and value > info.upper + tol:
+                violations.append(f"{name} = {value} > upper bound {info.upper}")
+        for constraint in self._constraints:
+            value = constraint.expr.evaluate(
+                {name: as_fraction(values.get(name, 0))
+                 for name in constraint.expr.symbols}
+            )
+            if constraint.sense == EQ and abs(value) > tol:
+                violations.append(f"{constraint} evaluates to {value}")
+            elif constraint.sense == GE and value < -tol:
+                violations.append(f"{constraint} evaluates to {value}")
+        return violations
+
+    def __str__(self) -> str:
+        lines = []
+        if self._objective is not None:
+            lines.append(str(self._objective))
+        lines.append("subject to")
+        lines.extend(f"  {c}" for c in self._constraints)
+        bounded = [
+            f"  {info.lower if info.lower is not None else '-inf'}"
+            f" <= {name} <= "
+            f"{info.upper if info.upper is not None else '+inf'}"
+            for name, info in self._variables.items()
+            if info.lower is not None or info.upper is not None
+        ]
+        if bounded:
+            lines.append("bounds")
+            lines.extend(bounded)
+        return "\n".join(lines)

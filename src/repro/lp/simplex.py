@@ -1,0 +1,322 @@
+"""A pure-Python exact-rational simplex solver.
+
+Implements the classical two-phase primal simplex over
+:class:`fractions.Fraction`, with Bland's anti-cycling rule.  It is slow
+compared to HiGHS but exact: thresholds such as ``100`` come out as the
+rational ``100``, not ``99.99999999``, which lets tests and the
+certificate checker assert exactness.  Intended for the small-to-medium
+LP instances produced by the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import LPError
+from repro.lp.model import EQ, GE, LPModel
+from repro.lp.solution import LPSolution, LPStatus
+
+_ZERO = Fraction(0)
+_ONE = Fraction(1)
+
+
+class _StandardForm:
+    """``min c.x  s.t.  A x = b, x >= 0`` plus the bookkeeping needed to
+    recover values of the original model variables."""
+
+    def __init__(self):
+        self.columns: list[str] = []  # internal column names, for debugging
+        self.rows: list[list[Fraction]] = []
+        self.rhs: list[Fraction] = []
+        self.costs: list[Fraction] = []
+        # original variable -> list of (column index, coefficient, shift)
+        self.recover: dict[str, list[tuple[int, Fraction]]] = {}
+        self.shifts: dict[str, Fraction] = {}
+
+    def new_column(self, name: str, cost: Fraction = _ZERO) -> int:
+        self.columns.append(name)
+        self.costs.append(cost)
+        for row in self.rows:
+            row.append(_ZERO)
+        return len(self.columns) - 1
+
+
+def _standardize(model: LPModel) -> _StandardForm:
+    """Convert an :class:`LPModel` to equality standard form.
+
+    Bounded variables are shifted/reflected to have lower bound 0; free
+    variables are split into positive and negative parts; two-sided
+    bounds add an explicit row for the upper bound; GE constraints gain a
+    slack column.
+    """
+    form = _StandardForm()
+    objective = model.objective.expr if model.objective is not None else None
+
+    def objective_coeff(name: str) -> Fraction:
+        if objective is None:
+            return _ZERO
+        return objective.coefficient(name)
+
+    # Column layout per original variable.
+    extra_rows: list[tuple[dict[int, Fraction], Fraction]] = []
+    for name in model.variable_names:
+        lower, upper = model.bounds(name)
+        cost = objective_coeff(name)
+        if lower is None and upper is None:
+            pos = form.new_column(f"{name}+", cost)
+            neg = form.new_column(f"{name}-", -cost)
+            form.recover[name] = [(pos, _ONE), (neg, -_ONE)]
+            form.shifts[name] = _ZERO
+        elif lower is not None:
+            col = form.new_column(name, cost)
+            form.recover[name] = [(col, _ONE)]
+            form.shifts[name] = lower
+            if upper is not None:
+                if upper < lower:
+                    raise LPError(f"variable {name} has empty bounds")
+                slack = form.new_column(f"{name}.ub", _ZERO)
+                extra_rows.append(({col: _ONE, slack: _ONE}, upper - lower))
+        else:
+            # Only an upper bound: x = upper - x', x' >= 0.
+            col = form.new_column(name, -cost)
+            form.recover[name] = [(col, -_ONE)]
+            form.shifts[name] = upper
+
+    def expand_expr(expr) -> tuple[dict[int, Fraction], Fraction]:
+        """Rewrite an AffineExpr over original variables into column
+        space; returns (column coefficients, constant)."""
+        columns: dict[int, Fraction] = {}
+        constant = expr.constant_term
+        for name, coeff in expr.coefficients():
+            constant += coeff * form.shifts[name]
+            for col, factor in form.recover[name]:
+                columns[col] = columns.get(col, _ZERO) + coeff * factor
+        return columns, constant
+
+    def add_row(columns: dict[int, Fraction], rhs: Fraction) -> None:
+        row = [_ZERO] * len(form.columns)
+        for col, coeff in columns.items():
+            row[col] = coeff
+        form.rows.append(row)
+        form.rhs.append(rhs)
+
+    for columns, rhs in extra_rows:
+        add_row(columns, rhs)
+
+    for i, constraint in enumerate(model.constraints):
+        columns, constant = expand_expr(constraint.expr)
+        if constraint.sense == GE:
+            slack = form.new_column(f"slack.{i}", _ZERO)
+            columns[slack] = -_ONE
+        elif constraint.sense != EQ:
+            raise LPError(f"unsupported sense {constraint.sense!r}")
+        # expr (==|>=) 0  becomes  columns . x = -constant
+        add_row(columns, -constant)
+
+    return form
+
+
+class _Tableau:
+    """Dense simplex tableau with an explicit basis."""
+
+    def __init__(self, rows: list[list[Fraction]], rhs: list[Fraction]):
+        self.rows = [list(row) for row in rows]
+        self.rhs = list(rhs)
+        self.basis: list[int] = [-1] * len(rows)
+        # Normalize to nonnegative right-hand sides.
+        for i, value in enumerate(self.rhs):
+            if value < 0:
+                self.rows[i] = [-x for x in self.rows[i]]
+                self.rhs[i] = -value
+
+    @property
+    def num_cols(self) -> int:
+        return len(self.rows[0]) if self.rows else 0
+
+    def pivot(self, row: int, col: int) -> None:
+        """Make column ``col`` basic in ``row``."""
+        pivot_value = self.rows[row][col]
+        inverse = _ONE / pivot_value
+        self.rows[row] = [x * inverse for x in self.rows[row]]
+        self.rhs[row] *= inverse
+        for i, other in enumerate(self.rows):
+            if i != row and other[col] != 0:
+                factor = other[col]
+                self.rows[i] = [
+                    a - factor * b for a, b in zip(other, self.rows[row])
+                ]
+                self.rhs[i] -= factor * self.rhs[row]
+        self.basis[row] = col
+
+
+def _simplex_phase(tableau: _Tableau, costs: list[Fraction],
+                   max_iterations: int,
+                   allowed_cols: int | None = None) -> Fraction:
+    """Run primal simplex with Bland's rule on the given costs.
+
+    Only columns with index below ``allowed_cols`` may enter the basis
+    (used in phase 2 to keep artificial columns out).  Returns the
+    optimal objective value; raises on unboundedness (caller maps it to
+    a status) or iteration exhaustion.
+    """
+    rows = tableau.rows
+    rhs = tableau.rhs
+    basis = tableau.basis
+    num_cols = tableau.num_cols if allowed_cols is None else allowed_cols
+
+    for _ in range(max_iterations):
+        # Reduced costs: c_j - c_B . B^{-1} A_j; with the tableau kept in
+        # canonical form we recompute lazily per column.
+        basic_cost = [costs[b] for b in basis]
+        entering = -1
+        for j in range(num_cols):
+            if j in basis:
+                continue
+            reduced = costs[j]
+            for i, row in enumerate(rows):
+                if basic_cost[i] != 0 and row[j] != 0:
+                    reduced -= basic_cost[i] * row[j]
+            if reduced < 0:
+                entering = j
+                break  # Bland: first improving index.
+        if entering < 0:
+            value = _ZERO
+            for i, b in enumerate(basis):
+                if costs[b] != 0:
+                    value += costs[b] * rhs[i]
+            return value
+        leaving = -1
+        best_ratio: Fraction | None = None
+        for i, row in enumerate(rows):
+            if row[entering] > 0:
+                ratio = rhs[i] / row[entering]
+                if (best_ratio is None or ratio < best_ratio
+                        or (ratio == best_ratio
+                            and basis[i] < basis[leaving])):
+                    best_ratio = ratio
+                    leaving = i
+        if leaving < 0:
+            raise _Unbounded()
+        tableau.pivot(leaving, entering)
+    raise LPError("simplex iteration limit exceeded")
+
+
+class _Unbounded(LPError):
+    pass
+
+
+class ExactSimplexBackend:
+    """Two-phase exact simplex over rationals."""
+
+    name = "exact"
+
+    def __init__(self, max_iterations: int = 200_000):
+        self._max_iterations = max_iterations
+
+    def solve(self, model: LPModel) -> LPSolution:
+        """Solve ``model`` exactly; all reported values are Fractions."""
+        form = _standardize(model)
+        num_structural = len(form.columns)
+        num_rows = len(form.rows)
+
+        if num_rows == 0:
+            # No constraints: optimal at the origin of standard form
+            # unless some objective coefficient is negative (unbounded).
+            if any(c < 0 for c in form.costs):
+                return LPSolution(LPStatus.UNBOUNDED,
+                                  message="no constraints, improving ray")
+            values = _recover_values(form, [_ZERO] * num_structural)
+            return LPSolution(LPStatus.OPTIMAL, values=values,
+                              objective_value=_objective_value(model, values))
+
+        tableau = _Tableau(form.rows, form.rhs)
+
+        # Phase 1: artificial basis.
+        phase1_costs = [_ZERO] * num_structural
+        for i in range(num_rows):
+            col = _append_artificial(tableau, i)
+            phase1_costs.append(_ONE)
+        try:
+            infeasibility = _simplex_phase(
+                tableau, phase1_costs, self._max_iterations
+            )
+        except _Unbounded:  # pragma: no cover - phase 1 is bounded below
+            return LPSolution(LPStatus.ERROR, message="phase-1 unbounded")
+        if infeasibility != 0:
+            return LPSolution(LPStatus.INFEASIBLE,
+                              message=f"phase-1 optimum {infeasibility}")
+
+        _drive_out_artificials(tableau, num_structural)
+        _remove_redundant_rows(tableau, num_structural)
+
+        # Phase 2 on structural columns only; artificial columns may not
+        # re-enter the basis, and after redundant-row removal none is
+        # basic, so they are pinned at zero for the rest of the solve.
+        phase2_costs = list(form.costs) + [_ZERO] * (
+            tableau.num_cols - num_structural
+        )
+        try:
+            _simplex_phase(tableau, phase2_costs, self._max_iterations,
+                           allowed_cols=num_structural)
+        except _Unbounded:
+            return LPSolution(LPStatus.UNBOUNDED, message="phase-2 unbounded")
+
+        assignment = [_ZERO] * tableau.num_cols
+        for i, b in enumerate(tableau.basis):
+            assignment[b] = tableau.rhs[i]
+        values = _recover_values(form, assignment[:num_structural])
+        return LPSolution(LPStatus.OPTIMAL, values=values,
+                          objective_value=_objective_value(model, values))
+
+
+def _append_artificial(tableau: _Tableau, row: int) -> int:
+    """Add an artificial column that is basic in ``row``."""
+    col = tableau.num_cols
+    for i, r in enumerate(tableau.rows):
+        r.append(_ONE if i == row else _ZERO)
+    tableau.basis[row] = col
+    return col
+
+
+def _drive_out_artificials(tableau: _Tableau, num_structural: int) -> None:
+    """Pivot basic artificial variables out of the basis when possible."""
+    for i, b in enumerate(tableau.basis):
+        if b >= num_structural and tableau.rhs[i] == 0:
+            for j in range(num_structural):
+                if tableau.rows[i][j] != 0:
+                    tableau.pivot(i, j)
+                    break
+
+
+def _remove_redundant_rows(tableau: _Tableau, num_structural: int) -> None:
+    """Delete rows whose basic variable is still an artificial one.
+
+    After :func:`_drive_out_artificials`, such a row has zero in every
+    structural column and rhs 0 (otherwise phase 1 would not have reached
+    objective 0), i.e. the original constraint was linearly dependent.
+    Keeping the row would let entering columns interact with the basic
+    artificial; deleting it is the standard remedy.
+    """
+    keep = [i for i, b in enumerate(tableau.basis) if b < num_structural]
+    if len(keep) != len(tableau.basis):
+        tableau.rows = [tableau.rows[i] for i in keep]
+        tableau.rhs = [tableau.rhs[i] for i in keep]
+        tableau.basis = [tableau.basis[i] for i in keep]
+
+
+def _recover_values(form: _StandardForm,
+                    assignment: list[Fraction]) -> dict[str, Fraction]:
+    values: dict[str, Fraction] = {}
+    for name, parts in form.recover.items():
+        total = form.shifts[name]
+        for col, factor in parts:
+            total += factor * assignment[col]
+        values[name] = total
+    return values
+
+
+def _objective_value(model: LPModel,
+                     values: dict[str, Fraction]) -> Fraction | None:
+    if model.objective is None:
+        return None
+    return model.objective.expr.evaluate(values)

@@ -1,0 +1,43 @@
+"""LP solution objects shared by all backends."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+
+class LPStatus(enum.Enum):
+    """Outcome of an LP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ERROR = "error"
+
+
+@dataclass
+class LPSolution:
+    """Result of solving an :class:`~repro.lp.model.LPModel`.
+
+    ``values`` maps variable names to floats (scipy backend) or
+    :class:`Fraction` (exact backend).  ``objective_value`` is ``None``
+    for feasibility problems and non-optimal statuses.
+    """
+
+    status: LPStatus
+    values: dict[str, float | Fraction] = field(default_factory=dict)
+    objective_value: float | Fraction | None = None
+    message: str = ""
+
+    @property
+    def is_optimal(self) -> bool:
+        """True iff the solver proved optimality (or feasibility for
+        objective-free instances)."""
+        return self.status is LPStatus.OPTIMAL
+
+    def value(self, name: str) -> float | Fraction:
+        """Value of variable ``name`` (0 for variables absent from the
+        solver's answer, which happens for variables that do not appear
+        in any constraint)."""
+        return self.values.get(name, 0)

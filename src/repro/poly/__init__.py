@@ -1,0 +1,30 @@
+"""Exact multivariate polynomial arithmetic over rational coefficients.
+
+This package provides the symbolic backbone of the analysis:
+
+- :class:`~repro.poly.monomial.Monomial` — a power product of variables;
+- :class:`~repro.poly.polynomial.Polynomial` — multivariate polynomials
+  with :class:`fractions.Fraction` coefficients;
+- :class:`~repro.poly.linexpr.AffineExpr` — affine expressions, used both
+  for program guards/invariants and as linear combinations of LP
+  variables;
+- :class:`~repro.poly.template.TemplatePolynomial` — polynomials whose
+  coefficients are themselves affine expressions over symbolic template
+  variables (the ``u_f`` of the paper's Step 1);
+- :func:`~repro.poly.parse.parse_polynomial` — a convenience parser for
+  writing polynomials as strings in tests and examples.
+"""
+
+from repro.poly.monomial import Monomial
+from repro.poly.polynomial import Polynomial
+from repro.poly.linexpr import AffineExpr
+from repro.poly.template import TemplatePolynomial
+from repro.poly.parse import parse_polynomial
+
+__all__ = [
+    "Monomial",
+    "Polynomial",
+    "AffineExpr",
+    "TemplatePolynomial",
+    "parse_polynomial",
+]

@@ -1,0 +1,137 @@
+"""A small parser for polynomial expressions written as strings.
+
+Used by tests, examples and the CLI so that polynomials such as the
+paper's annotations (``2*(lenB - i)*lenA - 2*j``) can be written
+naturally instead of being assembled from :class:`Polynomial` calls.
+
+Grammar (integers and ``Fraction``-compatible ``a/b`` literals allowed)::
+
+    expr   := term (('+' | '-') term)*
+    term   := factor ('*' factor)*
+    factor := atom (('^' | '**') nat)?
+    atom   := number | identifier | '(' expr ')' | '-' factor
+"""
+
+from __future__ import annotations
+
+import re
+from fractions import Fraction
+
+from repro.errors import PolynomialError
+from repro.poly.polynomial import Polynomial
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<number>\d+)|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<op>\*\*|[-+*/^()]))"
+)
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match or match.end() == pos:
+            raise PolynomialError(
+                f"invalid character in polynomial at offset {pos}: {text[pos:]!r}"
+            )
+        tokens.append(match.group("number") or match.group("name") or match.group("op"))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str], text: str):
+        self._tokens = tokens
+        self._pos = 0
+        self._text = text
+
+    def _peek(self) -> str | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise PolynomialError(f"unexpected end of polynomial: {self._text!r}")
+        self._pos += 1
+        return token
+
+    def _expect(self, token: str) -> None:
+        found = self._next()
+        if found != token:
+            raise PolynomialError(
+                f"expected {token!r} but found {found!r} in {self._text!r}"
+            )
+
+    def parse(self) -> Polynomial:
+        result = self._expr()
+        if self._peek() is not None:
+            raise PolynomialError(
+                f"trailing input {self._tokens[self._pos:]!r} in {self._text!r}"
+            )
+        return result
+
+    def _expr(self) -> Polynomial:
+        result = self._term()
+        while self._peek() in ("+", "-"):
+            op = self._next()
+            rhs = self._term()
+            result = result + rhs if op == "+" else result - rhs
+        return result
+
+    def _term(self) -> Polynomial:
+        result = self._factor()
+        while self._peek() in ("*", "/"):
+            op = self._next()
+            rhs = self._factor()
+            if op == "*":
+                result = result * rhs
+            else:
+                if not rhs.is_constant():
+                    raise PolynomialError(
+                        f"division by non-constant {rhs} in {self._text!r}"
+                    )
+                divisor = rhs.constant_term
+                if divisor == 0:
+                    raise PolynomialError(f"division by zero in {self._text!r}")
+                result = result.scale(Fraction(1, 1) / divisor)
+        return result
+
+    def _factor(self) -> Polynomial:
+        base = self._atom()
+        if self._peek() in ("^", "**"):
+            self._next()
+            exponent_token = self._next()
+            if not exponent_token.isdigit():
+                raise PolynomialError(
+                    f"exponent must be a natural number, got {exponent_token!r}"
+                )
+            base = base ** int(exponent_token)
+        return base
+
+    def _atom(self) -> Polynomial:
+        token = self._next()
+        if token == "(":
+            inner = self._expr()
+            self._expect(")")
+            return inner
+        if token == "-":
+            return -self._factor()
+        if token == "+":
+            return self._factor()
+        if token.isdigit():
+            return Polynomial.constant(int(token))
+        if re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", token):
+            return Polynomial.variable(token)
+        raise PolynomialError(f"unexpected token {token!r} in {self._text!r}")
+
+
+def parse_polynomial(text: str) -> Polynomial:
+    """Parse ``text`` into a :class:`Polynomial`.
+
+    >>> str(parse_polynomial("(lenA - i)*lenB - j"))
+    'lenA*lenB - i*lenB - j'
+    """
+    return _Parser(_tokenize(text), text).parse()

@@ -1,0 +1,39 @@
+"""Transition systems: the program model of the paper (Section 3).
+
+A transition system is ``T = (L, V, →, ℓ0, Θ0)`` with a distinguished
+``cost`` variable.  This package provides the data model
+(:mod:`~repro.ts.system`), guard inequalities (:mod:`~repro.ts.guards`),
+a fluent builder (:mod:`~repro.ts.builder`), structural validation
+(:mod:`~repro.ts.validate`), a concrete interpreter with exhaustive
+min/max cost search (:mod:`~repro.ts.interpreter`), cost-relevance
+slicing (:mod:`~repro.ts.slicing`) and pretty-printing
+(:mod:`~repro.ts.pretty`).
+"""
+
+from repro.ts.guards import LinIneq
+from repro.ts.system import (
+    COST_VAR,
+    Location,
+    NondetUpdate,
+    Transition,
+    TransitionSystem,
+)
+from repro.ts.builder import TransitionSystemBuilder
+from repro.ts.interpreter import Interpreter, CostSearch, Run
+from repro.ts.validate import validate_system
+from repro.ts.slicing import slice_cost_relevant
+
+__all__ = [
+    "COST_VAR",
+    "LinIneq",
+    "Location",
+    "NondetUpdate",
+    "Transition",
+    "TransitionSystem",
+    "TransitionSystemBuilder",
+    "Interpreter",
+    "CostSearch",
+    "Run",
+    "validate_system",
+    "slice_cost_relevant",
+]

@@ -1,0 +1,322 @@
+"""Concrete execution of transition systems.
+
+Two services are provided:
+
+- :class:`Interpreter` — run a transition system from a concrete input
+  under a pluggable nondeterminism-resolution strategy, producing a
+  :class:`Run` with its incurred cost.  This models the paper's concrete
+  semantics (Section 3).
+- :class:`CostSearch` — exhaustive memoized search over all
+  nondeterministic choices computing ``CostInf`` and ``CostSup`` of a
+  state exactly.  This is the ground truth that tests and the benchmark
+  harness use for the "Tight" column of Table 1 (on small input boxes).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Iterator, Mapping
+
+from repro.errors import InterpreterError, NonTerminationError
+from repro.poly.polynomial import Polynomial
+from repro.ts.guards import all_hold
+from repro.ts.system import (
+    COST_VAR,
+    Location,
+    NondetUpdate,
+    Transition,
+    TransitionSystem,
+)
+
+Valuation = dict[str, int]
+
+
+@dataclass(frozen=True)
+class State:
+    """A concrete state: a location plus an integer valuation."""
+
+    location: Location
+    valuation: tuple[tuple[str, int], ...]
+
+    @staticmethod
+    def make(location: Location, valuation: Mapping[str, int]) -> "State":
+        return State(location, tuple(sorted(valuation.items())))
+
+    def values(self) -> Valuation:
+        """The valuation as a mutable dict."""
+        return dict(self.valuation)
+
+    def __getitem__(self, var: str) -> int:
+        for name, value in self.valuation:
+            if name == var:
+                return value
+        raise KeyError(var)
+
+    def __str__(self) -> str:
+        vals = ", ".join(f"{k}={v}" for k, v in self.valuation)
+        return f"({self.location}, {vals})"
+
+
+@dataclass
+class Run:
+    """A terminated execution: the visited states and the incurred cost."""
+
+    states: list[State]
+
+    @property
+    def cost(self) -> int:
+        """Terminal minus initial value of ``cost`` (paper's Cost_T(ρ))."""
+        return self.states[-1][COST_VAR] - self.states[0][COST_VAR]
+
+    @property
+    def length(self) -> int:
+        """Number of steps taken."""
+        return len(self.states) - 1
+
+    def locations(self) -> list[str]:
+        """Names of the visited locations, in order."""
+        return [state.location.name for state in self.states]
+
+
+Chooser = Callable[[State, list[Transition]], Transition]
+
+
+def first_choice(state: State, options: list[Transition]) -> Transition:
+    """Deterministic strategy: always the first enabled transition."""
+    return options[0]
+
+
+def random_choice(rng: random.Random) -> Chooser:
+    """Strategy picking uniformly among enabled transitions."""
+
+    def choose(state: State, options: list[Transition]) -> Transition:
+        return rng.choice(options)
+
+    return choose
+
+
+class Interpreter:
+    """Executes a transition system concretely."""
+
+    def __init__(self, system: TransitionSystem, max_steps: int = 1_000_000):
+        self.system = system
+        self.max_steps = max_steps
+
+    # -- state construction ---------------------------------------------
+
+    def initial_state(self, inputs: Mapping[str, int]) -> State:
+        """Build the initial state from input values; ``cost`` starts at 0.
+
+        Raises if inputs violate Θ0 or leave variables unset.
+        """
+        valuation: Valuation = dict(inputs)
+        valuation[COST_VAR] = 0
+        missing = set(self.system.variables) - set(valuation)
+        if missing:
+            raise InterpreterError(
+                f"missing initial values for {sorted(missing)}"
+            )
+        if not all_hold(self.system.init_constraint, valuation):
+            raise InterpreterError(
+                f"inputs {dict(inputs)} violate Theta0 of {self.system.name}"
+            )
+        return State.make(self.system.initial_location, valuation)
+
+    # -- stepping ---------------------------------------------------------
+
+    def enabled(self, state: State) -> list[Transition]:
+        """Transitions whose guard holds at ``state``."""
+        valuation = state.values()
+        return [
+            t for t in self.system.outgoing(state.location)
+            if all_hold(t.guard, valuation)
+        ]
+
+    def apply(self, state: State, transition: Transition,
+              nondet: Mapping[str, int] | None = None) -> State:
+        """Apply ``transition``; nondet updates take values from
+        ``nondet`` (or their lower bound / 0 when absent)."""
+        valuation = state.values()
+        updated: Valuation = dict(valuation)
+        for var, update in transition.updates.items():
+            if isinstance(update, NondetUpdate):
+                updated[var] = self._resolve_nondet(var, update, valuation, nondet)
+            else:
+                value = update.evaluate(valuation)
+                if value.denominator != 1:
+                    raise InterpreterError(
+                        f"update of {var} produced non-integer {value}"
+                    )
+                updated[var] = int(value)
+        return State.make(transition.target, updated)
+
+    def _resolve_nondet(self, var: str, update: NondetUpdate,
+                        valuation: Valuation,
+                        nondet: Mapping[str, int] | None) -> int:
+        low = None if update.lower is None else _as_int(
+            update.lower.evaluate(valuation), f"lower bound of {var}"
+        )
+        high = None if update.upper is None else _as_int(
+            update.upper.evaluate(valuation), f"upper bound of {var}"
+        )
+        if nondet is not None and var in nondet:
+            value = nondet[var]
+            if (low is not None and value < low) or (high is not None and value > high):
+                raise InterpreterError(
+                    f"nondet choice {var}={value} outside [{low}, {high}]"
+                )
+            return value
+        if low is not None:
+            return low
+        if high is not None:
+            return high
+        return 0
+
+    def is_terminal(self, state: State) -> bool:
+        """True iff the state is at the terminal location."""
+        return state.location == self.system.terminal_location
+
+    # -- whole runs ---------------------------------------------------------
+
+    def run(self, inputs: Mapping[str, int],
+            chooser: Chooser = first_choice,
+            nondet_values: Mapping[str, int] | None = None) -> Run:
+        """Execute until the terminal location; raises
+        :class:`NonTerminationError` past ``max_steps``."""
+        state = self.initial_state(inputs)
+        states = [state]
+        for _ in range(self.max_steps):
+            if self.is_terminal(state):
+                return Run(states)
+            options = self.enabled(state)
+            if not options:
+                raise InterpreterError(f"stuck at {state} (no enabled transition)")
+            transition = chooser(state, options)
+            state = self.apply(state, transition, nondet_values)
+            states.append(state)
+        raise NonTerminationError(
+            f"{self.system.name} did not terminate within {self.max_steps} steps"
+        )
+
+
+def _as_int(value: Fraction, what: str) -> int:
+    if value.denominator != 1:
+        raise InterpreterError(f"{what} evaluated to non-integer {value}")
+    return int(value)
+
+
+class CostSearch:
+    """Exhaustive min/max cost search with memoization.
+
+    Costs are additive along runs, so the search memoizes the *future*
+    minimal/maximal cost of each ``(location, valuation-without-cost)``
+    pair.  Nondeterministic updates must have finite evaluated bounds.
+
+    ``max_states`` caps the memo size; exceeding it raises
+    :class:`InterpreterError` (the caller should shrink the input box).
+    """
+
+    def __init__(self, system: TransitionSystem, max_states: int = 2_000_000):
+        self.system = system
+        self.max_states = max_states
+        self._memo: dict[tuple[Location, tuple[tuple[str, int], ...]],
+                         tuple[int, int]] = {}
+
+    def cost_bounds(self, inputs: Mapping[str, int]) -> tuple[int, int]:
+        """``(CostInf, CostSup)`` from the initial state on ``inputs``."""
+        interpreter = Interpreter(self.system)
+        state = interpreter.initial_state(inputs)
+        valuation = state.values()
+        valuation.pop(COST_VAR)
+        bounds = self._future(self.system.initial_location, valuation, set())
+        if bounds is None:
+            raise InterpreterError(
+                f"no terminating run of {self.system.name} from {dict(inputs)}"
+            )
+        return bounds
+
+    def _future(self, location: Location, valuation: Valuation,
+                on_stack: set) -> tuple[int, int] | None:
+        key = (location, tuple(sorted(valuation.items())))
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        if key in on_stack:
+            raise NonTerminationError(
+                f"cycle without progress at {location} {valuation} "
+                f"in {self.system.name} (program not terminating?)"
+            )
+        if location == self.system.terminal_location:
+            self._memo[key] = (0, 0)
+            return (0, 0)
+        if len(self._memo) >= self.max_states:
+            raise InterpreterError(
+                f"state space of {self.system.name} exceeds {self.max_states}"
+            )
+
+        on_stack.add(key)
+        full_valuation = dict(valuation)
+        full_valuation[COST_VAR] = 0
+        minimum: int | None = None
+        maximum: int | None = None
+        for transition in self.system.outgoing(location):
+            if not all_hold(transition.guard, full_valuation):
+                continue
+            delta = _as_int(
+                transition.cost_delta().evaluate(full_valuation),
+                "cost delta",
+            )
+            for successor in self._successor_valuations(transition, full_valuation):
+                future = self._future(transition.target, successor, on_stack)
+                if future is None:
+                    continue
+                low = future[0] + delta
+                high = future[1] + delta
+                minimum = low if minimum is None else min(minimum, low)
+                maximum = high if maximum is None else max(maximum, high)
+        on_stack.discard(key)
+        if minimum is None or maximum is None:
+            # Blocked state (e.g. a failed assume): contributes no run.
+            result = None
+        else:
+            result = (minimum, maximum)
+        self._memo[key] = result
+        return result
+
+    def _successor_valuations(self, transition: Transition,
+                              valuation: Valuation) -> Iterator[Valuation]:
+        """All post-states of a transition (cartesian over nondet ranges),
+        with ``cost`` projected away."""
+        deterministic: Valuation = {}
+        ranges: list[tuple[str, int, int]] = []
+        for var in self.system.variables:
+            if var == COST_VAR:
+                continue
+            update = transition.update_of(var)
+            if isinstance(update, NondetUpdate):
+                if update.lower is None or update.upper is None:
+                    raise InterpreterError(
+                        f"exhaustive search needs bounded nondet for {var}"
+                    )
+                low = _as_int(update.lower.evaluate(valuation), f"bound of {var}")
+                high = _as_int(update.upper.evaluate(valuation), f"bound of {var}")
+                if low > high:
+                    return  # empty nondet range: transition blocks
+                ranges.append((var, low, high))
+            else:
+                deterministic[var] = _as_int(
+                    update.evaluate(valuation), f"update of {var}"
+                )
+
+        def expand(index: int, current: Valuation) -> Iterator[Valuation]:
+            if index == len(ranges):
+                yield dict(current)
+                return
+            var, low, high = ranges[index]
+            for value in range(low, high + 1):
+                current[var] = value
+                yield from expand(index + 1, current)
+
+        yield from expand(0, deterministic)

@@ -1,0 +1,45 @@
+"""Pretty-printing of transition systems.
+
+``render_text`` produces the tabular form used throughout the test suite
+and examples; ``render_dot`` emits Graphviz source mirroring the paper's
+Fig. 2 (locations as circles, transitions as guarded arrows).
+"""
+
+from __future__ import annotations
+
+from repro.ts.system import TransitionSystem
+
+
+def render_text(system: TransitionSystem) -> str:
+    """A readable multi-line description of ``system``."""
+    return str(system)
+
+
+def render_dot(system: TransitionSystem) -> str:
+    """Graphviz dot source for ``system`` (Fig. 2 style)."""
+    lines = [
+        f'digraph "{system.name}" {{',
+        "  rankdir=LR;",
+        '  node [shape=circle, fontsize=11];',
+    ]
+    for location in system.locations:
+        shape = "doublecircle" if location == system.terminal_location else "circle"
+        lines.append(f'  "{location.name}" [shape={shape}];')
+    init = " and ".join(str(g) for g in system.init_constraint) or "true"
+    lines.append(f'  "__init" [shape=point, label=""];')
+    lines.append(
+        f'  "__init" -> "{system.initial_location.name}" '
+        f'[label="Theta0: {init}"];'
+    )
+    for transition in system.transitions:
+        guard = " and ".join(str(g) for g in transition.guard) or "true"
+        updates = "; ".join(
+            f"{var}' = {up}" for var, up in sorted(transition.updates.items())
+        )
+        label = guard if not updates else f"{guard}\\n{updates}"
+        lines.append(
+            f'  "{transition.source.name}" -> "{transition.target.name}" '
+            f'[label="{label}", fontsize=9];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Cost-relevance slicing of transition systems.
+
+The paper notes (Appendix A) that variables not contributing to cost —
+such as array contents — are removed before analysis, "automated through
+program slicing".  This module implements that step: a variable is
+*cost-relevant* if it (transitively) flows into a guard, a nondet bound,
+or a cost update.  Irrelevant variables and their updates are dropped.
+"""
+
+from __future__ import annotations
+
+from repro.ts.system import (
+    COST_VAR,
+    NondetUpdate,
+    Transition,
+    TransitionSystem,
+)
+from repro.ts.validate import validate_system
+
+
+def cost_relevant_variables(system: TransitionSystem) -> frozenset[str]:
+    """The least set of variables closed under backward dependency from
+    guards, nondet bounds and cost updates."""
+    relevant: set[str] = {COST_VAR}
+    for transition in system.transitions:
+        for ineq in transition.guard:
+            relevant.update(ineq.variables)
+    for ineq in system.init_constraint:
+        relevant.update(ineq.variables)
+
+    changed = True
+    while changed:
+        changed = False
+        for transition in system.transitions:
+            for var, update in transition.updates.items():
+                if var not in relevant:
+                    continue
+                if isinstance(update, NondetUpdate):
+                    sources: set[str] = set()
+                    for bound in (update.lower, update.upper):
+                        if bound is not None:
+                            sources.update(bound.variables)
+                else:
+                    sources = set(update.variables)
+                new = sources - relevant
+                if new:
+                    relevant.update(new)
+                    changed = True
+    return frozenset(relevant)
+
+
+def slice_cost_relevant(system: TransitionSystem) -> TransitionSystem:
+    """A copy of ``system`` with cost-irrelevant variables removed.
+
+    Sound for differential cost analysis: removed variables influence
+    neither control flow nor cost, so ``CostInf``/``CostSup`` of every
+    state are preserved.
+    """
+    relevant = cost_relevant_variables(system)
+    if relevant.issuperset(system.variables):
+        return system
+
+    transitions = [
+        Transition(
+            source=t.source,
+            target=t.target,
+            guard=t.guard,
+            updates={
+                var: up for var, up in t.updates.items() if var in relevant
+            },
+            name=t.name,
+        )
+        for t in system.transitions
+    ]
+    sliced = TransitionSystem(
+        name=system.name,
+        variables=[v for v in system.variables if v in relevant],
+        locations=system.locations,
+        transitions=transitions,
+        initial_location=system.initial_location,
+        terminal_location=system.terminal_location,
+        init_constraint=system.init_constraint,
+    )
+    validate_system(sliced)
+    return sliced

@@ -1,0 +1,212 @@
+"""The transition-system data model (paper Section 3).
+
+``T = (L, V, →, ℓ0, Θ0)`` with a distinguished ``cost`` variable that is
+0 initially and updated whenever cost is incurred.  Updates map each
+variable either to a polynomial over ``V`` or to a
+:class:`NondetUpdate` (nondeterministic assignment, optionally bounded
+by affine polynomials so that Handelman premises stay compact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import TransitionSystemError
+from repro.poly.polynomial import Polynomial
+from repro.ts.guards import LinIneq
+
+COST_VAR = "cost"
+
+
+@dataclass(frozen=True)
+class Location:
+    """A program location (a node of the control-flow graph)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class NondetUpdate:
+    """A nondeterministic assignment ``v := *`` with optional affine
+    bounds ``lower <= v' <= upper``.
+
+    Unbounded havoc (both bounds ``None``) is allowed by the model but
+    makes the Handelman premise non-compact, so synthesis typically
+    requires bounds (the paper likewise bounds all inputs).
+    """
+
+    lower: Polynomial | None = None
+    upper: Polynomial | None = None
+
+    def __post_init__(self):
+        for bound in (self.lower, self.upper):
+            if bound is not None and not bound.is_affine():
+                raise TransitionSystemError(
+                    f"nondet bound must be affine, got {bound}"
+                )
+
+    def __str__(self) -> str:
+        low = "-oo" if self.lower is None else str(self.lower)
+        high = "+oo" if self.upper is None else str(self.upper)
+        return f"nondet[{low}, {high}]"
+
+
+UpdateExpr = Polynomial | NondetUpdate
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A guarded transition ``τ = (ℓ, ℓ', G_τ, Up_τ)``.
+
+    ``guard`` is a conjunction of affine inequalities; ``updates`` maps
+    the variables changed by the transition (identity elsewhere).
+    """
+
+    source: Location
+    target: Location
+    guard: tuple[LinIneq, ...] = ()
+    updates: Mapping[str, UpdateExpr] = field(default_factory=dict)
+    name: str = ""
+
+    def update_of(self, var: str) -> UpdateExpr:
+        """Update expression for ``var`` (identity if unchanged)."""
+        update = self.updates.get(var)
+        if update is None:
+            return Polynomial.variable(var)
+        return update
+
+    def is_identity(self) -> bool:
+        """True iff the transition changes no variable."""
+        return all(
+            isinstance(up, Polynomial) and up == Polynomial.variable(var)
+            for var, up in self.updates.items()
+        )
+
+    def cost_delta(self) -> Polynomial:
+        """The polynomial ``Up(cost) - cost`` (0 when cost unchanged).
+
+        Validation guarantees this polynomial never mentions ``cost``.
+        """
+        update = self.updates.get(COST_VAR)
+        if update is None:
+            return Polynomial.zero()
+        if isinstance(update, NondetUpdate):
+            raise TransitionSystemError(
+                f"transition {self.name or self.source}->{self.target} "
+                "has a nondeterministic cost update"
+            )
+        return update - Polynomial.variable(COST_VAR)
+
+    def __str__(self) -> str:
+        guard = " and ".join(str(g) for g in self.guard) or "true"
+        ups = ", ".join(
+            f"{var}' = {up}" for var, up in sorted(self.updates.items())
+        ) or "identity"
+        label = f"{self.name}: " if self.name else ""
+        return f"{label}{self.source} -> {self.target} [{guard}] {{{ups}}}"
+
+
+class TransitionSystem:
+    """An immutable transition system.
+
+    Use :class:`~repro.ts.builder.TransitionSystemBuilder` or the `imp`
+    frontend (:func:`repro.lang.load_program`) to construct instances.
+    """
+
+    def __init__(self, name: str, variables: Iterable[str],
+                 locations: Iterable[Location],
+                 transitions: Iterable[Transition],
+                 initial_location: Location,
+                 terminal_location: Location,
+                 init_constraint: Iterable[LinIneq] = ()):
+        self.name = name
+        self.variables: tuple[str, ...] = tuple(variables)
+        self.locations: tuple[Location, ...] = tuple(locations)
+        self.transitions: tuple[Transition, ...] = tuple(transitions)
+        self.initial_location = initial_location
+        self.terminal_location = terminal_location
+        self.init_constraint: tuple[LinIneq, ...] = tuple(init_constraint)
+        self._outgoing: dict[Location, tuple[Transition, ...]] = {}
+        by_source: dict[Location, list[Transition]] = {
+            loc: [] for loc in self.locations
+        }
+        for transition in self.transitions:
+            by_source[transition.source].append(transition)
+        self._outgoing = {
+            loc: tuple(transitions) for loc, transitions in by_source.items()
+        }
+
+    @property
+    def state_variables(self) -> tuple[str, ...]:
+        """Variables excluding the distinguished ``cost`` variable."""
+        return tuple(v for v in self.variables if v != COST_VAR)
+
+    def outgoing(self, location: Location) -> tuple[Transition, ...]:
+        """Transitions whose source is ``location``."""
+        return self._outgoing.get(location, ())
+
+    def location_by_name(self, name: str) -> Location:
+        """Look up a location by name (raises on unknown names)."""
+        for location in self.locations:
+            if location.name == name:
+                return location
+        raise TransitionSystemError(f"no location named {name!r} in {self.name}")
+
+    def rename_variables(self, mapping: Mapping[str, str]) -> "TransitionSystem":
+        """A copy with variables renamed (used to align variable sets of
+        two program versions before a differential analysis)."""
+        if COST_VAR in mapping and mapping[COST_VAR] != COST_VAR:
+            raise TransitionSystemError("the cost variable cannot be renamed")
+
+        def rename_update(update: UpdateExpr) -> UpdateExpr:
+            if isinstance(update, NondetUpdate):
+                return NondetUpdate(
+                    None if update.lower is None else update.lower.rename(mapping),
+                    None if update.upper is None else update.upper.rename(mapping),
+                )
+            return update.rename(mapping)
+
+        transitions = [
+            Transition(
+                source=t.source,
+                target=t.target,
+                guard=tuple(g.rename(mapping) for g in t.guard),
+                updates={
+                    mapping.get(var, var): rename_update(up)
+                    for var, up in t.updates.items()
+                },
+                name=t.name,
+            )
+            for t in self.transitions
+        ]
+        return TransitionSystem(
+            name=self.name,
+            variables=[mapping.get(v, v) for v in self.variables],
+            locations=self.locations,
+            transitions=transitions,
+            initial_location=self.initial_location,
+            terminal_location=self.terminal_location,
+            init_constraint=[g.rename(mapping) for g in self.init_constraint],
+        )
+
+    def __str__(self) -> str:
+        lines = [
+            f"transition system {self.name}",
+            f"  variables: {', '.join(self.variables)}",
+            f"  initial: {self.initial_location}, terminal: {self.terminal_location}",
+            "  Theta0: " + (
+                " and ".join(str(g) for g in self.init_constraint) or "true"
+            ),
+        ]
+        lines.extend(f"  {t}" for t in self.transitions)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<TransitionSystem {self.name}: {len(self.locations)} locations, "
+            f"{len(self.transitions)} transitions>"
+        )

@@ -1,0 +1,118 @@
+"""Structural validation of transition systems.
+
+Checks the well-formedness conditions the analysis relies on:
+
+- all transition endpoints are declared locations;
+- updates only mention declared variables and are polynomial (or
+  properly bounded nondet);
+- the ``cost`` variable is updated only as ``cost + δ(x)`` with ``δ``
+  not mentioning ``cost`` and never nondeterministically;
+- Θ0 and guards only mention declared variables and never ``cost``;
+- the terminal location has no outgoing non-identity transition.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransitionSystemError
+from repro.poly.polynomial import Polynomial
+from repro.ts.system import COST_VAR, NondetUpdate, TransitionSystem
+
+
+def validate_system(system: TransitionSystem) -> None:
+    """Raise :class:`TransitionSystemError` on the first violation."""
+    declared = set(system.variables)
+    if COST_VAR not in declared:
+        raise TransitionSystemError(
+            f"{system.name}: the distinguished variable {COST_VAR!r} is missing"
+        )
+    locations = set(system.locations)
+    if system.initial_location not in locations:
+        raise TransitionSystemError(
+            f"{system.name}: initial location {system.initial_location} undeclared"
+        )
+    if system.terminal_location not in locations:
+        raise TransitionSystemError(
+            f"{system.name}: terminal location {system.terminal_location} undeclared"
+        )
+
+    for ineq in system.init_constraint:
+        unknown = ineq.variables - declared
+        if unknown:
+            raise TransitionSystemError(
+                f"{system.name}: Theta0 mentions undeclared variables {sorted(unknown)}"
+            )
+        if COST_VAR in ineq.variables:
+            raise TransitionSystemError(
+                f"{system.name}: Theta0 must not constrain {COST_VAR!r} "
+                "(it is implicitly 0 initially)"
+            )
+
+    for transition in system.transitions:
+        label = transition.name or f"{transition.source}->{transition.target}"
+        if transition.source not in locations or transition.target not in locations:
+            raise TransitionSystemError(
+                f"{system.name}: transition {label} has undeclared endpoints"
+            )
+        for ineq in transition.guard:
+            unknown = ineq.variables - declared
+            if unknown:
+                raise TransitionSystemError(
+                    f"{system.name}: guard of {label} mentions undeclared "
+                    f"variables {sorted(unknown)}"
+                )
+            if COST_VAR in ineq.variables:
+                raise TransitionSystemError(
+                    f"{system.name}: guard of {label} mentions {COST_VAR!r}"
+                )
+        for var, update in transition.updates.items():
+            if var not in declared:
+                raise TransitionSystemError(
+                    f"{system.name}: transition {label} updates undeclared "
+                    f"variable {var!r}"
+                )
+            if isinstance(update, NondetUpdate):
+                if var == COST_VAR:
+                    raise TransitionSystemError(
+                        f"{system.name}: transition {label} assigns "
+                        f"{COST_VAR!r} nondeterministically"
+                    )
+                for bound in (update.lower, update.upper):
+                    if bound is None:
+                        continue
+                    unknown = bound.variables - declared
+                    if unknown:
+                        raise TransitionSystemError(
+                            f"{system.name}: nondet bound of {var!r} in {label} "
+                            f"mentions undeclared variables {sorted(unknown)}"
+                        )
+                continue
+            if not isinstance(update, Polynomial):
+                raise TransitionSystemError(
+                    f"{system.name}: update of {var!r} in {label} is neither "
+                    "polynomial nor nondet"
+                )
+            unknown = update.variables - declared
+            if unknown:
+                raise TransitionSystemError(
+                    f"{system.name}: update of {var!r} in {label} mentions "
+                    f"undeclared variables {sorted(unknown)}"
+                )
+            if var == COST_VAR:
+                _validate_cost_update(system.name, label, update)
+
+    for transition in system.outgoing(system.terminal_location):
+        if not transition.is_identity() or transition.target != system.terminal_location:
+            raise TransitionSystemError(
+                f"{system.name}: terminal location has a non-identity outgoing "
+                f"transition {transition.name}"
+            )
+
+
+def _validate_cost_update(system_name: str, label: str, update: Polynomial) -> None:
+    """Enforce ``cost' = cost + δ(x)`` with ``δ`` free of ``cost``."""
+    delta = update - Polynomial.variable(COST_VAR)
+    if COST_VAR in delta.variables:
+        raise TransitionSystemError(
+            f"{system_name}: cost update in {label} is not of the form "
+            f"cost + delta(x): {update}"
+        )

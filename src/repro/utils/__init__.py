@@ -1,0 +1,19 @@
+"""Small shared utilities: rational helpers, naming, timers."""
+
+from repro.utils.rationals import (
+    as_fraction,
+    fraction_to_str,
+    rationalize,
+    snap_to_int,
+)
+from repro.utils.naming import FreshNameGenerator
+from repro.utils.timers import Stopwatch
+
+__all__ = [
+    "as_fraction",
+    "fraction_to_str",
+    "rationalize",
+    "snap_to_int",
+    "FreshNameGenerator",
+    "Stopwatch",
+]

@@ -1,0 +1,33 @@
+"""Deterministic fresh-name generation.
+
+Fresh names are needed in several places: fresh variables for
+nondeterministic updates during constraint generation, LP variable names
+for template coefficients, and renamings during Fourier-Motzkin
+projection.  Names are deterministic so that analysis runs (and hence LP
+instances) are reproducible.
+"""
+
+from __future__ import annotations
+
+
+class FreshNameGenerator:
+    """Generate names like ``prefix!0``, ``prefix!1``, ...
+
+    The separator ``!`` is not a legal identifier character in the `imp`
+    language, so generated names can never collide with program
+    variables.
+    """
+
+    def __init__(self, separator: str = "!"):
+        self._separator = separator
+        self._counters: dict[str, int] = {}
+
+    def fresh(self, prefix: str) -> str:
+        """Return the next unused name for ``prefix``."""
+        index = self._counters.get(prefix, 0)
+        self._counters[prefix] = index + 1
+        return f"{prefix}{self._separator}{index}"
+
+    def reset(self) -> None:
+        """Forget all counters (names may repeat afterwards)."""
+        self._counters.clear()

@@ -1,0 +1,59 @@
+"""Helpers for working with exact rational numbers.
+
+The symbolic layers of the library (polynomials, guards, invariants,
+certificates) use :class:`fractions.Fraction` throughout.  Floats only
+appear at the boundary with the floating-point LP backend; the helpers
+here convert between the two worlds deterministically.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from numbers import Rational
+
+Numeric = int | float | Fraction
+
+
+def as_fraction(value: Numeric) -> Fraction:
+    """Convert ``value`` to a :class:`Fraction`.
+
+    Integers and rationals convert exactly.  Floats are converted via
+    :func:`rationalize`, which limits the denominator so that LP-solver
+    noise does not produce absurd fractions such as ``6004799503160661/
+    18014398509481984``.
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, (int, Rational)):
+        return Fraction(value)
+    if isinstance(value, float):
+        return rationalize(value)
+    raise TypeError(f"cannot interpret {value!r} as a rational number")
+
+
+def rationalize(value: float, max_denominator: int = 10**9) -> Fraction:
+    """Convert a float to a nearby rational with a bounded denominator."""
+    if value != value:  # NaN
+        raise ValueError("cannot rationalize NaN")
+    return Fraction(value).limit_denominator(max_denominator)
+
+
+def snap_to_int(value: Numeric, tolerance: float = 1e-6) -> Numeric:
+    """Snap ``value`` to the nearest integer when within ``tolerance``.
+
+    LP solvers return values such as ``99.99999999973`` for what is
+    semantically the integer 100; reports use this helper for display.
+    The original value is returned unchanged when it is not close to an
+    integer.
+    """
+    nearest = round(float(value))
+    if abs(float(value) - nearest) <= tolerance:
+        return nearest
+    return value
+
+
+def fraction_to_str(value: Fraction) -> str:
+    """Render a fraction compactly: integers without denominator."""
+    if value.denominator == 1:
+        return str(value.numerator)
+    return f"{value.numerator}/{value.denominator}"

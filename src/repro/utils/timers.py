@@ -1,0 +1,42 @@
+"""A tiny stopwatch used to report per-phase analysis times.
+
+The paper's Table 1 reports wall-clock time per benchmark (invariant
+generation + constraint extraction + LP).  :class:`Stopwatch` collects
+named phase durations so the benchmark harness can report the same
+breakdown.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class Stopwatch:
+    """Accumulates wall-clock durations for named phases."""
+
+    def __init__(self):
+        self._totals: dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Context manager measuring one phase; durations accumulate."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._totals[name] = self._totals.get(name, 0.0) + elapsed
+
+    def elapsed(self, name: str) -> float:
+        """Total seconds recorded for ``name`` (0.0 if never entered)."""
+        return self._totals.get(name, 0.0)
+
+    def total(self) -> float:
+        """Sum of all recorded phases."""
+        return sum(self._totals.values())
+
+    def as_dict(self) -> dict[str, float]:
+        """A copy of the per-phase totals."""
+        return dict(self._totals)

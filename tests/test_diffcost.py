@@ -1,0 +1,199 @@
+"""End-to-end tests of the simultaneous PF/anti-PF threshold synthesis
+(the paper's running example and targeted small cases)."""
+
+import pytest
+
+from repro import AnalysisConfig, analyze_diffcost, load_program
+from repro.bench.suite import JOIN_NEW_SOURCE, JOIN_OLD_SOURCE
+from repro.core import CertificateChecker
+from repro.core.checker import sample_inputs
+from repro.core.results import AnalysisStatus
+from repro.ts import CostSearch
+
+SMALL_OLD = """
+proc count(n) {
+  assume(1 <= n && n <= 10);
+  var i = 0;
+  while (i < n) { tick(1); i = i + 1; }
+}
+"""
+
+SMALL_NEW = """
+proc count(n) {
+  assume(1 <= n && n <= 10);
+  var i = 0;
+  while (i < n) { tick(3); i = i + 1; }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def join_result():
+    old = load_program(JOIN_OLD_SOURCE, name="join_old")
+    new = load_program(JOIN_NEW_SOURCE, name="join_new")
+    return old, new, analyze_diffcost(old, new)
+
+
+class TestJoinRunningExample:
+    def test_threshold_is_10000(self, join_result):
+        _old, _new, result = join_result
+        assert result.is_threshold
+        assert result.threshold_display == 10000
+
+    def test_certificates_evaluate_like_example_2_3(self, join_result):
+        # phi_new(l0, x) - chi_old(l0, x) <= t on Theta0 corners.
+        _old, _new, result = join_result
+        for lena, lenb in [(1, 1), (1, 100), (100, 1), (100, 100)]:
+            inputs = {"lenA": lena, "lenB": lenb, "i": 0, "j": 0}
+            phi = result.potential_new.initial_value(inputs)
+            chi = result.anti_potential_old.initial_value(inputs)
+            assert float(phi - chi) <= float(result.threshold) + 1e-6
+
+    def test_certificates_bound_true_costs(self, join_result):
+        old, new, result = join_result
+        old_search = CostSearch(old.system)
+        new_search = CostSearch(new.system)
+        for lena, lenb in [(1, 1), (2, 3), (5, 4)]:
+            inputs = {"lenA": lena, "lenB": lenb, "i": 0, "j": 0}
+            old_inf, old_sup = old_search.cost_bounds(inputs)
+            new_inf, new_sup = new_search.cost_bounds(inputs)
+            assert old_inf == old_sup == lena * lenb
+            assert new_inf == new_sup == 2 * lena * lenb
+            phi = float(result.potential_new.initial_value(inputs))
+            chi = float(result.anti_potential_old.initial_value(inputs))
+            assert phi >= new_sup - 1e-6
+            assert chi <= old_inf + 1e-6
+
+    def test_full_checker_passes(self, join_result):
+        old, new, result = join_result
+        import random
+
+        checker = CertificateChecker(tolerance=1e-4)
+        inputs = sample_inputs(new.system, 6, random.Random(1), max_range=4)
+        report = checker.check_diffcost(
+            old.system, new.system, float(result.threshold),
+            result.potential_new, result.anti_potential_old, inputs,
+        )
+        report.require_ok()
+
+
+class TestSmallPrograms:
+    def test_constant_factor_increase(self):
+        old = load_program(SMALL_OLD, name="old")
+        new = load_program(SMALL_NEW, name="new")
+        result = analyze_diffcost(old, new)
+        # diff = 3n - n = 2n <= 20.
+        assert result.is_threshold
+        assert result.threshold_display == 20
+
+    def test_identical_programs_threshold_zero(self):
+        old = load_program(SMALL_OLD, name="old")
+        new = load_program(SMALL_OLD, name="new")
+        result = analyze_diffcost(old, new)
+        assert result.is_threshold
+        assert float(result.threshold) == pytest.approx(0, abs=1e-5)
+
+    def test_cost_decrease_gives_negative_threshold(self):
+        old = load_program(SMALL_NEW, name="old")  # cost 3n
+        new = load_program(SMALL_OLD, name="new")  # cost n
+        result = analyze_diffcost(old, new)
+        # diff = n - 3n = -2n, maximal at n = 1: threshold -2.
+        assert result.is_threshold
+        assert result.threshold_display == -2
+
+    def test_nondeterministic_new_version(self):
+        old = load_program(SMALL_OLD, name="old")
+        new = load_program("""
+        proc count(n) {
+          assume(1 <= n && n <= 10);
+          var i = 0;
+          while (i < n) {
+            if (*) { tick(2); } else { tick(1); }
+            i = i + 1;
+          }
+        }
+        """, name="new")
+        result = analyze_diffcost(old, new)
+        # CostSup_new = 2n, CostInf_old = n: diff <= n <= 10.
+        assert result.threshold_display == 10
+
+    def test_exact_backend_gives_exact_integers(self):
+        from fractions import Fraction
+
+        old = load_program(SMALL_OLD, name="old")
+        new = load_program(SMALL_NEW, name="new")
+        config = AnalysisConfig(lp_backend="exact")
+        result = analyze_diffcost(old, new, config)
+        assert result.threshold == Fraction(20)
+
+    def test_unknown_on_unbounded_inputs(self):
+        # No upper bound on n and genuinely disjunctive cost: the LP has
+        # no polynomial certificate (the ex5/ex7 failure mode).
+        old = load_program("""
+        proc p(n) {
+          assume(1 <= n);
+          var i = 0;
+          while (i < n) { tick(1); i = i + 1; }
+        }
+        """, name="old")
+        new = load_program("""
+        proc p(n) {
+          assume(1 <= n);
+          var i = 0;
+          while (i < n) {
+            if (i < 3) { tick(2); } else { tick(1); }
+            i = i + 1;
+          }
+        }
+        """, name="new")
+        result = analyze_diffcost(old, new)
+        assert result.status is AnalysisStatus.UNKNOWN
+
+    def test_threshold_is_sound_even_if_loose(self):
+        # Whatever threshold comes out must dominate the true max diff.
+        old = load_program("""
+        proc p(n, m) {
+          assume(1 <= n && n <= 6);
+          assume(1 <= m && m <= 6);
+          var x = 0;
+          while (x < n && x < m) { x = x + 1; }
+        }
+        """, name="old")
+        new = load_program("""
+        proc p(n, m) {
+          assume(1 <= n && n <= 6);
+          assume(1 <= m && m <= 6);
+          var x = 0;
+          while (x < n && x < m) { tick(1); x = x + 1; }
+        }
+        """, name="new")
+        result = analyze_diffcost(old, new)
+        assert result.is_threshold
+        new_search = CostSearch(new.system)
+        true_max = max(
+            new_search.cost_bounds({"n": a, "m": b, "x": 0})[1]
+            for a in range(1, 7) for b in range(1, 7)
+        )
+        assert float(result.threshold) >= true_max - 1e-6
+
+
+class TestAnalyzerPlumbing:
+    def test_accepts_raw_transition_systems(self):
+        old = load_program(SMALL_OLD, name="old").system
+        new = load_program(SMALL_NEW, name="new").system
+        result = analyze_diffcost(old, new)
+        assert result.threshold_display == 20
+
+    def test_rejects_garbage(self):
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            analyze_diffcost("not a program", "also not")
+
+    def test_lp_stats_populated(self):
+        old = load_program(SMALL_OLD, name="old")
+        new = load_program(SMALL_NEW, name="new")
+        result = analyze_diffcost(old, new)
+        assert result.lp_variables > 0
+        assert result.lp_constraints > 0
+        assert "invariants" in result.timings

@@ -1,0 +1,147 @@
+"""Unit and property tests for the Handelman encoding."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.handelman import (
+    ImplicationConstraint,
+    encode_affine_implication,
+    encode_implication,
+    generate_products,
+)
+from repro.lp import ExactSimplexBackend, LPModel, LPStatus, ScipyBackend
+from repro.poly.polynomial import Polynomial
+from repro.poly.template import TemplatePolynomial
+from repro.ts.guards import LinIneq, box
+from repro.utils.naming import FreshNameGenerator
+
+X = Polynomial.variable("x")
+Y = Polynomial.variable("y")
+
+
+class TestProducts:
+    def test_includes_one(self):
+        products = generate_products([X], 2)
+        assert products[0] == Polynomial.constant(1)
+
+    def test_counts(self):
+        products = generate_products([X, Y], 2)
+        # 1, x, y, x^2, xy, y^2.
+        assert len(products) == 6
+
+    def test_deduplication(self):
+        products = generate_products([X, X], 2)
+        assert len(products) == 3  # 1, x, x^2
+
+    def test_zero_generator_skipped(self):
+        products = generate_products([Polynomial.zero(), X], 1)
+        assert products == [Polynomial.constant(1), X]
+
+
+def solve_implication(premise, consequent_poly, max_factors=2,
+                      backend=None):
+    """Encode one concrete implication and report LP feasibility."""
+    constraint = ImplicationConstraint(
+        premise=tuple(premise),
+        consequent=TemplatePolynomial.from_polynomial(consequent_poly),
+        name="test",
+    )
+    model = LPModel()
+    encode_implication(constraint, model, FreshNameGenerator(), max_factors)
+    solution = (backend or ExactSimplexBackend()).solve(model)
+    return solution
+
+
+class TestEncodingSoundAndComplete:
+    def test_valid_implication_certified(self):
+        # 0 <= x <= 10  =>  10 - x >= 0.
+        solution = solve_implication(box({"x": (0, 10)}), 10 - X)
+        assert solution.status is LPStatus.OPTIMAL
+
+    def test_invalid_implication_rejected(self):
+        # 0 <= x <= 10  =/=>  x - 5 >= 0.
+        solution = solve_implication(box({"x": (0, 10)}), X - 5)
+        assert solution.status is not LPStatus.OPTIMAL
+
+    def test_quadratic_needs_k2(self):
+        # 0 <= x <= 10 => x*(10 - x) >= 0: needs a degree-2 product.
+        premise = box({"x": (0, 10)})
+        poly = X * (10 - X)
+        assert solve_implication(premise, poly, max_factors=1).status \
+            is not LPStatus.OPTIMAL
+        assert solve_implication(premise, poly, max_factors=2).status \
+            is LPStatus.OPTIMAL
+
+    def test_relational_premise(self):
+        # x <= y and y <= 5 => 5 - x >= 0.
+        premise = [LinIneq.leq(X, Y), LinIneq.leq(Y, 5)]
+        assert solve_implication(premise, 5 - X).status is LPStatus.OPTIMAL
+
+    def test_affine_fast_path_matches(self):
+        constraint = ImplicationConstraint(
+            premise=box({"x": (0, 10)}),
+            consequent=TemplatePolynomial.from_polynomial(10 - X),
+            name="affine",
+        )
+        model = LPModel()
+        encode_affine_implication(constraint, model, FreshNameGenerator())
+        assert ExactSimplexBackend().solve(model).status is LPStatus.OPTIMAL
+
+    def test_symbolic_threshold_minimization(self):
+        # min t s.t. 1 <= x <= 100 => t - x >= 0 gives t = 100.
+        constraint = ImplicationConstraint(
+            premise=box({"x": (1, 100)}),
+            consequent=TemplatePolynomial.from_symbol("t")
+            - TemplatePolynomial.from_polynomial(X),
+            name="thr",
+        )
+        model = LPModel()
+        encode_implication(constraint, model, FreshNameGenerator(), 2)
+        from repro.poly.linexpr import AffineExpr
+
+        model.minimize(AffineExpr.variable("t"))
+        solution = ExactSimplexBackend().solve(model)
+        assert solution.status is LPStatus.OPTIMAL
+        assert solution.values["t"] == Fraction(100)
+
+    def test_quadratic_threshold(self):
+        # min t s.t. box => t - x*y >= 0 gives t = 100 (needs K = 2).
+        constraint = ImplicationConstraint(
+            premise=box({"x": (1, 10), "y": (1, 10)}),
+            consequent=TemplatePolynomial.from_symbol("t")
+            - TemplatePolynomial.from_polynomial(X * Y),
+            name="quad",
+        )
+        model = LPModel()
+        encode_implication(constraint, model, FreshNameGenerator(), 2)
+        from repro.poly.linexpr import AffineExpr
+
+        model.minimize(AffineExpr.variable("t"))
+        solution = ExactSimplexBackend().solve(model)
+        assert solution.values["t"] == Fraction(100)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.integers(-3, 3), st.integers(-3, 3),
+                          st.integers(0, 5)),
+                min_size=1, max_size=3),
+       st.integers(1, 3))
+def test_certified_combinations_are_pointwise_sound(rows, max_factors):
+    """Whatever the LP certifies really is nonnegative on the premise."""
+    premise = list(box({"x": (0, 4), "y": (0, 4)}))
+    premise += [
+        LinIneq(Fraction(a) * LinIneq.geq(X, 0).expr
+                + Fraction(b) * LinIneq.geq(Y, 0).expr + Fraction(c))
+        for a, b, c in rows
+    ]
+    products = generate_products([p.expr.to_polynomial() for p in premise],
+                                 max_factors)
+    # Every product must be nonnegative wherever the premise holds.
+    for x in range(0, 5):
+        for y in range(0, 5):
+            point = {"x": x, "y": y}
+            if all(p.holds(point) for p in premise):
+                for product in products:
+                    assert product.evaluate(point) >= 0

@@ -1,0 +1,89 @@
+"""Tests for automatic cost instrumentation."""
+
+import pytest
+
+from repro.lang import load_program, lower_program, parse_program
+from repro.lang.instrument import (
+    LOOP_BOUND_MODEL,
+    STEP_COUNT_MODEL,
+    CostModel,
+    count_ticks,
+    instrument,
+)
+from repro.lang.typecheck import check_program
+from repro.ts import CostSearch
+
+PLAIN = """
+proc p(n) {
+  assume(1 <= n && n <= 10);
+  var i = 0;
+  while (i < n) {
+    if (i < 5) { i = i + 1; } else { i = i + 2; }
+  }
+}
+"""
+
+
+def lower(program):
+    check_program(program)
+    return lower_program(program)
+
+
+class TestLoopBoundModel:
+    def test_cost_equals_trip_count(self):
+        program = instrument(parse_program(PLAIN), LOOP_BOUND_MODEL)
+        system = lower(program).system
+        search = CostSearch(system)
+        # 1 per iteration: n iterations while i < 5, then ceil steps.
+        low, high = search.cost_bounds({"n": 4, "i": 0})
+        assert low == high == 4
+        low, high = search.cost_bounds({"n": 8, "i": 0})
+        assert low == high == 5 + 2  # i: 0..5 by ones, then 5->7->9
+
+    def test_original_ast_untouched(self):
+        original = parse_program(PLAIN)
+        instrument(original, LOOP_BOUND_MODEL)
+        assert count_ticks(original.body) == 0
+
+    def test_existing_ticks_preserved(self):
+        source = PLAIN.replace("{ i = i + 1; }", "{ tick(7); i = i + 1; }")
+        program = instrument(parse_program(source), LOOP_BOUND_MODEL)
+        assert count_ticks(program.body) == 2
+
+
+class TestStepCountModel:
+    def test_assignments_and_branches_charged(self):
+        program = instrument(parse_program(PLAIN), STEP_COUNT_MODEL)
+        # var i = 0 (assignment) + branch + two branch-arm assignments.
+        assert count_ticks(program.body) == 4
+
+    def test_executable_after_instrumentation(self):
+        program = instrument(parse_program(PLAIN), STEP_COUNT_MODEL)
+        system = lower(program).system
+        search = CostSearch(system)
+        low, high = search.cost_bounds({"n": 2, "i": 0})
+        # decl(1) + per iteration: branch(1) + assign(1) = 2 * 2.
+        assert low == high == 1 + 2 * 2
+
+
+class TestCostModelValidation:
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel()
+
+    def test_diffcost_on_instrumented_pair(self):
+        from repro import analyze_diffcost
+        from repro.lang.lower import lower_program as lower_fn
+
+        old_ast = instrument(parse_program(PLAIN), LOOP_BOUND_MODEL)
+        new_ast = instrument(
+            parse_program(PLAIN), CostModel(loop_iteration=2)
+        )
+        check_program(old_ast)
+        check_program(new_ast)
+        old = lower_fn(old_ast, name="old")
+        new = lower_fn(new_ast, name="new")
+        result = analyze_diffcost(old, new)
+        assert result.is_threshold
+        # New charges double: diff = trip count <= 10.
+        assert float(result.threshold) >= 10 - 1e-6

@@ -1,0 +1,217 @@
+"""Unit and property tests for concrete execution and cost search."""
+
+import random
+
+import pytest
+
+from repro.errors import InterpreterError, NonTerminationError
+from repro.lang import load_program
+from repro.poly.polynomial import Polynomial
+from repro.ts import (
+    CostSearch,
+    Interpreter,
+    LinIneq,
+    TransitionSystemBuilder,
+)
+from repro.ts.interpreter import first_choice, random_choice
+
+X = Polynomial.variable("x")
+N = Polynomial.variable("n")
+
+
+def countdown_system():
+    """while (x > 0) { tick(1); x-- }"""
+    builder = TransitionSystemBuilder("countdown", ["x"])
+    builder.assume_init_box({"x": (0, 50)})
+    builder.transition("l0", "l0", guard=[LinIneq.geq(X, 1)],
+                       updates={"x": X - 1}, cost=1)
+    builder.transition("l0", "l_out", guard=[LinIneq.leq(X, 0)])
+    return builder.build("l0", "l_out")
+
+
+class TestInterpreter:
+    def test_run_cost_equals_initial_value(self):
+        interpreter = Interpreter(countdown_system())
+        run = interpreter.run({"x": 7})
+        assert run.cost == 7
+        assert run.length == 8
+        assert run.locations()[-1] == "l_out"
+
+    def test_initial_state_requires_theta0(self):
+        interpreter = Interpreter(countdown_system())
+        with pytest.raises(InterpreterError, match="Theta0"):
+            interpreter.initial_state({"x": -3})
+
+    def test_initial_state_requires_all_variables(self):
+        interpreter = Interpreter(countdown_system())
+        with pytest.raises(InterpreterError, match="missing"):
+            interpreter.initial_state({})
+
+    def test_nontermination_detected(self):
+        builder = TransitionSystemBuilder("loop", ["x"])
+        builder.transition("l0", "l0")
+        builder.transition("l1", "l_out")  # unreachable exit
+        system = builder.build("l0", "l_out")
+        with pytest.raises(NonTerminationError):
+            Interpreter(system, max_steps=100).run({"x": 0})
+
+    def test_random_chooser_still_terminates(self):
+        source = """
+        proc p(n) {
+          assume(1 <= n && n <= 10);
+          var i = 0;
+          while (i < n) {
+            if (*) { tick(2); } else { tick(1); }
+            i = i + 1;
+          }
+        }
+        """
+        system = load_program(source).system
+        interpreter = Interpreter(system)
+        rng = random.Random(3)
+        run = interpreter.run({"n": 5, "i": 0}, random_choice(rng))
+        assert 5 <= run.cost <= 10
+
+    def test_first_choice_deterministic(self):
+        system = countdown_system()
+        interpreter = Interpreter(system)
+        costs = {interpreter.run({"x": 4}, first_choice).cost for _ in range(3)}
+        assert costs == {4}
+
+
+class TestCostSearch:
+    def test_deterministic_bounds_coincide(self):
+        search = CostSearch(countdown_system())
+        assert search.cost_bounds({"x": 9}) == (9, 9)
+
+    def test_nondet_branching_bounds(self):
+        source = """
+        proc p(n) {
+          assume(1 <= n && n <= 10);
+          var i = 0;
+          while (i < n) {
+            if (*) { tick(3); } else { tick(1); }
+            i = i + 1;
+          }
+        }
+        """
+        search = CostSearch(load_program(source).system)
+        assert search.cost_bounds({"n": 4, "i": 0}) == (4, 12)
+
+    def test_bounded_nondet_assignment(self):
+        source = """
+        proc p(n) {
+          assume(1 <= n && n <= 5);
+          var k = 0;
+          k = nondet(0, n);
+          tick(k);
+        }
+        """
+        search = CostSearch(load_program(source).system)
+        assert search.cost_bounds({"n": 3, "k": 0}) == (0, 3)
+
+    def test_blocked_assume_prunes_runs(self):
+        source = """
+        proc p(n) {
+          assume(1 <= n && n <= 5);
+          var k = 0;
+          k = nondet(0, 10);
+          assume(k >= 5);
+          tick(k);
+        }
+        """
+        search = CostSearch(load_program(source).system)
+        assert search.cost_bounds({"n": 1, "k": 0}) == (5, 10)
+
+    def test_all_runs_blocked_raises(self):
+        source = """
+        proc p(n) {
+          assume(1 <= n && n <= 5);
+          var k = 0;
+          k = nondet(0, 3);
+          assume(k >= 7);
+          tick(1);
+        }
+        """
+        search = CostSearch(load_program(source).system)
+        with pytest.raises(InterpreterError, match="no terminating run"):
+            search.cost_bounds({"n": 1, "k": 0})
+
+    def test_unbounded_nondet_rejected(self):
+        builder = TransitionSystemBuilder("havoc", ["x"])
+        builder.transition("l0", "l_out",
+                           updates={"x": builder.havoc("x")}, cost=1)
+        system = builder.build("l0", "l_out")
+        with pytest.raises(InterpreterError, match="bounded"):
+            CostSearch(system).cost_bounds({"x": 0})
+
+    def test_negative_costs(self):
+        source = """
+        proc p(n) {
+          assume(1 <= n && n <= 10);
+          var i = 0;
+          while (i < n) {
+            tick(2);
+            if (*) { tick(-1); }
+            i = i + 1;
+          }
+        }
+        """
+        search = CostSearch(load_program(source).system)
+        assert search.cost_bounds({"n": 3, "i": 0}) == (3, 6)
+
+    def test_memoization_handles_large_counts(self):
+        # 2^20 paths without memoization; instant with it.
+        source = """
+        proc p(n) {
+          assume(20 <= n && n <= 20);
+          var i = 0;
+          while (i < n) {
+            if (*) { tick(1); } else { tick(2); }
+            i = i + 1;
+          }
+        }
+        """
+        search = CostSearch(load_program(source).system)
+        assert search.cost_bounds({"n": 20, "i": 0}) == (20, 40)
+
+
+class TestSearchMatchesInterpreter:
+    def test_random_runs_within_search_bounds(self):
+        source = """
+        proc p(n, m) {
+          assume(1 <= n && n <= 6);
+          assume(1 <= m && m <= 6);
+          var i = 0;
+          var k = 0;
+          while (i < n) {
+            k = nondet(0, 2);
+            tick(k);
+            if (*) { tick(1); }
+            i = i + 1;
+          }
+        }
+        """
+        system = load_program(source).system
+        search = CostSearch(system)
+        interpreter = Interpreter(system)
+        rng = random.Random(11)
+        for trial in range(20):
+            inputs = {"n": rng.randint(1, 6), "m": rng.randint(1, 6),
+                      "i": 0, "k": 0}
+            low, high = search.cost_bounds(inputs)
+            state = interpreter.initial_state(inputs)
+            while not interpreter.is_terminal(state):
+                options = interpreter.enabled(state)
+                transition = rng.choice(options)
+                nondet = {}
+                from repro.ts.system import NondetUpdate
+                for var, update in transition.updates.items():
+                    if isinstance(update, NondetUpdate):
+                        nondet[var] = rng.randint(
+                            int(update.lower.evaluate(state.values())),
+                            int(update.upper.evaluate(state.values())),
+                        )
+                state = interpreter.apply(state, transition, nondet)
+            cost = state["cost"]
+            assert low <= cost <= high

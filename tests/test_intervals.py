@@ -1,0 +1,99 @@
+"""Unit and property tests for interval arithmetic."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.invariants.intervals import Interval, polynomial_range
+from repro.poly.polynomial import Polynomial
+
+X = Polynomial.variable("x")
+Y = Polynomial.variable("y")
+
+
+class TestIntervalBasics:
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(Fraction(2), Fraction(1))
+
+    def test_top_contains_everything(self):
+        assert Interval.top().contains(10**9)
+        assert not Interval.top().is_bounded()
+
+    def test_point(self):
+        point = Interval.point(3)
+        assert point.contains(3)
+        assert not point.contains(4)
+        assert point.is_bounded()
+
+
+class TestIntervalArithmetic:
+    def test_add(self):
+        assert Interval(Fraction(1), Fraction(2)).add(
+            Interval(Fraction(3), Fraction(5))
+        ) == Interval(Fraction(4), Fraction(7))
+
+    def test_add_infinite(self):
+        result = Interval(Fraction(1), None).add(Interval.point(1))
+        assert result.lower == 2 and result.upper is None
+
+    def test_negate(self):
+        assert Interval(Fraction(1), Fraction(3)).negate() == \
+            Interval(Fraction(-3), Fraction(-1))
+
+    def test_scale_negative(self):
+        assert Interval(Fraction(1), Fraction(2)).scale(Fraction(-2)) == \
+            Interval(Fraction(-4), Fraction(-2))
+
+    def test_multiply_sign_cases(self):
+        assert Interval(Fraction(-2), Fraction(3)).multiply(
+            Interval(Fraction(-1), Fraction(4))
+        ) == Interval(Fraction(-8), Fraction(12))
+
+    def test_power_even_is_nonnegative_at_endpoints(self):
+        squared = Interval(Fraction(-3), Fraction(2)).power(2)
+        assert squared.upper == 9
+        # Endpoint-based power is sound though not optimal.
+        assert squared.contains(0)
+
+    def test_hull(self):
+        assert Interval.point(1).hull(Interval.point(5)) == \
+            Interval(Fraction(1), Fraction(5))
+
+
+class TestPolynomialRange:
+    def test_affine(self):
+        result = polynomial_range(
+            2 * X - Y + 1,
+            {"x": Interval(Fraction(0), Fraction(3)),
+             "y": Interval(Fraction(1), Fraction(2))},
+        )
+        assert result == Interval(Fraction(-1), Fraction(6))
+
+    def test_missing_variable_is_unbounded(self):
+        result = polynomial_range(X + Y, {"x": Interval.point(0)})
+        assert not result.is_bounded()
+
+    def test_product(self):
+        result = polynomial_range(
+            X * Y,
+            {"x": Interval(Fraction(1), Fraction(10)),
+             "y": Interval(Fraction(2), Fraction(3))},
+        )
+        assert result == Interval(Fraction(2), Fraction(30))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(-5, 5), st.integers(0, 4), st.integers(-5, 5),
+       st.integers(0, 4), st.integers(0, 3), st.integers(0, 3))
+def test_polynomial_range_is_sound(x_lo, x_width, y_lo, y_width, ex, ey):
+    poly = (X ** ex) * (Y ** ey) - 2 * X + Y
+    bounds = {
+        "x": Interval(Fraction(x_lo), Fraction(x_lo + x_width)),
+        "y": Interval(Fraction(y_lo), Fraction(y_lo + y_width)),
+    }
+    value_range = polynomial_range(poly, bounds)
+    for x in range(x_lo, x_lo + x_width + 1):
+        for y in range(y_lo, y_lo + y_width + 1):
+            assert value_range.contains(poly.evaluate({"x": x, "y": y}))

@@ -1,0 +1,353 @@
+"""Tests for the `imp` frontend: lexer, parser, typechecker, lowering."""
+
+import pytest
+
+from repro.errors import (
+    LexerError,
+    LoweringError,
+    ParseError,
+    TypecheckError,
+)
+from repro.lang import load_program, parse_program
+from repro.lang.lexer import tokenize
+from repro.lang.typecheck import check_program
+from repro.ts import CostSearch
+from repro.ts.system import NondetUpdate
+
+
+class TestLexer:
+    def test_tokens_and_positions(self):
+        tokens = tokenize("proc p() {\n  x = 1;\n}")
+        assert [t.text for t in tokens[:4]] == ["proc", "p", "(", ")"]
+        assert tokens[5].line == 2  # 'x'
+
+    def test_comments_ignored(self):
+        tokens = tokenize("x # comment\n// other\ny")
+        assert [t.text for t in tokens if t.kind != "eof"] == ["x", "y"]
+
+    def test_multichar_operators(self):
+        tokens = tokenize("<= >= == != && || **")
+        assert [t.text for t in tokens if t.kind != "eof"] == \
+            ["<=", ">=", "==", "!=", "&&", "||", "**"]
+
+    def test_invalid_character(self):
+        with pytest.raises(LexerError):
+            tokenize("x @ y")
+
+
+class TestParser:
+    def test_full_program_shape(self):
+        program = parse_program("""
+            proc demo(n, m) {
+              assume(1 <= n && n <= 10);
+              var i = 0;
+              while (i < n) { tick(1); i = i + 1; }
+            }
+        """)
+        assert program.name == "demo"
+        assert program.params == ["n", "m"]
+        assert len(program.body) == 3
+
+    def test_else_if_chains(self):
+        program = parse_program("""
+            proc p(x) {
+              if (x < 0) { skip; } else if (x < 10) { skip; } else { skip; }
+            }
+        """)
+        outer = program.body[0]
+        assert len(outer.else_body) == 1
+
+    def test_boolean_parentheses(self):
+        program = parse_program("""
+            proc p(x, y) {
+              if ((x < 1 || y < 1) && x < y) { skip; }
+            }
+        """)
+        assert program.body
+
+    def test_negation_pushes_inward(self):
+        program = parse_program("proc p(x) { if (!(x < 1)) { skip; } }")
+        cond = program.body[0].cond
+        assert str(cond) == "x >= 1"
+
+    def test_nondet_assignment_forms(self):
+        program = parse_program("""
+            proc p(x) {
+              var k;
+              k = nondet();
+              k = nondet(0, x);
+            }
+        """)
+        assert program.body[1].lower is None
+        assert program.body[2].upper is not None
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_program("proc p() { skip }")
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse_program("proc p() { skip;")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("proc p() {\n  x = ;\n}")
+        assert excinfo.value.line == 2
+
+    def test_lexer_error_carries_position(self):
+        with pytest.raises(LexerError) as excinfo:
+            parse_program("proc p() {\n  ?\n}")
+        assert excinfo.value.line == 2
+
+
+class TestTypecheck:
+    def check(self, body: str):
+        check_program(parse_program(f"proc p(n) {{ {body} }}"))
+
+    def test_undeclared_variable(self):
+        with pytest.raises(TypecheckError, match="undeclared"):
+            self.check("x = 1;")
+
+    def test_duplicate_declaration(self):
+        with pytest.raises(TypecheckError, match="already declared"):
+            self.check("var a = 1; var a = 2;")
+
+    def test_cost_reserved(self):
+        with pytest.raises(TypecheckError, match="reserved"):
+            self.check("var cost = 0;")
+        with pytest.raises(TypecheckError, match="may not be read"):
+            self.check("tick(cost);")
+
+    def test_nonaffine_guard_rejected(self):
+        with pytest.raises(TypecheckError, match="affine"):
+            self.check("if (n * n < 4) { skip; }")
+
+    def test_nonaffine_tick_allowed(self):
+        self.check("tick(n * n);")
+
+    def test_star_only_in_branch_conditions(self):
+        with pytest.raises(TypecheckError):
+            self.check("assume(*);")
+        with pytest.raises(TypecheckError, match="'\\*'"):
+            self.check("if (* && n < 1) { skip; }")
+
+    def test_invariant_position_enforced(self):
+        with pytest.raises(TypecheckError, match="start of a loop body"):
+            self.check("invariant(n >= 0);")
+        self.check("while (n > 0) { invariant(n >= 1); n = n - 1; }")
+
+    def test_invariant_must_be_conjunction(self):
+        with pytest.raises(TypecheckError, match="conjunction"):
+            self.check(
+                "while (n > 0) { invariant(n >= 1 || n <= 5); n = n - 1; }"
+            )
+
+
+class TestLowering:
+    def test_join_structure_matches_paper_fig2(self):
+        # Same shape as Appendix A: entry, outer head, inner head, exit.
+        lowered = load_program("""
+            proc join(lenA, lenB) {
+              assume(1 <= lenA && lenA <= 100);
+              assume(1 <= lenB && lenB <= 100);
+              var i = 0;
+              var j = 0;
+              while (i < lenA) {
+                j = 0;
+                while (j < lenB) { tick(1); j = j + 1; }
+                i = i + 1;
+              }
+            }
+        """)
+        system = lowered.system
+        assert len(system.locations) == 4  # l0, outer, inner, l_out
+        assert set(system.variables) == {"lenA", "lenB", "i", "j", "cost"}
+
+    def test_leading_assumes_become_theta0(self):
+        system = load_program("""
+            proc p(n) { assume(1 <= n && n <= 9); tick(n); }
+        """).system
+        assert any("n" in str(c) for c in system.init_constraint)
+
+    def test_declared_vars_zero_initialized_in_theta0(self):
+        system = load_program("proc p(n) { var i = 0; tick(1); }").system
+        from repro.ts.guards import all_hold
+
+        assert all_hold(system.init_constraint, {"n": 0, "i": 0})
+        assert not all_hold(system.init_constraint, {"n": 0, "i": 1})
+
+    def test_straightline_fuses_to_one_transition(self):
+        system = load_program("""
+            proc p(n) { var a = n + 1; var b = a * a; tick(b); }
+        """).system
+        assert len(system.transitions) == 1
+        # b's update reads through a's pending update: (n+1)^2.
+        transition = system.transitions[0]
+        update = transition.updates["b"]
+        assert update.evaluate({"n": 3, "a": 0, "b": 0}) == 16
+
+    def test_nondet_read_forces_materialization(self):
+        system = load_program("""
+            proc p(n) {
+              var k = 0;
+              k = nondet(0, n);
+              tick(k);
+            }
+        """).system
+        assert len(system.transitions) == 2  # havoc, then read
+
+    def test_if_star_duplicates_frontier(self):
+        system = load_program("""
+            proc p(n) { if (*) { tick(1); } else { tick(2); } }
+        """).system
+        costs = sorted(
+            int(t.cost_delta().constant_term) for t in system.transitions
+        )
+        assert costs == [1, 2]
+
+    def test_disjunctive_guard_splits_transitions(self):
+        system = load_program("""
+            proc p(n) {
+              var i = 0;
+              while (i < n || i < 5) { tick(1); i = i + 1; }
+            }
+        """).system
+        loop_entries = [
+            t for t in system.transitions if t.cost_delta() != 0
+        ]
+        assert len(loop_entries) == 2
+
+    def test_invariant_hints_attached_to_loop_head(self):
+        lowered = load_program("""
+            proc p(n) {
+              assume(1 <= n && n <= 5);
+              var i = 0;
+              while (i < n) {
+                invariant(i >= 0 && i <= n);
+                tick(1);
+                i = i + 1;
+              }
+            }
+        """)
+        assert len(lowered.invariant_hints) == 1
+        (hints,) = lowered.invariant_hints.values()
+        assert len(hints) == 2
+
+    def test_while_star(self):
+        system = load_program("""
+            proc p(n) {
+              var i = 0;
+              while (*) {
+                assume(i < n);
+                tick(1);
+                i = i + 1;
+              }
+            }
+        """).system
+        search = CostSearch(system)
+        low, high = search.cost_bounds({"n": 3, "i": 0})
+        assert (low, high) == (0, 3)
+
+    def test_equality_guard(self):
+        system = load_program("""
+            proc p(n) { if (n == 3) { tick(1); } }
+        """).system
+        search = CostSearch(system)
+        assert search.cost_bounds({"n": 3}) == (1, 1)
+        assert search.cost_bounds({"n": 2}) == (0, 0)
+
+    def test_not_equal_guard(self):
+        system = load_program("""
+            proc p(n) { if (n != 3) { tick(1); } }
+        """).system
+        search = CostSearch(system)
+        assert search.cost_bounds({"n": 3}) == (0, 0)
+        assert search.cost_bounds({"n": 5}) == (1, 1)
+
+    def test_semantics_join_cost(self):
+        old = load_program("""
+            proc join(lenA, lenB) {
+              assume(1 <= lenA && lenA <= 100);
+              assume(1 <= lenB && lenB <= 100);
+              var i = 0;
+              var j = 0;
+              while (i < lenA) {
+                j = 0;
+                while (j < lenB) { tick(1); j = j + 1; }
+                i = i + 1;
+              }
+            }
+        """)
+        search = CostSearch(old.system)
+        for lena, lenb in [(1, 1), (2, 5), (4, 3)]:
+            inputs = {"lenA": lena, "lenB": lenb, "i": 0, "j": 0}
+            assert search.cost_bounds(inputs) == (lena * lenb, lena * lenb)
+
+    def test_load_program_from_file(self, tmp_path):
+        path = tmp_path / "prog.imp"
+        path.write_text("proc p(n) { tick(n); }")
+        lowered = load_program(str(path))
+        assert lowered.system.name == "p"
+
+
+class TestForLoops:
+    def test_for_desugars_to_while(self):
+        system = load_program("""
+            proc p(n) {
+              assume(1 <= n && n <= 8);
+              for (i = 0; i < n; i = i + 1) { tick(2); }
+            }
+        """).system
+        assert CostSearch(system).cost_bounds({"n": 5, "i": 0}) == (10, 10)
+
+    def test_for_variable_is_declared_by_init(self):
+        from repro.errors import TypecheckError
+
+        with pytest.raises(TypecheckError, match="already declared"):
+            load_program("""
+                proc p(n) {
+                  var i = 0;
+                  for (i = 0; i < n; i = i + 1) { skip; }
+                }
+            """)
+
+    def test_nested_for(self):
+        system = load_program("""
+            proc p(n, m) {
+              assume(1 <= n && n <= 5);
+              assume(1 <= m && m <= 5);
+              for (i = 0; i < n; i = i + 1) {
+                for (j = 0; j < m; j = j + 1) { tick(1); }
+              }
+            }
+        """).system
+        bounds = CostSearch(system).cost_bounds({"n": 3, "m": 4, "i": 0, "j": 0})
+        assert bounds == (12, 12)
+
+    def test_nested_for_reuses_inner_name(self):
+        # The inner for re-declares j on every textual occurrence; two
+        # sibling fors must therefore use distinct names.
+        from repro.errors import TypecheckError
+
+        with pytest.raises(TypecheckError, match="already declared"):
+            load_program("""
+                proc p(n) {
+                  for (i = 0; i < n; i = i + 1) { skip; }
+                  for (i = 0; i < n; i = i + 1) { skip; }
+                }
+            """)
+
+    def test_for_step_may_update_other_variable(self):
+        system = load_program("""
+            proc p(n) {
+              assume(1 <= n && n <= 6);
+              var total = 0;
+              for (i = 0; i < n; total = total + 1) {
+                i = i + 1;
+                tick(1);
+              }
+            }
+        """).system
+        assert CostSearch(system).cost_bounds(
+            {"n": 4, "i": 0, "total": 0}
+        ) == (4, 4)

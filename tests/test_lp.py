@@ -1,0 +1,184 @@
+"""Unit, integration and property tests for the LP layer."""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LPError
+from repro.lp import (
+    ExactSimplexBackend,
+    LPModel,
+    LPStatus,
+    ScipyBackend,
+    get_backend,
+)
+from repro.poly.linexpr import AffineExpr
+
+X = AffineExpr.variable("x")
+Y = AffineExpr.variable("y")
+
+
+def both_backends():
+    return [ScipyBackend(), ExactSimplexBackend()]
+
+
+class TestLPModel:
+    def test_variables_registered_implicitly(self):
+        model = LPModel()
+        model.add_inequality(X + Y)
+        assert set(model.variable_names) == {"x", "y"}
+
+    def test_bounds_tighten_on_redeclare(self):
+        model = LPModel()
+        model.add_variable("x", 0, 10)
+        model.add_variable("x", 2, None)
+        assert model.bounds("x") == (2, 10)
+
+    def test_unknown_sense_rejected(self):
+        from repro.lp.model import Constraint
+
+        with pytest.raises(LPError):
+            Constraint(X, "<=")
+
+    def test_check_assignment_reports_violations(self):
+        model = LPModel()
+        model.add_variable("x", 0)
+        model.add_equality(X - 1)
+        assert model.check_assignment({"x": 1}) == []
+        assert len(model.check_assignment({"x": -2})) == 2
+
+    def test_maximize_negates(self):
+        model = LPModel()
+        model.maximize(X)
+        assert model.objective.expr == -X
+
+
+class TestBackendsAgree:
+    @pytest.mark.parametrize("backend", both_backends(),
+                             ids=lambda b: b.name)
+    def test_simple_optimum(self, backend):
+        model = LPModel()
+        model.add_variable("x", 0)
+        model.add_variable("y", 0)
+        model.add_inequality(4 - X - Y)       # x + y <= 4
+        model.add_inequality(2 - X + Y)       # x - y <= 2
+        model.minimize(-(X + 2 * Y))          # max x + 2y -> 8
+        solution = backend.solve(model)
+        assert solution.status is LPStatus.OPTIMAL
+        assert float(solution.objective_value) == pytest.approx(-8)
+
+    @pytest.mark.parametrize("backend", both_backends(),
+                             ids=lambda b: b.name)
+    def test_infeasible(self, backend):
+        model = LPModel()
+        model.add_variable("x", 0)
+        model.add_equality(X + 1)
+        assert backend.solve(model).status is LPStatus.INFEASIBLE
+
+    @pytest.mark.parametrize("backend", both_backends(),
+                             ids=lambda b: b.name)
+    def test_unbounded(self, backend):
+        model = LPModel()
+        model.add_inequality(X)
+        model.minimize(-X)
+        assert backend.solve(model).status is LPStatus.UNBOUNDED
+
+    @pytest.mark.parametrize("backend", both_backends(),
+                             ids=lambda b: b.name)
+    def test_free_variables_in_equalities(self, backend):
+        model = LPModel()
+        model.add_equality(X + Y - 3)
+        model.add_inequality(X - 1)
+        model.minimize(X - Y)
+        solution = backend.solve(model)
+        assert solution.status is LPStatus.OPTIMAL
+        assert float(solution.objective_value) == pytest.approx(-1)
+
+    @pytest.mark.parametrize("backend", both_backends(),
+                             ids=lambda b: b.name)
+    def test_upper_bounded_only_variable(self, backend):
+        model = LPModel()
+        model.add_variable("x", None, 5)
+        model.minimize(-X)
+        solution = backend.solve(model)
+        assert solution.status is LPStatus.OPTIMAL
+        assert float(solution.value("x")) == pytest.approx(5)
+
+    @pytest.mark.parametrize("backend", both_backends(),
+                             ids=lambda b: b.name)
+    def test_two_sided_bounds(self, backend):
+        model = LPModel()
+        model.add_variable("x", -3, 7)
+        model.minimize(X)
+        solution = backend.solve(model)
+        assert float(solution.value("x")) == pytest.approx(-3)
+
+    def test_exact_backend_returns_fractions(self):
+        model = LPModel()
+        model.add_variable("x", 0)
+        model.add_equality(X.scale(3) - 1)
+        solution = ExactSimplexBackend().solve(model)
+        assert solution.values["x"] == Fraction(1, 3)
+
+    def test_feasibility_problem_without_objective(self):
+        model = LPModel()
+        model.add_variable("x", 0)
+        model.add_inequality(X - 2)
+        for backend in both_backends():
+            solution = backend.solve(model)
+            assert solution.status is LPStatus.OPTIMAL
+            assert solution.objective_value is None
+
+    def test_empty_bounds_rejected_exact(self):
+        model = LPModel()
+        model.add_variable("x", 5, 2)
+        with pytest.raises(LPError):
+            ExactSimplexBackend().solve(model)
+
+    def test_get_backend(self):
+        assert get_backend("scipy").name == "scipy"
+        assert get_backend("exact").name == "exact"
+        with pytest.raises(LPError):
+            get_backend("gurobi")
+
+
+@st.composite
+def random_lp(draw):
+    """Small random LPs with mixed bounds and constraint senses."""
+    rng_vars = ["v0", "v1", "v2", "v3"]
+    model = LPModel()
+    for name in rng_vars:
+        if draw(st.booleans()):
+            model.add_variable(name, 0)
+        if draw(st.integers(0, 3)) == 0:
+            model.add_variable(name, None, draw(st.integers(1, 10)))
+    num_constraints = draw(st.integers(1, 5))
+    for _ in range(num_constraints):
+        expr = AffineExpr.constant(draw(st.integers(-5, 5)))
+        for name in rng_vars:
+            expr = expr + draw(st.integers(-3, 3)) * AffineExpr.variable(name)
+        if draw(st.booleans()):
+            model.add_equality(expr)
+        else:
+            model.add_inequality(expr)
+    objective = AffineExpr.zero()
+    for name in rng_vars:
+        objective = objective + draw(st.integers(-2, 2)) * AffineExpr.variable(name)
+    model.minimize(objective)
+    return model
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_lp())
+def test_backends_agree_on_random_instances(model):
+    scipy_solution = ScipyBackend().solve(model)
+    exact_solution = ExactSimplexBackend().solve(model)
+    assert scipy_solution.status == exact_solution.status
+    if scipy_solution.status is LPStatus.OPTIMAL:
+        assert float(scipy_solution.objective_value) == pytest.approx(
+            float(exact_solution.objective_value), abs=1e-6
+        )
+        # The exact optimum must satisfy the model exactly.
+        assert model.check_assignment(exact_solution.values) == []

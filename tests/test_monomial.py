@@ -1,0 +1,89 @@
+"""Unit tests for monomials."""
+
+import pytest
+
+from repro.poly.monomial import Monomial, monomials_up_to_degree
+
+
+class TestMonomialBasics:
+    def test_one_is_constant(self):
+        assert Monomial.one().is_constant()
+        assert Monomial.one().degree == 0
+        assert str(Monomial.one()) == "1"
+
+    def test_zero_exponents_dropped(self):
+        assert Monomial({"x": 0}) == Monomial.one()
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            Monomial({"x": -1})
+
+    def test_non_integer_exponent_rejected(self):
+        with pytest.raises(TypeError):
+            Monomial({"x": 1.5})
+
+    def test_degree_sums_exponents(self):
+        assert Monomial({"x": 2, "y": 3}).degree == 5
+
+    def test_of_builds_single_variable(self):
+        mono = Monomial.of("x", 3)
+        assert mono.exponent("x") == 3
+        assert mono.exponent("y") == 0
+
+    def test_is_linear(self):
+        assert Monomial.of("x").is_linear()
+        assert not Monomial.of("x", 2).is_linear()
+        assert not Monomial({"x": 1, "y": 1}).is_linear()
+        assert not Monomial.one().is_linear()
+
+    def test_str_renders_powers(self):
+        assert str(Monomial({"x": 2, "y": 1})) == "x^2*y"
+
+
+class TestMonomialOperations:
+    def test_multiply_adds_exponents(self):
+        product = Monomial.of("x") * Monomial({"x": 1, "y": 2})
+        assert product == Monomial({"x": 2, "y": 2})
+
+    def test_divides(self):
+        assert Monomial.of("x").divides(Monomial({"x": 2, "y": 1}))
+        assert not Monomial.of("z").divides(Monomial({"x": 2}))
+
+    def test_evaluate(self):
+        assert Monomial({"x": 2, "y": 1}).evaluate({"x": 3, "y": 4}) == 36
+
+    def test_rename_merges(self):
+        renamed = Monomial({"x": 1, "y": 2}).rename({"x": "y"})
+        assert renamed == Monomial({"y": 3})
+
+    def test_ordering_by_degree_then_lex(self):
+        x, y = Monomial.of("x"), Monomial.of("y")
+        assert Monomial.one() < x < y < x * x
+
+    def test_hashable_and_equal(self):
+        assert hash(Monomial({"x": 1})) == hash(Monomial({"x": 1}))
+        assert len({Monomial.of("x"), Monomial.of("x")}) == 1
+
+
+class TestMonomialEnumeration:
+    def test_degree_zero(self):
+        assert monomials_up_to_degree(["x"], 0) == [Monomial.one()]
+
+    def test_two_variables_degree_two(self):
+        # Degree-lexicographic: within degree 2, x*y sorts before x^2
+        # because the exponent tuple ('x', 1) precedes ('x', 2).
+        names = [str(m) for m in monomials_up_to_degree(["x", "y"], 2)]
+        assert names == ["1", "x", "y", "x*y", "x^2", "y^2"]
+
+    def test_count_matches_binomial(self):
+        # C(n + d, d) monomials of degree <= d over n variables.
+        result = monomials_up_to_degree(["a", "b", "c"], 3)
+        assert len(result) == 20
+
+    def test_duplicates_in_input_ignored(self):
+        assert (monomials_up_to_degree(["x", "x"], 1)
+                == monomials_up_to_degree(["x"], 1))
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ValueError):
+            monomials_up_to_degree(["x"], -1)

@@ -1,0 +1,171 @@
+"""Tests for the naive two-pass baseline and the certificate checker."""
+
+import random
+
+import pytest
+
+from repro import analyze_diffcost, load_program, naive_diffcost
+from repro.core.checker import (
+    CertificateChecker,
+    certify_implications_exact,
+    sample_inputs,
+)
+from repro.core.potentials import ANTI_POTENTIAL, POTENTIAL, PotentialFunction
+from repro.errors import CertificateError
+from repro.poly.polynomial import Polynomial
+
+OLD = """
+proc p(n) {
+  assume(1 <= n && n <= 10);
+  var i = 0;
+  while (i < n) { tick(1); i = i + 1; }
+}
+"""
+
+NEW = """
+proc p(n) {
+  assume(1 <= n && n <= 10);
+  var i = 0;
+  while (i < n) { tick(2); i = i + 1; }
+}
+"""
+
+
+class TestNaiveBaseline:
+    def test_naive_is_sound(self):
+        old = load_program(OLD, name="old")
+        new = load_program(NEW, name="new")
+        result = naive_diffcost(old, new)
+        assert result.is_threshold
+        # True max diff is 2n - n = 10; naive must be >= that.
+        assert float(result.threshold) >= 10 - 1e-6
+
+    def test_naive_never_beats_simultaneous(self):
+        old = load_program(OLD, name="old")
+        new = load_program(NEW, name="new")
+        simultaneous = analyze_diffcost(old, new)
+        naive = naive_diffcost(old, new)
+        assert float(naive.threshold) >= float(simultaneous.threshold) - 1e-6
+
+    def test_naive_loses_on_relational_pair(self):
+        # Equivalent versions whose cost min(n, m) is disjunctive: the
+        # simultaneous analysis coordinates phi and chi so most of the
+        # over-approximation cancels; the naive passes optimize each
+        # unary bound at the box center and cannot coordinate.
+        source = """
+        proc p(n, m) {
+          assume(1 <= n && n <= 10);
+          assume(1 <= m && m <= 10);
+          var x = 0;
+          while (x < n && x < m) { tick(1); x = x + 1; }
+        }
+        """
+        old = load_program(source, name="old")
+        new = load_program(source, name="new")
+        simultaneous = analyze_diffcost(old, new)
+        naive = naive_diffcost(old, new)
+        assert float(naive.threshold) > float(simultaneous.threshold) + 1
+
+
+class TestRunBasedChecker:
+    def _result(self):
+        old = load_program(OLD, name="old")
+        new = load_program(NEW, name="new")
+        return old, new, analyze_diffcost(old, new)
+
+    def test_valid_certificates_pass(self):
+        old, new, result = self._result()
+        checker = CertificateChecker(tolerance=1e-5)
+        inputs = sample_inputs(new.system, 5, random.Random(0))
+        checker.check_potential(result.potential_new, inputs).require_ok()
+        checker.check_potential(result.anti_potential_old, inputs).require_ok()
+
+    def test_bogus_potential_rejected(self):
+        old, new, result = self._result()
+        bogus = PotentialFunction(
+            new.system,
+            {location: Polynomial.constant(0)
+             for location in new.system.locations},
+            POTENTIAL,
+        )
+        checker = CertificateChecker(tolerance=1e-5)
+        inputs = sample_inputs(new.system, 3, random.Random(0))
+        report = checker.check_potential(bogus, inputs)
+        assert not report.ok
+        with pytest.raises(CertificateError):
+            report.require_ok()
+
+    def test_bogus_anti_potential_rejected(self):
+        old, new, result = self._result()
+        bogus = PotentialFunction(
+            old.system,
+            {location: Polynomial.constant(10**6)
+             for location in old.system.locations},
+            ANTI_POTENTIAL,
+        )
+        checker = CertificateChecker(tolerance=1e-5)
+        inputs = sample_inputs(old.system, 3, random.Random(0))
+        assert not checker.check_potential(bogus, inputs).ok
+
+    def test_diffcost_check_detects_wrong_threshold(self):
+        old, new, result = self._result()
+        checker = CertificateChecker(tolerance=1e-5)
+        inputs = sample_inputs(new.system, 4, random.Random(2))
+        bad = checker.check_diffcost(
+            old.system, new.system, threshold=0.0,
+            potential_new=result.potential_new,
+            anti_potential_old=result.anti_potential_old,
+            inputs=inputs,
+        )
+        assert not bad.ok
+
+    def test_cost_variable_rejected_in_certificates(self):
+        old, _, _ = self._result()
+        with pytest.raises(CertificateError):
+            PotentialFunction(
+                old.system,
+                {old.system.initial_location: Polynomial.variable("cost")},
+            )
+
+
+class TestExactCertification:
+    def test_exact_backend_certificates_certify(self):
+        from fractions import Fraction
+
+        from repro import AnalysisConfig
+        from repro.core.diffcost import DiffCostAnalyzer, THRESHOLD_SYMBOL
+        from repro.poly.template import TemplatePolynomial
+        from repro.poly.linexpr import AffineExpr
+
+        old = load_program(OLD, name="old")
+        new = load_program(NEW, name="new")
+        analyzer = DiffCostAnalyzer(
+            old, new, AnalysisConfig(lp_backend="exact")
+        )
+        bound = TemplatePolynomial.from_symbol(THRESHOLD_SYMBOL)
+        _old_t, _new_t, constraints = analyzer.build_constraints(bound)
+        model = analyzer.encode(constraints)
+        model.minimize(AffineExpr.variable(THRESHOLD_SYMBOL))
+        solution = analyzer.solve(model)
+        assignment = {
+            name: value for name, value in solution.values.items()
+            if isinstance(value, Fraction)
+        }
+        failures = certify_implications_exact(constraints, assignment, 2)
+        assert failures == []
+
+    def test_certification_flags_invalid_assignment(self):
+        from fractions import Fraction
+
+        from repro.core.diffcost import DiffCostAnalyzer, THRESHOLD_SYMBOL
+        from repro.poly.template import TemplatePolynomial
+
+        old = load_program(OLD, name="old")
+        new = load_program(NEW, name="new")
+        analyzer = DiffCostAnalyzer(old, new)
+        bound = TemplatePolynomial.from_symbol(THRESHOLD_SYMBOL)
+        _o, _n, constraints = analyzer.build_constraints(bound)
+        # All-zero templates with t = -1 violate the diff constraint.
+        assignment = {THRESHOLD_SYMBOL: Fraction(-1)}
+        failures = certify_implications_exact(constraints, assignment, 2)
+        assert any("diffcost" in name for name in failures)

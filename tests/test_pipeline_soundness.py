@@ -1,0 +1,134 @@
+"""End-to-end soundness on a family of structurally diverse pairs.
+
+For every pair: run the full analysis; when a threshold is produced,
+verify against the exhaustive interpreter that (a) the threshold
+dominates the true maximal difference on a small input box, and (b) the
+certificates bound the true costs pointwise.  This is the strongest
+property the library promises (Theorem 4.2 instantiated), checked on
+programs exercising branching, nondeterminism, nested and sequential
+loops, down-counting, non-affine assignments and negative costs.
+"""
+
+import itertools
+
+import pytest
+
+from repro import analyze_diffcost, load_program
+from repro.ts import CostSearch
+from repro.ts.guards import all_hold
+
+BOX = "assume(1 <= n && n <= 4); assume(1 <= m && m <= 4);"
+
+FAMILY = {
+    "branching": (
+        f"proc p(n, m) {{ {BOX} var i = 0;"
+        "  while (i < n) { if (i < m) { tick(1); } else { tick(2); }"
+        "  i = i + 1; } }",
+        f"proc p(n, m) {{ {BOX} var i = 0;"
+        "  while (i < n) { tick(2); i = i + 1; } }",
+    ),
+    "nondet_branch": (
+        f"proc p(n, m) {{ {BOX} var i = 0;"
+        "  while (i < n) { if (*) { tick(1); } i = i + 1; } }",
+        f"proc p(n, m) {{ {BOX} var i = 0;"
+        "  while (i < n) { tick(1); if (*) { tick(1); } i = i + 1; } }",
+    ),
+    "nondet_assign": (
+        f"proc p(n, m) {{ {BOX} var k = 0; k = nondet(0, m); tick(k); }}",
+        f"proc p(n, m) {{ {BOX} var k = 0; k = nondet(1, m + 1); tick(k); }}",
+    ),
+    "nested_vs_flat": (
+        f"proc p(n, m) {{ {BOX} var i = 0; var j = 0;"
+        "  while (i < n) { j = 0; while (j < m) { tick(1); j = j + 1; }"
+        "  i = i + 1; } }",
+        f"proc p(n, m) {{ {BOX} var q = 0; var k = 0; q = n * m;"
+        "  while (k < q) { tick(1); k = k + 1; } tick(1); }",
+    ),
+    "direction_flip": (
+        f"proc p(n, m) {{ {BOX} var i = 0;"
+        "  while (i < n) { tick(1); i = i + 1; } }",
+        f"proc p(n, m) {{ {BOX} var i = n;"
+        "  while (i > 0) { tick(2); i = i - 1; } }",
+    ),
+    "negative_costs": (
+        f"proc p(n, m) {{ {BOX} var i = 0;"
+        "  while (i < n) { tick(2); tick(-1); i = i + 1; } }",
+        f"proc p(n, m) {{ {BOX} var i = 0;"
+        "  while (i < n) { tick(3); if (*) { tick(-1); } i = i + 1; } }",
+    ),
+    "sequential": (
+        f"proc p(n, m) {{ {BOX} var i = 0; var j = 0;"
+        "  while (i < n) { tick(1); i = i + 1; }"
+        "  while (j < m) { j = j + 1; } }",
+        f"proc p(n, m) {{ {BOX} var i = 0; var j = 0;"
+        "  while (i < n) { tick(1); i = i + 1; }"
+        "  while (j < m) { tick(1); j = j + 1; } }",
+    ),
+}
+
+
+def true_max_difference(old_system, new_system) -> int:
+    old_search = CostSearch(old_system)
+    new_search = CostSearch(new_system)
+    best = None
+    for n, m in itertools.product(range(1, 5), repeat=2):
+        probe = {"n": n, "m": m, "cost": 0}
+        probe.update({v: 0 for v in old_system.state_variables
+                      if v not in probe})
+        probe.update({v: 0 for v in new_system.state_variables
+                      if v not in probe})
+        if not all_hold(old_system.init_constraint, probe):
+            continue
+        old_inputs = {v: probe[v] for v in old_system.state_variables}
+        new_inputs = {v: probe[v] for v in new_system.state_variables}
+        old_inf, _ = old_search.cost_bounds(old_inputs)
+        _, new_sup = new_search.cost_bounds(new_inputs)
+        diff = new_sup - old_inf
+        best = diff if best is None else max(best, diff)
+    return best
+
+
+@pytest.mark.parametrize("name", sorted(FAMILY))
+def test_threshold_sound_and_certificates_valid(name):
+    old_source, new_source = FAMILY[name]
+    old = load_program(old_source, name=f"{name}_old")
+    new = load_program(new_source, name=f"{name}_new")
+    result = analyze_diffcost(old, new)
+    assert result.is_threshold, f"{name}: {result.message}"
+
+    truth = true_max_difference(old.system, new.system)
+    assert float(result.threshold) >= truth - 1e-6, (
+        f"{name}: threshold {result.threshold} below true max diff {truth}"
+    )
+
+    # Pointwise certificate validity on every box input.
+    old_search = CostSearch(old.system)
+    new_search = CostSearch(new.system)
+    for n, m in itertools.product(range(1, 5), repeat=2):
+        old_inputs = {v: {"n": n, "m": m}.get(v, 0)
+                      for v in old.system.state_variables}
+        new_inputs = {v: {"n": n, "m": m}.get(v, 0)
+                      for v in new.system.state_variables}
+        probe = dict(old_inputs)
+        probe["cost"] = 0
+        if not all_hold(old.system.init_constraint, probe):
+            continue
+        old_inf, _ = old_search.cost_bounds(old_inputs)
+        _, new_sup = new_search.cost_bounds(new_inputs)
+        phi = float(result.potential_new.initial_value(new_inputs))
+        chi = float(result.anti_potential_old.initial_value(old_inputs))
+        assert phi >= new_sup - 1e-6
+        assert chi <= old_inf + 1e-6
+
+
+@pytest.mark.parametrize("name", ["branching", "direction_flip", "sequential"])
+def test_reverse_direction_also_sound(name):
+    """Swapping old and new must still give a sound (negative-or-zero
+    capable) threshold."""
+    old_source, new_source = FAMILY[name]
+    old = load_program(new_source, name="swapped_old")
+    new = load_program(old_source, name="swapped_new")
+    result = analyze_diffcost(old, new)
+    assert result.is_threshold
+    truth = true_max_difference(old.system, new.system)
+    assert float(result.threshold) >= truth - 1e-6

@@ -1,0 +1,166 @@
+"""Unit and property tests for polynomial arithmetic."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PolynomialError
+from repro.poly.monomial import Monomial
+from repro.poly.polynomial import Polynomial
+from repro.poly.parse import parse_polynomial
+
+X = Polynomial.variable("x")
+Y = Polynomial.variable("y")
+
+
+class TestPolynomialBasics:
+    def test_zero(self):
+        assert Polynomial.zero().is_zero()
+        assert Polynomial.zero().degree == 0
+
+    def test_constant_coefficients_normalized(self):
+        poly = Polynomial({Monomial.of("x"): 0, Monomial.one(): 3})
+        assert poly.monomials() == [Monomial.one()]
+        assert poly.constant_term == 3
+
+    def test_equality_with_numbers(self):
+        assert Polynomial.constant(5) == 5
+        assert Polynomial.zero() == 0
+
+    def test_degree(self):
+        assert (X * X * Y + 1).degree == 3
+
+    def test_variables(self):
+        assert (X * Y + 2).variables == frozenset({"x", "y"})
+
+    def test_is_affine(self):
+        assert (2 * X - Y + 3).is_affine()
+        assert not (X * Y).is_affine()
+
+
+class TestPolynomialArithmetic:
+    def test_add_sub(self):
+        assert (X + Y) - Y == X
+
+    def test_product_difference_of_squares(self):
+        assert (X + Y) * (X - Y) == X * X - Y * Y
+
+    def test_scalar_operations(self):
+        assert 2 * X + 1 == X + X + 1
+        assert (3 - X) + X == 3
+
+    def test_negation(self):
+        assert -(X - Y) == Y - X
+
+    def test_power(self):
+        assert (X + 1) ** 2 == X * X + 2 * X + 1
+        assert X ** 0 == 1
+
+    def test_power_rejects_negative(self):
+        with pytest.raises(PolynomialError):
+            X ** -1
+
+    def test_scale_with_fraction(self):
+        assert (2 * X).scale(Fraction(1, 2)) == X
+
+
+class TestPolynomialEvaluation:
+    def test_evaluate(self):
+        poly = X * X + 2 * Y - 1
+        assert poly.evaluate({"x": 3, "y": 4}) == 16
+
+    def test_substitute(self):
+        poly = X * X
+        assert poly.substitute({"x": Y + 1}) == Y * Y + 2 * Y + 1
+
+    def test_substitute_identity_for_missing(self):
+        assert (X + Y).substitute({"x": X}) == X + Y
+
+    def test_rename(self):
+        assert (X + Y).rename({"x": "y"}) == 2 * Y
+
+
+# -- property tests (ring laws) ------------------------------------------
+
+names = st.sampled_from(["x", "y", "z"])
+coefficients = st.integers(min_value=-4, max_value=4)
+
+
+@st.composite
+def polynomials(draw, max_terms: int = 4, max_degree: int = 3):
+    terms = {}
+    for _ in range(draw(st.integers(0, max_terms))):
+        exponents = {
+            draw(names): draw(st.integers(0, max_degree)) for _ in range(2)
+        }
+        terms[Monomial(exponents)] = draw(coefficients)
+    return Polynomial(terms)
+
+
+@settings(max_examples=60, deadline=None)
+@given(polynomials(), polynomials(), polynomials())
+def test_ring_laws(a, b, c):
+    assert a + b == b + a
+    assert a * b == b * a
+    assert (a + b) + c == a + (b + c)
+    assert (a * b) * c == a * (b * c)
+    assert a * (b + c) == a * b + a * c
+    assert a + Polynomial.zero() == a
+    assert a * Polynomial.constant(1) == a
+    assert a - a == Polynomial.zero()
+
+
+@settings(max_examples=60, deadline=None)
+@given(polynomials(), polynomials(),
+       st.dictionaries(names, st.integers(-5, 5),
+                       min_size=3, max_size=3))
+def test_evaluation_is_homomorphic(a, b, point):
+    assert (a + b).evaluate(point) == a.evaluate(point) + b.evaluate(point)
+    assert (a * b).evaluate(point) == a.evaluate(point) * b.evaluate(point)
+
+
+@settings(max_examples=40, deadline=None)
+@given(polynomials(), st.dictionaries(names, st.integers(-5, 5),
+                                      min_size=3, max_size=3))
+def test_substitution_commutes_with_evaluation(poly, point):
+    substitution = {"x": X + 1, "y": Y * Y, "z": Polynomial.constant(2)}
+    shifted_point = {
+        "x": point["x"] + 1,
+        "y": point["y"] ** 2,
+        "z": 2,
+    }
+    assert poly.substitute(substitution).evaluate(point) == \
+        poly.evaluate(shifted_point)
+
+
+class TestParsePolynomial:
+    def test_paper_annotation(self):
+        poly = parse_polynomial("2*(lenB - i)*lenA - 2*j")
+        expected = (2 * (Polynomial.variable("lenB") - Polynomial.variable("i"))
+                    * Polynomial.variable("lenA")
+                    - 2 * Polynomial.variable("j"))
+        assert poly == expected
+
+    def test_powers(self):
+        assert parse_polynomial("x^2 + x**2") == 2 * X * X
+
+    def test_unary_minus(self):
+        assert parse_polynomial("-x + 3") == 3 - X
+
+    def test_rational_division(self):
+        assert parse_polynomial("x / 2") == X.scale(Fraction(1, 2))
+
+    def test_division_by_variable_rejected(self):
+        with pytest.raises(PolynomialError):
+            parse_polynomial("1 / x")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(PolynomialError):
+            parse_polynomial("x +")
+        with pytest.raises(PolynomialError):
+            parse_polynomial("x $ y")
+
+    def test_roundtrip_through_str(self):
+        poly = X * X - 2 * X * Y + 3
+        assert parse_polynomial(str(poly)) == poly

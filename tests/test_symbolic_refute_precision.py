@@ -1,0 +1,191 @@
+"""Tests for the three companion analyses: symbolic polynomial bounds
+(Section 5), threshold refutation (Theorem 4.3 / Example 4.4) and
+single-program precision guarantees (Section 7)."""
+
+import pytest
+
+from repro import (
+    AnalysisConfig,
+    analyze_single_program,
+    load_program,
+    parse_polynomial,
+    prove_symbolic_bound,
+    refute_threshold,
+)
+from repro.bench.suite import JOIN_NEW_SOURCE, JOIN_OLD_SOURCE
+from repro.core.results import AnalysisStatus
+from repro.errors import AnalysisError
+from repro.ts import CostSearch
+
+
+@pytest.fixture(scope="module")
+def join_pair():
+    old = load_program(JOIN_OLD_SOURCE, name="join_old")
+    new = load_program(JOIN_NEW_SOURCE, name="join_new")
+    return old, new
+
+
+class TestSymbolicBounds:
+    def test_join_bounded_by_lenA_lenB(self, join_pair):
+        # Example 2.3: the difference is exactly lenA * lenB.
+        old, new = join_pair
+        bound = parse_polynomial("lenA * lenB")
+        result = prove_symbolic_bound(old, new, bound)
+        assert result.is_proved
+        assert result.potential_new is not None
+
+    def test_join_not_bounded_by_smaller_polynomial(self, join_pair):
+        old, new = join_pair
+        result = prove_symbolic_bound(
+            old, new, parse_polynomial("lenA * lenB - 1")
+        )
+        assert result.status is AnalysisStatus.UNKNOWN
+
+    def test_join_loose_bound_also_proved(self, join_pair):
+        old, new = join_pair
+        result = prove_symbolic_bound(
+            old, new, parse_polynomial("2 * lenA * lenB")
+        )
+        assert result.is_proved
+
+    def test_symbolic_bound_on_unbounded_inputs(self):
+        # This is where symbolic bounds shine: no bound on n, yet the
+        # relational bound 2n holds.
+        old = load_program("""
+        proc p(n) {
+          assume(1 <= n);
+          var i = 0;
+          while (i < n) { tick(1); i = i + 1; }
+        }
+        """, name="old")
+        new = load_program("""
+        proc p(n) {
+          assume(1 <= n);
+          var i = 0;
+          while (i < n) { tick(3); i = i + 1; }
+        }
+        """, name="new")
+        result = prove_symbolic_bound(old, new, parse_polynomial("2 * n"))
+        assert result.is_proved
+
+    def test_degree_check(self, join_pair):
+        old, new = join_pair
+        config = AnalysisConfig(degree=1)
+        with pytest.raises(AnalysisError, match="degree"):
+            prove_symbolic_bound(
+                old, new, parse_polynomial("lenA * lenB"), config
+            )
+
+    def test_unknown_variable_rejected(self, join_pair):
+        old, new = join_pair
+        with pytest.raises(AnalysisError, match="unknown"):
+            prove_symbolic_bound(old, new, parse_polynomial("zz + 1"))
+
+
+class TestRefutation:
+    def test_example_4_4_refutes_9999(self, join_pair):
+        old, new = join_pair
+        result = refute_threshold(old, new, 9999)
+        assert result.is_refuted
+        assert float(result.guaranteed_difference) >= 10000 - 1e-4
+        assert result.witness_input["lenA"] == 100
+        assert result.witness_input["lenB"] == 100
+
+    def test_valid_threshold_not_refuted(self, join_pair):
+        old, new = join_pair
+        result = refute_threshold(old, new, 10000)
+        assert not result.is_refuted
+
+    def test_refutes_much_smaller_thresholds(self, join_pair):
+        old, new = join_pair
+        result = refute_threshold(old, new, 0)
+        assert result.is_refuted
+
+    def test_explicit_witness(self, join_pair):
+        old, new = join_pair
+        witness = {"lenA": 10, "lenB": 10, "i": 0, "j": 0}
+        result = refute_threshold(old, new, 99, witnesses=[witness])
+        assert result.is_refuted
+        assert float(result.guaranteed_difference) >= 100 - 1e-4
+
+    def test_certificates_returned(self, join_pair):
+        old, new = join_pair
+        result = refute_threshold(old, new, 9999)
+        assert result.anti_potential_new is not None
+        assert result.potential_old is not None
+        # chi_new is an anti-PF of the NEW system (Theorem 4.3).
+        assert result.anti_potential_new.system.name == "join_new"
+
+
+class TestSingleProgramPrecision:
+    def test_deterministic_program_zero_gap(self):
+        program = load_program("""
+        proc p(n) {
+          assume(1 <= n && n <= 10);
+          var i = 0;
+          while (i < n) { tick(1); i = i + 1; }
+        }
+        """)
+        result = analyze_single_program(program)
+        assert result.is_bounded
+        assert float(result.precision) == pytest.approx(0, abs=1e-5)
+        low, high = result.bounds_at({"n": 7, "i": 0})
+        assert float(low) == pytest.approx(7, abs=1e-5)
+        assert float(high) == pytest.approx(7, abs=1e-5)
+
+    def test_nondeterministic_gap_matches_true_spread(self):
+        program = load_program("""
+        proc p(n) {
+          assume(1 <= n && n <= 10);
+          var i = 0;
+          while (i < n) {
+            if (*) { tick(2); } else { tick(1); }
+            i = i + 1;
+          }
+        }
+        """)
+        result = analyze_single_program(program)
+        assert result.is_bounded
+        # CostSup - CostInf = n <= 10; Theorem 7.1's p bounds it.
+        assert float(result.precision) >= 10 - 1e-5
+        search = CostSearch(program.system)
+        for n in (1, 4, 7):
+            low, high = result.bounds_at({"n": n, "i": 0})
+            true_low, true_high = search.cost_bounds({"n": n, "i": 0})
+            assert float(low) <= true_low + 1e-6
+            assert float(high) >= true_high - 1e-6
+            assert float(high) - float(low) <= float(result.precision) + 1e-6
+
+    def test_quadratic_program(self):
+        program = load_program("""
+        proc p(n, m) {
+          assume(1 <= n && n <= 10);
+          assume(1 <= m && m <= 10);
+          var i = 0;
+          var j = 0;
+          while (i < n) {
+            j = 0;
+            while (j < m) { tick(1); j = j + 1; }
+            i = i + 1;
+          }
+        }
+        """)
+        result = analyze_single_program(program)
+        assert result.is_bounded
+        assert float(result.precision) == pytest.approx(0, abs=1e-4)
+        low, high = result.bounds_at({"n": 6, "m": 7, "i": 0, "j": 0})
+        assert float(low) == pytest.approx(42, abs=1e-4)
+
+    def test_failure_reported_as_unknown(self):
+        program = load_program("""
+        proc p(n) {
+          assume(1 <= n);
+          var i = 0;
+          while (i < n) {
+            if (i < 2) { tick(2); } else { tick(1); }
+            i = i + 1;
+          }
+        }
+        """)
+        result = analyze_single_program(program)
+        assert result.status is AnalysisStatus.UNKNOWN

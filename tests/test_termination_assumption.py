@@ -1,0 +1,76 @@
+"""Appendix C: the termination assumption is necessary for Theorem 4.1.
+
+The paper's counterexample program ``nonterm`` never terminates; the map
+χ defined there satisfies both anti-PF conditions, yet χ(ℓ0, 0) = 7
+exceeds the (limit) total cost 6.  We reproduce the program, check χ's
+local conditions mechanically on a concrete prefix, and show the claimed
+lower-bound property fails — demonstrating why the library's analyses
+require terminating programs.
+"""
+
+from fractions import Fraction
+
+from repro.poly.polynomial import Polynomial
+from repro.ts import Interpreter, LinIneq, TransitionSystemBuilder
+
+X = Polynomial.variable("x")
+
+
+def nonterm_system():
+    """while (x >= 0) { if (x <= 5) { cost++ } x++ }  — never exits."""
+    builder = TransitionSystemBuilder("nonterm", ["x"])
+    builder.assume_init_box({"x": (0, 0)})
+    builder.transition("l0", "l3", guard=[LinIneq.geq(X, 0), LinIneq.leq(X, 5)],
+                       cost=1)
+    builder.transition("l0", "l3", guard=[LinIneq.geq(X, 0), LinIneq.geq(X, 6)])
+    builder.transition("l3", "l0", updates={"x": X + 1})
+    builder.transition("l0", "l_out", guard=[LinIneq.less_than(X, 0)])
+    return builder.build("l0", "l_out")
+
+
+def chi(location_name: str, x: int) -> Fraction:
+    """The paper's anti-potential candidate (Appendix C)."""
+    if location_name in ("l0",) and 0 <= x <= 5:
+        return Fraction(7 - x)
+    if location_name == "l3" and 0 <= x <= 5:
+        return Fraction(6 - x)
+    return Fraction(1)
+
+
+def test_chi_satisfies_insufficiency_preservation_on_prefix():
+    system = nonterm_system()
+    interpreter = Interpreter(system)
+    state = interpreter.initial_state({"x": 0})
+    for _ in range(50):
+        options = interpreter.enabled(state)
+        successor = interpreter.apply(state, options[0])
+        delta = successor["cost"] - state["cost"]
+        assert chi(state.location.name, state["x"]) <= \
+            chi(successor.location.name, successor["x"]) + delta
+        state = successor
+
+
+def test_chi_exceeds_total_cost_without_termination():
+    # Total (limit) cost of the single run is 6: cost increments for
+    # x = 0..5 and never afterwards.  χ(ℓ0, x=0) = 7 > 6, so the anti-PF
+    # lower-bound claim of Theorem 4.1 fails for this non-terminating
+    # program, exactly as Appendix C argues.
+    system = nonterm_system()
+    interpreter = Interpreter(system)
+    state = interpreter.initial_state({"x": 0})
+    for _ in range(200):
+        options = interpreter.enabled(state)
+        state = interpreter.apply(state, options[0])
+    limit_cost = state["cost"]
+    assert limit_cost == 6
+    assert chi("l0", 0) == 7 > limit_cost
+
+
+def test_interpreter_flags_nontermination():
+    from repro.errors import NonTerminationError
+
+    import pytest
+
+    system = nonterm_system()
+    with pytest.raises(NonTerminationError):
+        Interpreter(system, max_steps=500).run({"x": 0})

@@ -1,0 +1,168 @@
+"""Unit tests for the transition-system data model, builder, validation
+and slicing."""
+
+import pytest
+
+from repro.errors import TransitionSystemError
+from repro.poly.polynomial import Polynomial
+from repro.ts import (
+    COST_VAR,
+    LinIneq,
+    NondetUpdate,
+    TransitionSystemBuilder,
+    slice_cost_relevant,
+    validate_system,
+)
+from repro.ts.pretty import render_dot, render_text
+
+X = Polynomial.variable("x")
+
+
+def tiny_system():
+    builder = TransitionSystemBuilder("tiny", ["x"])
+    builder.assume_init_box({"x": (1, 10)})
+    builder.transition("l0", "l1", guard=[LinIneq.geq(X, 1)], cost=X)
+    builder.transition("l1", "l_out")
+    return builder.build("l0", "l_out")
+
+
+class TestBuilder:
+    def test_cost_variable_added(self):
+        system = tiny_system()
+        assert COST_VAR in system.variables
+        assert COST_VAR not in system.state_variables
+
+    def test_cost_shorthand_builds_update(self):
+        system = tiny_system()
+        transition = system.transitions[0]
+        assert transition.cost_delta() == X
+
+    def test_cost_shorthand_conflicts_with_explicit(self):
+        builder = TransitionSystemBuilder("bad", ["x"])
+        with pytest.raises(TransitionSystemError):
+            builder.transition(
+                "l0", "l_out", cost=1,
+                updates={COST_VAR: Polynomial.variable(COST_VAR)},
+            )
+
+    def test_outgoing_index(self):
+        system = tiny_system()
+        l0 = system.location_by_name("l0")
+        assert len(system.outgoing(l0)) == 1
+        assert system.outgoing(system.terminal_location) == ()
+
+    def test_location_lookup_fails_for_unknown(self):
+        with pytest.raises(TransitionSystemError):
+            tiny_system().location_by_name("nowhere")
+
+    def test_havoc_rejects_cost(self):
+        builder = TransitionSystemBuilder("bad", ["x"])
+        with pytest.raises(TransitionSystemError):
+            builder.havoc(COST_VAR, 0, 1)
+
+
+class TestValidation:
+    def test_valid_system_passes(self):
+        validate_system(tiny_system())
+
+    def test_undeclared_update_variable(self):
+        builder = TransitionSystemBuilder("bad", ["x"])
+        builder.transition("l0", "l_out", updates={"y": X})
+        with pytest.raises(TransitionSystemError, match="undeclared"):
+            builder.build("l0", "l_out")
+
+    def test_cost_in_guard_rejected(self):
+        builder = TransitionSystemBuilder("bad", ["x"])
+        builder.transition(
+            "l0", "l_out",
+            guard=[LinIneq.geq(Polynomial.variable(COST_VAR), 0)],
+        )
+        with pytest.raises(TransitionSystemError, match="cost"):
+            builder.build("l0", "l_out")
+
+    def test_malformed_cost_update_rejected(self):
+        builder = TransitionSystemBuilder("bad", ["x"])
+        builder.transition(
+            "l0", "l_out",
+            updates={COST_VAR: 2 * Polynomial.variable(COST_VAR)},
+        )
+        with pytest.raises(TransitionSystemError, match="cost \\+ delta"):
+            builder.build("l0", "l_out")
+
+    def test_nondet_cost_rejected(self):
+        builder = TransitionSystemBuilder("bad", ["x"])
+        builder.transition(
+            "l0", "l_out", updates={COST_VAR: NondetUpdate(None, None)}
+        )
+        with pytest.raises(TransitionSystemError, match="nondeterministically"):
+            builder.build("l0", "l_out")
+
+    def test_theta0_cost_constraint_rejected(self):
+        builder = TransitionSystemBuilder("bad", ["x"])
+        builder.assume_init(LinIneq.geq(Polynomial.variable(COST_VAR), 0))
+        builder.transition("l0", "l_out")
+        with pytest.raises(TransitionSystemError, match="Theta0"):
+            builder.build("l0", "l_out")
+
+    def test_nonaffine_nondet_bound_rejected(self):
+        with pytest.raises(TransitionSystemError, match="affine"):
+            NondetUpdate(lower=X * X)
+
+
+class TestRenameVariables:
+    def test_rename(self):
+        system = tiny_system().rename_variables({"x": "z"})
+        assert "z" in system.variables
+        assert "x" not in system.variables
+        assert system.transitions[0].cost_delta() == Polynomial.variable("z")
+
+    def test_cost_rename_rejected(self):
+        with pytest.raises(TransitionSystemError):
+            tiny_system().rename_variables({COST_VAR: "c"})
+
+
+class TestSlicing:
+    def test_irrelevant_variable_removed(self):
+        builder = TransitionSystemBuilder("sliced", ["x", "junk"])
+        builder.assume_init_box({"x": (1, 5)})
+        builder.transition(
+            "l0", "l_out", guard=[LinIneq.geq(X, 1)],
+            updates={"junk": X + 7}, cost=X,
+        )
+        system = builder.build("l0", "l_out")
+        sliced = slice_cost_relevant(system)
+        assert "junk" not in sliced.variables
+        assert "x" in sliced.variables
+
+    def test_guard_dependencies_kept(self):
+        builder = TransitionSystemBuilder("keep", ["x", "limit"])
+        builder.transition(
+            "l0", "l_out",
+            guard=[LinIneq.less_than(X, Polynomial.variable("limit"))],
+            cost=1,
+        )
+        system = builder.build("l0", "l_out")
+        assert set(slice_cost_relevant(system).variables) == \
+            set(system.variables)
+
+    def test_transitive_dependencies_kept(self):
+        # junk -> feeds y -> feeds cost.
+        builder = TransitionSystemBuilder("chain", ["y", "feeder"])
+        builder.transition(
+            "l0", "l1", updates={"y": Polynomial.variable("feeder")}
+        )
+        builder.transition("l1", "l_out", cost=Polynomial.variable("y"))
+        system = builder.build("l0", "l_out")
+        assert "feeder" in slice_cost_relevant(system).variables
+
+
+class TestPretty:
+    def test_render_text_mentions_transitions(self):
+        text = render_text(tiny_system())
+        assert "l0" in text and "l_out" in text
+
+    def test_render_dot_shape(self):
+        dot = render_dot(tiny_system())
+        assert dot.startswith("digraph")
+        assert "doublecircle" in dot  # terminal location styling
+        assert "Theta0" in dot

@@ -1,0 +1,78 @@
+"""Tests for concrete difference-witness search."""
+
+from repro import load_program
+from repro.core.witness import bracket_threshold, find_difference_witness
+
+OLD = """
+proc p(n, m) {
+  assume(1 <= n && n <= 6);
+  assume(1 <= m && m <= 6);
+  var i = 0;
+  while (i < n) { tick(1); i = i + 1; }
+}
+"""
+
+NEW = """
+proc p(n, m) {
+  assume(1 <= n && n <= 6);
+  assume(1 <= m && m <= 6);
+  var i = 0;
+  while (i < n) { tick(m); i = i + 1; }
+}
+"""
+
+
+class TestFindWitness:
+    def test_best_witness_at_corner(self):
+        old = load_program(OLD, name="old")
+        new = load_program(NEW, name="new")
+        witness = find_difference_witness(old, new)
+        assert witness is not None
+        # diff = n*m - n, maximal at n = m = 6: 36 - 6 = 30.
+        assert witness.difference == 30
+        assert witness.inputs["n"] == 6 and witness.inputs["m"] == 6
+
+    def test_early_exit_on_exceed(self):
+        old = load_program(OLD, name="old")
+        new = load_program(NEW, name="new")
+        witness = find_difference_witness(old, new, exceed=0)
+        assert witness is not None
+        assert witness.difference > 0
+
+    def test_nondeterminism_uses_inf_and_sup(self):
+        source = """
+        proc p(n) {
+          assume(1 <= n && n <= 5);
+          var i = 0;
+          while (i < n) {
+            if (*) { tick(2); } else { tick(1); }
+            i = i + 1;
+          }
+        }
+        """
+        program_old = load_program(source, name="old")
+        program_new = load_program(source, name="new")
+        witness = find_difference_witness(program_old, program_new)
+        # Same program: CostSup - CostInf = 2n - n = n, max 5.
+        assert witness.difference == 5
+
+    def test_str_is_informative(self):
+        old = load_program(OLD, name="old")
+        new = load_program(NEW, name="new")
+        witness = find_difference_witness(old, new)
+        text = str(witness)
+        assert "new version" in text and "old version" in text
+
+
+class TestBracket:
+    def test_bracket_encloses_truth(self):
+        from repro import analyze_diffcost
+
+        old = load_program(OLD, name="old")
+        new = load_program(NEW, name="new")
+        result = analyze_diffcost(old, new)
+        lower, upper = bracket_threshold(old, new, float(result.threshold))
+        assert lower == 30
+        assert upper >= lower - 1e-6
+        # For this pair the analysis is tight (integer costs).
+        assert upper < lower + 1
