@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""A many-pair CI cost-regression gate on the parallel engine.
+
+Scenario: a monorepo CI job receives revisions of several request
+handlers at once.  Instead of analyzing each pair with a fresh
+sequential run, the gate hands the whole directory to the engine:
+
+- pairs are analyzed concurrently on a process pool (``--jobs``);
+- the persistent result cache makes re-runs incremental — unchanged
+  pairs are answered from disk without touching the LP solver;
+- a pair whose default-config analysis fails is retried through the
+  portfolio ladder (richer templates, exact arithmetic) before the
+  gate gives up on it;
+- every outcome is structured: the gate can tell "over budget" from
+  "analysis says ✗" from "the job itself crashed or timed out".
+
+Run: ``python examples/batch_regression_gate.py``
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.config import AnalysisConfig, EngineConfig
+from repro.engine import (
+    ParallelExecutor,
+    ResultCache,
+    format_batch_table,
+    run_batch,
+    run_portfolio,
+)
+
+# Per-pair cost-increase budgets, as a release manager would configure
+# them.  The dispatcher revision is intentionally over budget.
+BUDGETS = {"dispatcher": 50, "parser": 200, "renderer": 150}
+
+DISPATCHER_V1 = """
+proc dispatch(queue) {
+  assume(1 <= queue && queue <= 100);
+  var i = 0;
+  while (i < queue) {
+    tick(1);               # route one message
+    i = i + 1;
+  }
+}
+"""
+
+# Doubles the per-message cost: difference `queue`, up to 100 > budget 50.
+DISPATCHER_V2 = DISPATCHER_V1.replace("tick(1)", "tick(2)")
+
+PARSER_V1 = """
+proc parse(items, depth) {
+  assume(1 <= items && items <= 100);
+  assume(1 <= depth && depth <= 8);
+  var i = 0;
+  var d = 0;
+  while (i < items) {
+    d = 0;
+    while (d < depth) {
+      tick(1);             # descend one level
+      d = d + 1;
+    }
+    i = i + 1;
+  }
+}
+"""
+
+# Adds a constant-cost validation step per item: difference `items`,
+# at most 100 <= budget 200.
+PARSER_V2 = """
+proc parse(items, depth) {
+  assume(1 <= items && items <= 100);
+  assume(1 <= depth && depth <= 8);
+  var i = 0;
+  var d = 0;
+  while (i < items) {
+    tick(1);               # validate the item first
+    d = 0;
+    while (d < depth) {
+      tick(1);             # descend one level
+      d = d + 1;
+    }
+    i = i + 1;
+  }
+}
+"""
+
+RENDERER_V1 = """
+proc render(rows) {
+  assume(1 <= rows && rows <= 100);
+  var r = 0;
+  while (r < rows) {
+    tick(2);
+    r = r + 1;
+  }
+}
+"""
+
+# Down-counting rewrite with one extra pass: difference `rows`.
+RENDERER_V2 = """
+proc render(rows) {
+  assume(1 <= rows && rows <= 100);
+  var left = rows;
+  while (left > 0) {
+    tick(3);
+    left = left - 1;
+  }
+}
+"""
+
+
+def write_pairs(directory: Path) -> None:
+    pairs = {
+        "dispatcher": (DISPATCHER_V1, DISPATCHER_V2),
+        "parser": (PARSER_V1, PARSER_V2),
+        "renderer": (RENDERER_V1, RENDERER_V2),
+    }
+    for name, (old, new) in pairs.items():
+        (directory / f"{name}_old.imp").write_text(old)
+        (directory / f"{name}_new.imp").write_text(new)
+
+
+def gate(directory: Path, cache_dir: Path) -> int:
+    engine = EngineConfig(jobs=4, timeout=60.0, cache_dir=str(cache_dir))
+    report = run_batch(directory, config=AnalysisConfig(), engine=engine)
+    print(format_batch_table(report))
+    print()
+
+    failures = 0
+    for result in report.results:
+        budget = BUDGETS[result.name]
+        if result.failed:
+            print(f"GATE ✗ {result.name}: job {result.status} "
+                  f"({result.error_type}) — investigate, not mergeable")
+            failures += 1
+        elif result.threshold is None:
+            # Default config found no certificate: escalate through the
+            # portfolio ladder before rejecting.
+            old = (directory / f"{result.name}_old.imp").read_text()
+            new = (directory / f"{result.name}_new.imp").read_text()
+            portfolio = run_portfolio(
+                old, new, result.name,
+                ParallelExecutor(jobs=4, cache=ResultCache(cache_dir)),
+            )
+            if portfolio.threshold is None:
+                print(f"GATE ✗ {result.name}: no certificate at any rung")
+                failures += 1
+            elif portfolio.threshold > budget:
+                print(f"GATE ✗ {result.name}: +{portfolio.threshold:g} "
+                      f"exceeds budget {budget}")
+                failures += 1
+            else:
+                print(f"GATE ✓ {result.name}: +{portfolio.threshold:g} "
+                      f"<= budget {budget} (after portfolio escalation)")
+        elif result.threshold > budget:
+            print(f"GATE ✗ {result.name}: worst-case increase "
+                  f"+{result.threshold:g} exceeds budget {budget}")
+            failures += 1
+        else:
+            print(f"GATE ✓ {result.name}: +{result.threshold:g} "
+                  f"<= budget {budget}"
+                  + (" (cached)" if result.cached else ""))
+    return failures
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as temp:
+        directory = Path(temp) / "pairs"
+        directory.mkdir()
+        cache_dir = Path(temp) / "cache"
+        write_pairs(directory)
+
+        print("== first run (cold cache) ==")
+        failures = gate(directory, cache_dir)
+        print("\n== second run (warm cache: same revisions resubmitted) ==")
+        gate(directory, cache_dir)
+
+        print(f"\n{failures} pair(s) over budget — "
+              + ("blocking the merge" if failures else "all clear"))
+        return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,16 +3,7 @@
 from __future__ import annotations
 
 from repro.bench.runner import BenchmarkOutcome
-from repro.utils.rationals import snap_to_int
-
-
-def _fmt(value: float | int | None) -> str:
-    if value is None:
-        return "✗"
-    snapped = snap_to_int(value, tolerance=1e-4)
-    if isinstance(snapped, int):
-        return str(snapped)
-    return f"{float(value):.2f}"
+from repro.utils.rationals import format_threshold as _fmt
 
 
 def format_table(outcomes: list[BenchmarkOutcome],
@@ -29,6 +20,8 @@ def format_table(outcomes: list[BenchmarkOutcome],
             group = outcome.pair.group
             lines.append(f"-- {group} --")
         mark = "ok" if outcome.matches_paper_shape else "DIFFERS"
+        if outcome.cached:
+            mark += " (cached)"
         lines.append(
             f"{outcome.pair.name:<22} {_fmt(outcome.pair.tight):>7} "
             f"{_fmt(outcome.computed):>10} "
@@ -55,6 +48,8 @@ def format_markdown(outcomes: list[BenchmarkOutcome]) -> str:
     ]
     for outcome in outcomes:
         mark = "ok" if outcome.matches_paper_shape else "DIFFERS"
+        if outcome.cached:
+            mark += " (cached)"
         lines.append(
             f"| {outcome.pair.name} | {_fmt(outcome.pair.tight)} "
             f"| {_fmt(outcome.computed)} | {_fmt(outcome.pair.paper_tight)} "
@@ -73,6 +68,7 @@ def format_csv(outcomes: list[BenchmarkOutcome]) -> str:
     fields = [
         "benchmark", "group", "tight", "computed", "paper_tight",
         "paper_computed", "is_tight", "matches_paper", "seconds",
+        "job_status", "cached",
     ]
     writer = csv.DictWriter(buffer, fieldnames=fields)
     writer.writeheader()

@@ -206,14 +206,21 @@ def _read_source(filename: str) -> str:
     return package.read_text()
 
 
-def load_pair(name: str) -> tuple[LoweredProgram, LoweredProgram]:
-    """Load ``(old, new)`` lowered programs for a benchmark."""
+def pair_sources(name: str) -> tuple[str, str]:
+    """The ``(old, new)`` `imp` source texts of a benchmark.
+
+    This is what the parallel engine ships to worker processes: source
+    text crosses process boundaries, lowered programs do not.
+    """
     pair = get_pair(name)
     if pair.name == "join":
-        old_source, new_source = JOIN_OLD_SOURCE, JOIN_NEW_SOURCE
-    else:
-        old_source = _read_source(f"{name}_old.imp")
-        new_source = _read_source(f"{name}_new.imp")
+        return JOIN_OLD_SOURCE, JOIN_NEW_SOURCE
+    return _read_source(f"{name}_old.imp"), _read_source(f"{name}_new.imp")
+
+
+def load_pair(name: str) -> tuple[LoweredProgram, LoweredProgram]:
+    """Load ``(old, new)`` lowered programs for a benchmark."""
+    old_source, new_source = pair_sources(name)
     old = load_program(old_source, name=f"{name}_old")
     new = load_program(new_source, name=f"{name}_new")
     return old, new

@@ -6,7 +6,8 @@ Subcommands::
     repro-diffcost bound OLD.imp NEW.imp --bound "lenA * lenB"
     repro-diffcost refute OLD.imp NEW.imp --candidate 9999
     repro-diffcost single PROGRAM.imp
-    repro-diffcost suite [--names a,b,c]
+    repro-diffcost suite [--names a,b,c] [--jobs N]
+    repro-diffcost batch DIR [--jobs N] [--portfolio] [--cache-dir D]
     repro-diffcost show PROGRAM.imp [--dot]
 """
 
@@ -15,7 +16,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.config import AnalysisConfig
+from repro.config import AnalysisConfig, EngineConfig
 from repro.core import (
     analyze_diffcost,
     analyze_single_program,
@@ -95,7 +96,13 @@ def _command_suite(args: argparse.Namespace) -> int:
     from repro.bench import format_csv, format_markdown, format_table, run_suite
 
     names = args.names.split(",") if args.names else None
-    outcomes = run_suite(names=names, lp_backend=args.backend)
+    outcomes = run_suite(
+        names=names,
+        lp_backend=args.backend,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        cache_dir=None if args.no_cache else args.cache_dir,
+    )
     formatters = {
         "text": format_table,
         "markdown": format_markdown,
@@ -103,6 +110,38 @@ def _command_suite(args: argparse.Namespace) -> int:
     }
     print(formatters[args.format](outcomes))
     return 0
+
+
+def _command_batch(args: argparse.Namespace) -> int:
+    from repro.engine import batch_to_json, format_batch_table, run_batch
+
+    engine = EngineConfig(
+        jobs=args.jobs,
+        timeout=args.timeout,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        # An explicit --portfolio-mode implies --portfolio: silently
+        # running the single-config path would misread the user's intent.
+        portfolio=args.portfolio or args.portfolio_mode is not None,
+        portfolio_mode=args.portfolio_mode or "first",
+    )
+    report = run_batch(args.directory, config=_config(args), engine=engine)
+    if args.format == "json":
+        print(batch_to_json(report))
+    else:
+        print(format_batch_table(report))
+    return 0 if report.ok else 1
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser,
+                          default_cache: str | None) -> None:
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (1 = run inline)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-job wall-clock budget in seconds")
+    parser.add_argument("--cache-dir", default=default_cache,
+                        help="persistent result cache directory")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache")
 
 
 def _command_witness(args: argparse.Namespace) -> int:
@@ -178,7 +217,28 @@ def build_parser() -> argparse.ArgumentParser:
                        default="scipy")
     suite.add_argument("--format", choices=["text", "markdown", "csv"],
                        default="text", help="output format")
+    _add_engine_arguments(suite, default_cache=None)
     suite.set_defaults(handler=_command_suite)
+
+    batch = subparsers.add_parser(
+        "batch",
+        help="analyze every NAME_old.imp/NAME_new.imp pair in a directory",
+    )
+    batch.add_argument("directory")
+    batch.add_argument("--portfolio", action="store_true",
+                       help="race the escalating config ladder per pair "
+                            "(the ladder overrides -d/-K/--backend rung "
+                            "by rung; other config knobs are inherited)")
+    batch.add_argument("--portfolio-mode", choices=["first", "best"],
+                       default=None,
+                       help="first succeeding rung wins, or minimal "
+                            "threshold among succeeding rungs "
+                            "(implies --portfolio; default: first)")
+    batch.add_argument("--format", choices=["text", "json"], default="text",
+                       help="output format")
+    _add_config_arguments(batch)
+    _add_engine_arguments(batch, default_cache=".repro-cache")
+    batch.set_defaults(handler=_command_batch)
 
     witness = subparsers.add_parser(
         "witness", help="find a concrete input exhibiting a cost difference"

@@ -36,6 +36,10 @@ class AnalysisConfig:
         Re-verify synthesized certificates (empirical run-based check).
     check_tolerance:
         Numeric slack allowed when checking float-backend certificates.
+    check_seed / check_samples / check_max_range:
+        Sampling parameters of the run-based certificate check: RNG
+        seed, number of sampled Θ0 inputs, and the per-variable range
+        cap used when an input box is unbounded.
     """
 
     degree: int = 2
@@ -45,6 +49,9 @@ class AnalysisConfig:
     narrowing_passes: int = 2
     check_certificates: bool = False
     check_tolerance: float = 1e-6
+    check_seed: int = 2022
+    check_samples: int = 5
+    check_max_range: int = 4
 
     def __post_init__(self):
         if self.degree < 0:
@@ -55,6 +62,51 @@ class AnalysisConfig:
             raise AnalysisError(
                 f"unknown lp_backend {self.lp_backend!r} (use 'scipy' or 'exact')"
             )
+        if self.check_samples < 1:
+            raise AnalysisError("check_samples must be at least 1")
+        if self.check_max_range < 1:
+            raise AnalysisError("check_max_range must be at least 1")
 
 
 DEFAULT_CONFIG = AnalysisConfig()
+
+
+@dataclass
+class EngineConfig:
+    """Configuration of the parallel analysis engine (:mod:`repro.engine`).
+
+    Attributes
+    ----------
+    jobs:
+        Worker processes.  ``1`` runs inline (no pool), byte-identical
+        to the sequential path.
+    timeout:
+        Per-job wall-clock budget in seconds (``None`` = unlimited).
+        Expired jobs surface as structured ``"timeout"`` results.
+    cache_dir:
+        Directory of the persistent result cache (``None`` disables
+        caching).
+    portfolio:
+        Race each pair through the escalating configuration ladder
+        instead of a single configuration.
+    portfolio_mode:
+        ``"first"`` (first succeeding rung wins, losers cancelled) or
+        ``"best"`` (minimal threshold among succeeding rungs).
+    """
+
+    jobs: int = 1
+    timeout: float | None = None
+    cache_dir: str | None = None
+    portfolio: bool = False
+    portfolio_mode: str = "first"
+
+    def __post_init__(self):
+        if self.jobs < 1:
+            raise AnalysisError("jobs must be at least 1")
+        if self.timeout is not None and self.timeout <= 0:
+            raise AnalysisError("timeout must be positive (or None)")
+        if self.portfolio_mode not in ("first", "best"):
+            raise AnalysisError(
+                f"unknown portfolio_mode {self.portfolio_mode!r} "
+                "(use 'first' or 'best')"
+            )

@@ -179,7 +179,6 @@ class DiffCostAnalyzer:
             status=AnalysisStatus.UNKNOWN,
             lp_variables=model.num_variables,
             lp_constraints=model.num_constraints,
-            timings=self.stopwatch.as_dict(),
         )
         if solution.status is not LPStatus.OPTIMAL:
             result.message = (
@@ -187,6 +186,7 @@ class DiffCostAnalyzer:
                 f"requested shape (d={self.config.degree}, "
                 f"K={self.config.max_products}); {solution.message}"
             )
+            result.timings = self.stopwatch.as_dict()
             return result
 
         result.status = AnalysisStatus.THRESHOLD
@@ -213,8 +213,11 @@ class DiffCostAnalyzer:
             checker = CertificateChecker(
                 tolerance=self.config.check_tolerance
             )
-            rng = random.Random(2022)
-            inputs = sample_inputs(self.new_system, 5, rng, max_range=4)
+            rng = random.Random(self.config.check_seed)
+            inputs = sample_inputs(
+                self.new_system, self.config.check_samples, rng,
+                max_range=self.config.check_max_range,
+            )
             report = checker.check_diffcost(
                 self.old_system, self.new_system, float(result.threshold),
                 result.potential_new, result.anti_potential_old, inputs,

@@ -1,0 +1,254 @@
+"""Batch analysis over a directory of program pairs.
+
+The batch front door of the engine: discover ``NAME_old.imp`` /
+``NAME_new.imp`` pairs in a directory, turn them into jobs, run them on
+the parallel executor (optionally as portfolios), and report the results
+as an aligned table or JSON.  This is the entry point CI gates build on
+(see ``examples/batch_regression_gate.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.config import AnalysisConfig, EngineConfig
+from repro.engine.cache import ResultCache
+from repro.engine.executor import ExecutorStats, ParallelExecutor
+from repro.engine.jobs import AnalysisJob, JobResult
+from repro.engine.portfolio import (
+    DEFAULT_LADDER,
+    PortfolioResult,
+    portfolio_jobs,
+    run_portfolio,
+    select_result,
+)
+from repro.errors import AnalysisError
+from repro.utils.rationals import format_threshold as _fmt_threshold
+
+OLD_SUFFIX = "_old.imp"
+NEW_SUFFIX = "_new.imp"
+
+
+@dataclass(frozen=True)
+class ProgramPair:
+    """One discovered pair of program versions."""
+
+    name: str
+    old_path: Path
+    new_path: Path
+
+    def sources(self) -> tuple[str, str]:
+        return self.old_path.read_text(), self.new_path.read_text()
+
+
+def discover_pairs(directory: str | Path) -> list[ProgramPair]:
+    """Find ``*_old.imp`` / ``*_new.imp`` pairs, sorted by name.
+
+    Unpaired files raise: a batch silently skipping half a pair is a
+    CI gate that silently passes.
+    """
+    root = Path(directory)
+    if not root.is_dir():
+        raise AnalysisError(f"not a directory: {root}")
+    olds = {p.name[:-len(OLD_SUFFIX)]: p for p in root.glob(f"*{OLD_SUFFIX}")}
+    news = {p.name[:-len(NEW_SUFFIX)]: p for p in root.glob(f"*{NEW_SUFFIX}")}
+    unpaired = sorted(set(olds) ^ set(news))
+    if unpaired:
+        raise AnalysisError(
+            f"unpaired program versions in {root}: {', '.join(unpaired)}"
+        )
+    if not olds:
+        raise AnalysisError(f"no *{OLD_SUFFIX} / *{NEW_SUFFIX} pairs in {root}")
+    return [
+        ProgramPair(name, olds[name], news[name]) for name in sorted(olds)
+    ]
+
+
+@dataclass
+class BatchReport:
+    """Everything a batch run produced."""
+
+    directory: str
+    results: list[JobResult]
+    portfolios: list[PortfolioResult] = field(default_factory=list)
+    stats: ExecutorStats = field(default_factory=ExecutorStats)
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True iff no job failed to *execute* (analysis-level ✗ is a
+        completed, sound answer and does not fail the batch).
+
+        In portfolio mode a losing rung's timeout/error is absorbed as
+        long as the pair still produced an answer — escalating past a
+        failed cheap rung is the ladder's purpose.  A pair only fails
+        the batch when it has no winner *and* at least one rung failed
+        to execute (an all-rungs-completed ✗ is a sound answer).
+        """
+        if self.portfolios:
+            return all(
+                p.succeeded or not any(r.failed for r in p.rungs)
+                for p in self.portfolios
+            )
+        return not any(result.failed for result in self.results)
+
+    def thresholds(self) -> dict[str, float | None]:
+        """Pair name → computed threshold (``None`` for ✗/failures)."""
+        if self.portfolios:
+            return {p.name: p.threshold for p in self.portfolios}
+        return {r.name: r.threshold for r in self.results}
+
+    def to_dict(self) -> dict:
+        data = {
+            "directory": self.directory,
+            "seconds": round(self.seconds, 3),
+            "stats": self.stats.as_dict(),
+            "results": [result.to_dict() for result in self.results],
+        }
+        if self.portfolios:
+            data["portfolios"] = [
+                {
+                    "name": p.name,
+                    "mode": p.mode,
+                    "threshold": p.threshold,
+                    "chosen_rung": p.chosen_rung_index(),
+                    "rungs": [r.to_dict() for r in p.rungs],
+                }
+                for p in self.portfolios
+            ]
+        return data
+
+
+def run_batch(directory: str | Path,
+              config: AnalysisConfig | None = None,
+              engine: EngineConfig | None = None,
+              ladder: tuple[tuple[int, int, str], ...] = DEFAULT_LADDER,
+              ) -> BatchReport:
+    """Analyze every pair in ``directory`` through the engine."""
+    engine = engine or EngineConfig()
+    config = config or AnalysisConfig()
+    cache = ResultCache(engine.cache_dir) if engine.cache_dir else None
+    executor = ParallelExecutor(
+        jobs=engine.jobs, timeout=engine.timeout, cache=cache
+    )
+    pairs = discover_pairs(directory)
+    start = time.perf_counter()
+
+    if engine.portfolio:
+        if engine.portfolio_mode == "best":
+            # Every rung of every pair runs anyway in best mode, so
+            # submit them all to one pool and select winners per pair —
+            # cross-pair parallelism instead of one pair at a time.
+            per_pair = [
+                portfolio_jobs(*pair.sources(), pair.name,
+                               base=config, ladder=ladder)
+                for pair in pairs
+            ]
+            flat = executor.run([job for jobs in per_pair for job in jobs])
+            portfolios, offset = [], 0
+            for pair, jobs in zip(pairs, per_pair):
+                rungs = flat[offset:offset + len(jobs)]
+                offset += len(jobs)
+                portfolios.append(
+                    PortfolioResult(
+                        name=pair.name,
+                        mode="best",
+                        chosen=select_result(rungs, "best"),
+                        rungs=rungs,
+                    )
+                )
+        else:
+            # "first" escalates rung by rung, so pairs run one after
+            # another (each pair's rungs still race on the pool).
+            portfolios = []
+            for pair in pairs:
+                old_source, new_source = pair.sources()
+                portfolios.append(
+                    run_portfolio(
+                        old_source, new_source, pair.name, executor,
+                        base=config, ladder=ladder,
+                        mode=engine.portfolio_mode,
+                    )
+                )
+        results = [rung for p in portfolios for rung in p.rungs]
+        return BatchReport(
+            directory=str(directory),
+            results=results,
+            portfolios=portfolios,
+            stats=executor.stats,
+            seconds=time.perf_counter() - start,
+        )
+
+    jobs = []
+    for pair in pairs:
+        old_source, new_source = pair.sources()
+        jobs.append(
+            AnalysisJob(
+                kind="diff",
+                old_source=old_source,
+                new_source=new_source,
+                config=config,
+                name=pair.name,
+            )
+        )
+    results = executor.run(jobs)
+    return BatchReport(
+        directory=str(directory),
+        results=results,
+        stats=executor.stats,
+        seconds=time.perf_counter() - start,
+    )
+
+
+def format_batch_table(report: BatchReport) -> str:
+    """Aligned text rendering of a batch report."""
+    header = f"{'Pair':<24} {'Threshold':>10} {'Status':>9} {'Time(s)':>8}  Detail"
+    lines = [f"Batch analysis of {report.directory}", header,
+             "-" * len(header)]
+    if report.portfolios:
+        for portfolio in report.portfolios:
+            chosen = portfolio.chosen
+            failed = sum(1 for r in portfolio.rungs if r.failed)
+            if chosen:
+                status = "ok"
+            elif failed:
+                # Not the paper's sound ✗: some rungs never completed.
+                status = "failed"
+            else:
+                status = "✗"
+            rung = (
+                chosen.name.split("[", 1)[1].rstrip("]")
+                if chosen else f"{len(portfolio.rungs)} rungs"
+                + (f", {failed} failed" if failed else "")
+            )
+            cached = " (cached)" if chosen and chosen.cached else ""
+            lines.append(
+                f"{portfolio.name:<24} {_fmt_threshold(portfolio.threshold):>10} "
+                f"{status:>9} {portfolio.seconds:>8.2f}  {rung}{cached}"
+            )
+    else:
+        for result in report.results:
+            detail = result.message.splitlines()[0] if result.message else ""
+            if result.cached:
+                detail = (detail + " (cached)").strip()
+            lines.append(
+                f"{result.name:<24} {_fmt_threshold(result.threshold):>10} "
+                f"{result.status:>9} {result.seconds:>8.2f}  {detail[:60]}"
+            )
+    stats = report.stats
+    lines.append("-" * len(header))
+    lines.append(
+        f"{stats.submitted} job(s): {stats.completed} completed, "
+        f"{stats.errors} error(s), {stats.timeouts} timeout(s), "
+        f"{stats.cancelled} cancelled; cache hits {stats.cache_hits}; "
+        f"{report.seconds:.2f}s wall"
+    )
+    return "\n".join(lines)
+
+
+def batch_to_json(report: BatchReport) -> str:
+    """JSON rendering (for gates diffing against a baseline)."""
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True)

@@ -1,0 +1,126 @@
+"""Persistent result cache, keyed by content-addressed job hash.
+
+One JSON file per job key, written atomically (temp file + rename), so
+concurrent batch runs over the same cache directory cannot corrupt
+entries.  Entries carry the schema version and the job's canonical
+metadata; a version mismatch or an unreadable file is treated as a miss
+(and the entry is rewritten on the next store).
+
+Repeated batch/suite runs therefore skip invariant generation, Handelman
+encoding and the LP solve entirely for unchanged (program pair, config)
+points — the cache key covers every :class:`~repro.config.AnalysisConfig`
+field, so any knob change invalidates exactly the affected entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from repro.engine.jobs import JOB_SCHEMA_VERSION, AnalysisJob, JobResult
+
+#: Results from failed executions are never cached (a timeout on a busy
+#: machine says nothing about the next run); sound analysis answers are,
+#: including the paper's ✗ ("unknown": the LP was infeasible).
+CACHEABLE_STATUSES = ("ok",)
+
+
+class ResultCache:
+    """JSON-on-disk cache of :class:`JobResult` payloads."""
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        """The entry file of a job key."""
+        return self.directory / f"{key}.json"
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, key: str) -> JobResult | None:
+        """The cached result of ``key``, or ``None`` on a miss."""
+        path = self.path_for(key)
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if entry.get("version") != JOB_SCHEMA_VERSION:
+            self.misses += 1
+            return None
+        try:
+            result = JobResult.from_dict(entry["result"])
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        result.cached = True
+        # The entry keeps the original run's duration on disk, but the
+        # replayed result cost this run nothing — reporting historical
+        # seconds as measured time would inflate every consumer's
+        # timing column.
+        result.seconds = 0.0
+        return result
+
+    # -- store -------------------------------------------------------------
+
+    def put(self, job: AnalysisJob, result: JobResult) -> bool:
+        """Store ``result`` under ``job``'s key; returns whether stored."""
+        if result.status not in CACHEABLE_STATUSES:
+            return False
+        entry = {
+            "version": JOB_SCHEMA_VERSION,
+            "job": {
+                "kind": job.kind,
+                "name": job.name,
+                "config": job.canonical_payload()["config"],
+            },
+            "result": result.to_dict(),
+        }
+        path = self.path_for(result.job_key)
+        fd, temp_path = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(temp_path, path)
+        except OSError:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            return False
+        return True
+
+    # -- maintenance -------------------------------------------------------
+
+    def clear(self) -> int:
+        """Delete all entries; returns how many were removed.
+
+        The pattern excludes in-flight ``.tmp-*`` files (pathlib's glob
+        matches leading dots): unlinking one would race a concurrent
+        writer's ``os.replace`` and silently drop its store.
+        """
+        removed = 0
+        for path in self.directory.glob("[!.]*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("[!.]*.json"))
+
+    def stats(self) -> dict[str, Any]:
+        """Hit/miss counters of this cache handle."""
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self)}

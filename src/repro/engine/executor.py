@@ -1,0 +1,335 @@
+"""Parallel job execution on a ``concurrent.futures`` process pool.
+
+The executor is the engine's scheduling layer:
+
+- ``jobs == 1`` runs inline (no pool, no serialization round-trip), so
+  single-worker runs stay byte-identical to the historical sequential
+  path and keep full in-process result objects;
+- ``jobs > 1`` fans jobs out to a :class:`ProcessPoolExecutor`.  Workers
+  receive jobs as plain dicts and return :class:`JobResult` dicts, so
+  nothing analyzer-internal crosses process boundaries;
+- per-job timeouts are enforced *inside* the worker with an interval
+  timer (``SIGALRM``), which turns an overrunning job into a
+  structured ``"timeout"`` result without killing the worker slot.
+  The alarm fires between Python bytecodes, so multi-phase jobs are
+  cut off promptly; one long uninterruptible C-level solve (scipy's
+  HiGHS) is only cut off when it returns to Python — the pure-Python
+  ``exact`` backend is interruptible throughout;
+- every exception is captured as a structured ``"error"`` result with
+  the exception type, message and traceback — a poisoned program pair
+  cannot take down a batch run.
+
+Results always come back in submission order regardless of completion
+order, which keeps ``--jobs N`` output deterministic.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+import traceback as traceback_module
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.engine.cache import ResultCache
+from repro.engine.jobs import AnalysisJob, JobResult, run_job
+from repro.errors import AnalysisError
+
+
+class JobTimeoutError(Exception):
+    """Raised inside a worker when the per-job budget expires."""
+
+
+@dataclass
+class ExecutorStats:
+    """Counters of one executor run."""
+
+    submitted: int = 0
+    completed: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    cancelled: int = 0
+    cache_hits: int = 0
+    seconds: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(vars(self))
+
+
+def execute_job(job: AnalysisJob, timeout: float | None = None) -> JobResult:
+    """Run one job with structured failure capture and an optional
+    wall-clock budget (seconds).  Never raises."""
+    start = time.perf_counter()
+    try:
+        if timeout is not None:
+            return _run_with_alarm(job, timeout)
+        return run_job(job)
+    except JobTimeoutError:
+        return JobResult(
+            job_key=job.key,
+            name=job.name,
+            kind=job.kind,
+            status="timeout",
+            error_type="JobTimeoutError",
+            message=f"job exceeded its {timeout:g}s budget",
+            seconds=time.perf_counter() - start,
+        )
+    except Exception as error:  # noqa: BLE001 — structured capture is the point
+        return JobResult(
+            job_key=job.key,
+            name=job.name,
+            kind=job.kind,
+            status="error",
+            error_type=type(error).__name__,
+            message=str(error),
+            traceback=traceback_module.format_exc(limit=20),
+            seconds=time.perf_counter() - start,
+        )
+
+
+def _run_with_alarm(job: AnalysisJob, timeout: float) -> JobResult:
+    """Run with a ``SIGALRM`` interval timer when the platform allows.
+
+    Pool workers always qualify (the job runs in the worker's main
+    thread).  Inline execution from a non-main thread of a host
+    application, or a platform without ``SIGALRM``, cannot install the
+    timer — there the job runs without an enforced budget rather than
+    failing before the analysis starts."""
+
+    armed = True
+
+    def _on_alarm(signum, frame):
+        if armed:
+            raise JobTimeoutError()
+        # A late alarm that fired while the completed result was being
+        # returned: swallow it instead of discarding the result.
+
+    try:
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+    except (AttributeError, ValueError):
+        return run_job(job)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        result = run_job(job)
+        armed = False
+        return result
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        # Drain an alarm that was generated before the disarm but not
+        # yet delivered — restoring a default disposition while it is
+        # pending would kill the process.
+        signal.signal(signal.SIGALRM, signal.SIG_IGN)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _pool_worker(payload: dict, timeout: float | None) -> dict:
+    """Top-level worker entry point (must be importable for the pool)."""
+    job = AnalysisJob.from_dict(payload)
+    return execute_job(job, timeout).to_dict()
+
+
+class ParallelExecutor:
+    """Runs batches of :class:`AnalysisJob` with caching and timeouts."""
+
+    def __init__(self, jobs: int = 1, timeout: float | None = None,
+                 cache: ResultCache | None = None):
+        if jobs < 1:
+            raise AnalysisError("jobs must be at least 1")
+        self.jobs = jobs
+        self.timeout = timeout
+        self.cache = cache
+        self.stats = ExecutorStats()
+
+    # -- cache plumbing ----------------------------------------------------
+
+    def _lookup(self, job: AnalysisJob) -> JobResult | None:
+        """Probe the cache without touching executor stats — hits are
+        only accounted when actually *used* (an escalation may cancel a
+        pre-fetched rung, which must not count as a cache hit)."""
+        if self.cache is None:
+            return None
+        hit = self.cache.get(job.key)
+        if hit is not None:
+            hit.name = job.name  # display name may differ across runs
+        return hit
+
+    def _use_hit(self, hit: JobResult) -> JobResult:
+        self.stats.cache_hits += 1
+        return self._account(hit)
+
+    def _store(self, job: AnalysisJob, result: JobResult) -> None:
+        if self.cache is not None:
+            self.cache.put(job, result)
+
+    def _account(self, result: JobResult) -> JobResult:
+        if result.status == "error":
+            self.stats.errors += 1
+        elif result.status == "timeout":
+            self.stats.timeouts += 1
+        elif result.status == "cancelled":
+            self.stats.cancelled += 1
+        else:
+            self.stats.completed += 1
+        return result
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, jobs: list[AnalysisJob]) -> list[JobResult]:
+        """Execute all jobs; results come back in submission order."""
+        start = time.perf_counter()
+        self.stats.submitted += len(jobs)
+        results: list[JobResult | None] = [None] * len(jobs)
+        pending: list[tuple[int, AnalysisJob]] = []
+        for index, job in enumerate(jobs):
+            hit = self._lookup(job)
+            if hit is not None:
+                results[index] = self._use_hit(hit)
+            else:
+                pending.append((index, job))
+
+        if pending:
+            if self.jobs == 1:
+                for index, job in pending:
+                    results[index] = self._finish(job, execute_job(
+                        job, self.timeout
+                    ))
+            else:
+                self._run_pool(pending, results)
+        self.stats.seconds += time.perf_counter() - start
+        return [result for result in results if result is not None]
+
+    def _finish(self, job: AnalysisJob, result: JobResult) -> JobResult:
+        self._store(job, result)
+        return self._account(result)
+
+    def _run_pool(self, pending: list[tuple[int, AnalysisJob]],
+                  results: list[JobResult | None]) -> None:
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_pool_worker, job.to_dict(), self.timeout):
+                    (index, job)
+                for index, job in pending
+            }
+            for future in futures:
+                index, job = futures[future]
+                results[index] = self._finish(job, self._collect(job, future))
+
+    def _collect(self, job: AnalysisJob, future) -> JobResult:
+        try:
+            return JobResult.from_dict(future.result())
+        except Exception as error:  # noqa: BLE001 — e.g. BrokenProcessPool
+            return JobResult(
+                job_key=job.key,
+                name=job.name,
+                kind=job.kind,
+                status="error",
+                error_type=type(error).__name__,
+                message=f"worker failed: {error}",
+            )
+
+    def run_escalating(self, jobs: list[AnalysisJob]) -> list[JobResult]:
+        """Run an ordered ladder, stopping at the first success.
+
+        All rungs may execute concurrently, but the *selection* walks
+        the ladder in order: once rung ``i`` succeeds, every rung after
+        it is cancelled — pending ones via ``Future.cancel``, already
+        running ones by terminating their worker processes — and their
+        outcomes never influence the caller, so the chosen rung is
+        deterministic regardless of completion order.
+        """
+        if not jobs:
+            return []
+        start = time.perf_counter()
+        self.stats.submitted += len(jobs)
+        results: list[JobResult] = []
+
+        if self.jobs == 1:
+            stopped = False
+            for job in jobs:
+                if stopped:
+                    results.append(self._account(self._cancelled(job)))
+                    continue
+                hit = self._lookup(job)
+                if hit is not None:
+                    result = self._use_hit(hit)
+                else:
+                    result = self._finish(job, execute_job(job, self.timeout))
+                results.append(result)
+                if result.succeeded:
+                    stopped = True
+            self.stats.seconds += time.perf_counter() - start
+            return results
+
+        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(jobs)))
+        abandoned_running = False
+        try:
+            futures = []
+            cached_success = False
+            for job in jobs:
+                # Pre-fetch cache hits so only genuine work is
+                # submitted; accounting happens at use time below, so
+                # stats and statuses match the jobs == 1 path exactly.
+                # Rungs past the first cached *success* can never be
+                # chosen (a lower rung wins first either way), so they
+                # are not worth a worker.
+                if cached_success:
+                    futures.append((job, None, None))
+                    continue
+                hit = self._lookup(job)
+                if hit is not None:
+                    futures.append((job, None, hit))
+                    cached_success = hit.succeeded
+                else:
+                    futures.append(
+                        (job, pool.submit(_pool_worker, job.to_dict(),
+                                          self.timeout), None)
+                    )
+            stopped = False
+            for job, future, ready in futures:
+                if stopped:
+                    # Loser rung: drop it whether it started or not —
+                    # waiting for a running rung would make "first"
+                    # mode as slow as its slowest rung, and replaying a
+                    # pre-fetched cache hit would diverge from the
+                    # jobs == 1 statuses.  cancel() is False for both
+                    # running AND already-finished futures; only a rung
+                    # still running warrants terminating workers.
+                    if (future is not None and not future.cancel()
+                            and not future.done()):
+                        abandoned_running = True
+                    result = self._account(self._cancelled(job))
+                elif ready is not None:
+                    result = self._use_hit(ready)
+                elif future is None:
+                    # Never submitted (sat past a cached success).
+                    result = self._account(self._cancelled(job))
+                else:
+                    result = self._finish(job, self._collect(job, future))
+                results.append(result)
+                if result.succeeded:
+                    stopped = True
+        finally:
+            pool.shutdown(wait=not abandoned_running, cancel_futures=True)
+            if abandoned_running:
+                # Abandoned rungs still hold worker processes; reclaim
+                # them now instead of draining multi-minute LP solves
+                # nobody will read.  (Private attribute, but stable
+                # across CPython 3.8+; a failure here only delays
+                # reclamation to interpreter exit.)
+                try:
+                    for process in list(pool._processes.values()):
+                        process.terminate()
+                except Exception:  # noqa: BLE001 — best-effort cleanup
+                    pass
+        self.stats.seconds += time.perf_counter() - start
+        return results
+
+    def _cancelled(self, job: AnalysisJob) -> JobResult:
+        return JobResult(
+            job_key=job.key,
+            name=job.name,
+            kind=job.kind,
+            status="cancelled",
+            message="a lower portfolio rung already succeeded",
+        )

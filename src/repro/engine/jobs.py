@@ -1,0 +1,263 @@
+"""The engine's job model.
+
+An :class:`AnalysisJob` is one self-contained unit of analysis work: a
+program pair (as source text, so jobs cross process boundaries without
+pickling analyzer state), an :class:`~repro.config.AnalysisConfig`, and
+the kind of analysis to run (``diff``/``bound``/``refute``/``single``).
+
+Every job has a canonical, content-addressed :attr:`AnalysisJob.key`
+(a SHA-256 over a canonical JSON rendering of everything that affects
+the job's outcome).  Two jobs with the same key are guaranteed to
+produce the same result, which is what makes the on-disk result cache
+and cross-run deduplication sound.  Presentation-only attributes (the
+display ``name``) are excluded from the key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from fractions import Fraction
+from typing import Any
+
+from repro.config import AnalysisConfig
+from repro.errors import AnalysisError
+
+#: Bump when the meaning of a job (or the result schema) changes, so
+#: stale cache entries are never replayed across incompatible versions.
+JOB_SCHEMA_VERSION = 1
+
+JOB_KINDS = ("diff", "bound", "refute", "single")
+
+
+@dataclass(frozen=True)
+class AnalysisJob:
+    """One unit of analysis work, addressable by content.
+
+    Attributes
+    ----------
+    kind:
+        ``"diff"`` (threshold synthesis), ``"bound"`` (symbolic bound
+        proof), ``"refute"`` (candidate refutation) or ``"single"``
+        (single-program bounds; uses only ``old_source``).
+    old_source / new_source:
+        `imp` source text of the two versions (``new_source`` is
+        ``None`` for ``single`` jobs).
+    config:
+        The analysis configuration; any field change changes the key.
+    name:
+        Display name (e.g. the benchmark pair name).  Not keyed.
+    bound:
+        Polynomial text for ``bound`` jobs.
+    candidate:
+        Candidate threshold for ``refute`` jobs.
+    """
+
+    kind: str
+    old_source: str
+    new_source: str | None = None
+    config: AnalysisConfig = field(default_factory=AnalysisConfig)
+    name: str = ""
+    bound: str | None = None
+    candidate: float | None = None
+
+    def __post_init__(self):
+        if self.kind not in JOB_KINDS:
+            raise AnalysisError(
+                f"unknown job kind {self.kind!r} (use one of {JOB_KINDS})"
+            )
+        if self.kind != "single" and self.new_source is None:
+            raise AnalysisError(f"{self.kind} jobs need a new_source")
+        if self.kind == "bound" and self.bound is None:
+            raise AnalysisError("bound jobs need a bound polynomial")
+        if self.kind == "refute" and self.candidate is None:
+            raise AnalysisError("refute jobs need a candidate threshold")
+
+    # -- content addressing ------------------------------------------------
+
+    def canonical_payload(self) -> dict[str, Any]:
+        """Everything that determines the job's outcome, canonically."""
+        from repro import __version__ as analyzer_version
+
+        return {
+            "version": JOB_SCHEMA_VERSION,
+            # Release upgrades may change analysis results (encoding
+            # fixes, invariant improvements); keying on the package
+            # version keeps the on-disk cache from replaying them.
+            "analyzer": analyzer_version,
+            "kind": self.kind,
+            "old_source": self.old_source,
+            "new_source": self.new_source,
+            "config": asdict(self.config),
+            "bound": self.bound,
+            "candidate": self.candidate,
+        }
+
+    @property
+    def key(self) -> str:
+        """Content-addressed job key (hex SHA-256)."""
+        canonical = json.dumps(
+            self.canonical_payload(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    # -- (de)serialization for process transport ---------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "old_source": self.old_source,
+            "new_source": self.new_source,
+            "config": asdict(self.config),
+            "name": self.name,
+            "bound": self.bound,
+            "candidate": self.candidate,
+        }
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "AnalysisJob":
+        payload = dict(data)
+        payload["config"] = AnalysisConfig(**payload["config"])
+        return AnalysisJob(**payload)
+
+
+@dataclass
+class JobResult:
+    """Structured outcome of running one job.
+
+    ``status`` describes the *execution*: ``"ok"`` (the analysis ran to
+    completion, including a sound "no certificate" answer), ``"error"``
+    (a structured failure was captured), ``"timeout"`` (the per-job
+    budget expired) or ``"cancelled"`` (a portfolio raced past it).
+    ``outcome`` is the analysis-level verdict (the
+    :class:`~repro.core.results.AnalysisStatus` value) when the run
+    completed.
+    """
+
+    job_key: str
+    name: str
+    kind: str
+    status: str
+    outcome: str | None = None
+    threshold: float | None = None
+    threshold_str: str | None = None
+    message: str = ""
+    error_type: str | None = None
+    traceback: str | None = None
+    seconds: float = 0.0
+    timings: dict[str, float] = field(default_factory=dict)
+    config_summary: dict[str, Any] = field(default_factory=dict)
+    cached: bool = False
+    #: The full in-process analysis result object (e.g.
+    #: :class:`~repro.core.results.DiffCostResult`).  Only populated on
+    #: the inline execution path; never serialized.
+    analysis: Any = None
+
+    @property
+    def succeeded(self) -> bool:
+        """True iff the analysis completed with a positive verdict
+        (threshold synthesized / bound proved / candidate refuted)."""
+        return self.status == "ok" and self.outcome in (
+            "threshold", "proved", "refuted"
+        )
+
+    @property
+    def failed(self) -> bool:
+        """True iff execution itself failed (error or timeout)."""
+        return self.status in ("error", "timeout")
+
+    def exact_threshold(self) -> Fraction | float | None:
+        """The threshold as an exact value when one was recorded."""
+        if self.threshold_str is not None:
+            return Fraction(self.threshold_str)
+        return self.threshold
+
+    def to_dict(self) -> dict[str, Any]:
+        # Not asdict(): it would recurse into the in-process `analysis`
+        # object, which is deliberately excluded from serialization.
+        return {
+            "job_key": self.job_key,
+            "name": self.name,
+            "kind": self.kind,
+            "status": self.status,
+            "outcome": self.outcome,
+            "threshold": self.threshold,
+            "threshold_str": self.threshold_str,
+            "message": self.message,
+            "error_type": self.error_type,
+            "traceback": self.traceback,
+            "seconds": self.seconds,
+            "timings": dict(self.timings),
+            "config_summary": dict(self.config_summary),
+            "cached": self.cached,
+        }
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "JobResult":
+        payload = {k: v for k, v in data.items() if k != "analysis"}
+        return JobResult(**payload)
+
+
+def _config_summary(config: AnalysisConfig) -> dict[str, Any]:
+    return {
+        "degree": config.degree,
+        "max_products": config.max_products,
+        "lp_backend": config.lp_backend,
+    }
+
+
+def run_job(job: AnalysisJob) -> JobResult:
+    """Execute ``job`` in-process and return its structured result.
+
+    Analysis-level failures (LP infeasible) are *successful* runs with
+    ``outcome == "unknown"``; genuine errors propagate to the caller
+    (the executor turns them into structured ``"error"`` results).
+    """
+    from repro.core import (
+        analyze_diffcost,
+        analyze_single_program,
+        prove_symbolic_bound,
+        refute_threshold,
+    )
+    from repro.lang import load_program
+    from repro.poly import parse_polynomial
+
+    start = time.perf_counter()
+    old = load_program(job.old_source, name=f"{job.name or 'job'}_old")
+    result = JobResult(
+        job_key=job.key,
+        name=job.name,
+        kind=job.kind,
+        status="ok",
+        config_summary=_config_summary(job.config),
+    )
+
+    if job.kind == "single":
+        analysis = analyze_single_program(old, job.config)
+        threshold = analysis.precision
+    else:
+        new = load_program(job.new_source, name=f"{job.name or 'job'}_new")
+        if job.kind == "diff":
+            analysis = analyze_diffcost(old, new, job.config)
+            threshold = analysis.threshold
+        elif job.kind == "bound":
+            analysis = prove_symbolic_bound(
+                old, new, parse_polynomial(job.bound), job.config
+            )
+            threshold = None
+        else:  # refute
+            analysis = refute_threshold(old, new, job.candidate, job.config)
+            threshold = analysis.guaranteed_difference
+
+    result.outcome = analysis.status.value
+    result.message = analysis.message
+    if threshold is not None:
+        result.threshold = float(threshold)
+        if isinstance(threshold, Fraction):
+            result.threshold_str = str(threshold)
+    result.timings = dict(getattr(analysis, "timings", {}) or {})
+    result.seconds = time.perf_counter() - start
+    result.analysis = analysis
+    return result

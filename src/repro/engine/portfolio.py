@@ -1,0 +1,149 @@
+"""Portfolio strategy: race an escalating ladder of configurations.
+
+For one program pair, the portfolio expands a ladder of analysis
+configurations — cheap low-degree templates first, richer (and slower)
+ones after, with an exact-arithmetic fallback rung at the end:
+
+    d=1, K=1 (scipy)  →  d=2, K=2 (scipy)  →  d=3, K=2 (scipy)
+                      →  d=2, K=2 (exact)
+
+and runs the rungs through a :class:`~repro.engine.executor.ParallelExecutor`.
+Two selection modes:
+
+- ``"first"`` (default): the first rung *in ladder order* that produces
+  a threshold wins; later rungs are cancelled.  Deterministic and
+  fastest — the mode to use when any sound threshold unblocks a gate.
+- ``"best"``: every rung runs; the minimal threshold among succeeding
+  rungs wins (ties broken by ladder order).  Use when tightness matters
+  more than latency — richer templates can only tighten the bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.config import AnalysisConfig
+from repro.engine.executor import ParallelExecutor
+from repro.engine.jobs import AnalysisJob, JobResult
+from repro.errors import AnalysisError
+
+#: The escalation ladder as (degree, max_products, lp_backend) triples.
+DEFAULT_LADDER: tuple[tuple[int, int, str], ...] = (
+    (1, 1, "scipy"),
+    (2, 2, "scipy"),
+    (3, 2, "scipy"),
+    (2, 2, "exact"),
+)
+
+PORTFOLIO_MODES = ("first", "best")
+
+
+def ladder_configs(base: AnalysisConfig | None = None,
+                   ladder: tuple[tuple[int, int, str], ...] = DEFAULT_LADDER,
+                   ) -> list[AnalysisConfig]:
+    """Instantiate the ladder, inheriting every non-raced knob of
+    ``base`` (invariant tuning, certificate checking, ...)."""
+    base = base or AnalysisConfig()
+    return [
+        replace(base, degree=degree, max_products=max_products,
+                lp_backend=lp_backend)
+        for degree, max_products, lp_backend in ladder
+    ]
+
+
+@dataclass
+class PortfolioResult:
+    """The outcome of racing one pair through the ladder."""
+
+    name: str
+    mode: str
+    chosen: JobResult | None
+    rungs: list[JobResult] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.chosen is not None
+
+    @property
+    def threshold(self) -> float | None:
+        return self.chosen.threshold if self.chosen else None
+
+    @property
+    def seconds(self) -> float:
+        """Analysis seconds actually spent on this pair *in this run*
+        (summed across rungs, so parallel rungs count their combined
+        compute; cached rungs arrive with 0)."""
+        return sum(rung.seconds for rung in self.rungs)
+
+    def chosen_rung_index(self) -> int | None:
+        """Index of the winning rung in the ladder, if any."""
+        if self.chosen is None:
+            return None
+        return self.rungs.index(self.chosen)
+
+
+def select_result(results: list[JobResult], mode: str) -> JobResult | None:
+    """Pick the portfolio winner from per-rung results.
+
+    ``"first"``: the first success in ladder order.  ``"best"``: the
+    minimal threshold among succeeding rungs (ladder order breaks ties);
+    successes without a recorded threshold (e.g. ``bound`` jobs) rank
+    after thresholded ones.
+    """
+    if mode not in PORTFOLIO_MODES:
+        raise AnalysisError(
+            f"unknown portfolio mode {mode!r} (use one of {PORTFOLIO_MODES})"
+        )
+    successes = [
+        (index, result) for index, result in enumerate(results)
+        if result.succeeded
+    ]
+    if not successes:
+        return None
+    if mode == "first":
+        return successes[0][1]
+    return min(
+        successes,
+        key=lambda pair: (
+            pair[1].threshold is None, pair[1].threshold, pair[0]
+        ),
+    )[1]
+
+
+def portfolio_jobs(old_source: str, new_source: str, name: str,
+                   base: AnalysisConfig | None = None,
+                   ladder: tuple[tuple[int, int, str], ...] = DEFAULT_LADDER,
+                   ) -> list[AnalysisJob]:
+    """The per-rung ``diff`` jobs of one pair."""
+    jobs = []
+    for config in ladder_configs(base, ladder):
+        rung = f"d{config.degree}K{config.max_products}:{config.lp_backend}"
+        jobs.append(
+            AnalysisJob(
+                kind="diff",
+                old_source=old_source,
+                new_source=new_source,
+                config=config,
+                name=f"{name}[{rung}]",
+            )
+        )
+    return jobs
+
+
+def run_portfolio(old_source: str, new_source: str, name: str,
+                  executor: ParallelExecutor,
+                  base: AnalysisConfig | None = None,
+                  ladder: tuple[tuple[int, int, str], ...] = DEFAULT_LADDER,
+                  mode: str = "first") -> PortfolioResult:
+    """Race one pair through the ladder on ``executor``."""
+    jobs = portfolio_jobs(old_source, new_source, name, base, ladder)
+    if mode == "first":
+        results = executor.run_escalating(jobs)
+    else:
+        results = executor.run(jobs)
+    return PortfolioResult(
+        name=name,
+        mode=mode,
+        chosen=select_result(results, mode),
+        rungs=results,
+    )

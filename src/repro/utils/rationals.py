@@ -52,6 +52,18 @@ def snap_to_int(value: Numeric, tolerance: float = 1e-6) -> Numeric:
     return value
 
 
+def format_threshold(value: Numeric | None, missing: str = "✗") -> str:
+    """Render a computed threshold for tables: ``missing`` for ✗,
+    integers snapped (tolerance 1e-4, absorbing float-LP noise),
+    everything else with two decimals."""
+    if value is None:
+        return missing
+    snapped = snap_to_int(value, tolerance=1e-4)
+    if isinstance(snapped, int):
+        return str(snapped)
+    return f"{float(value):.2f}"
+
+
 def fraction_to_str(value: Fraction) -> str:
     """Render a fraction compactly: integers without denominator."""
     if value.denominator == 1:
