@@ -127,39 +127,40 @@ def gate(directory: Path, cache_dir: Path) -> int:
     print()
 
     failures = 0
-    for result in report.results:
-        budget = BUDGETS[result.name]
-        if result.failed:
-            print(f"GATE ✗ {result.name}: job {result.status} "
-                  f"({result.error_type}) — investigate, not mergeable")
-            failures += 1
-        elif result.threshold is None:
-            # Default config found no certificate: escalate through the
-            # portfolio ladder before rejecting.
-            old = (directory / f"{result.name}_old.imp").read_text()
-            new = (directory / f"{result.name}_new.imp").read_text()
-            portfolio = run_portfolio(
-                old, new, result.name,
-                ParallelExecutor(jobs=4, cache=ResultCache(cache_dir)),
-            )
-            if portfolio.threshold is None:
-                print(f"GATE ✗ {result.name}: no certificate at any rung")
+    # One executor — and so one long-lived worker pool — for every pair
+    # that needs portfolio escalation (construction is free; workers
+    # only spawn if an escalation actually runs).
+    with ParallelExecutor(jobs=4, cache=ResultCache(cache_dir)) as executor:
+        for result in report.results:
+            budget = BUDGETS[result.name]
+            if result.failed:
+                print(f"GATE ✗ {result.name}: job {result.status} "
+                      f"({result.error_type}) — investigate, not mergeable")
                 failures += 1
-            elif portfolio.threshold > budget:
-                print(f"GATE ✗ {result.name}: +{portfolio.threshold:g} "
-                      f"exceeds budget {budget}")
+            elif result.threshold is None:
+                # Default config found no certificate: escalate through
+                # the portfolio ladder before rejecting.
+                old = (directory / f"{result.name}_old.imp").read_text()
+                new = (directory / f"{result.name}_new.imp").read_text()
+                portfolio = run_portfolio(old, new, result.name, executor)
+                if portfolio.threshold is None:
+                    print(f"GATE ✗ {result.name}: no certificate at any rung")
+                    failures += 1
+                elif portfolio.threshold > budget:
+                    print(f"GATE ✗ {result.name}: +{portfolio.threshold:g} "
+                          f"exceeds budget {budget}")
+                    failures += 1
+                else:
+                    print(f"GATE ✓ {result.name}: +{portfolio.threshold:g} "
+                          f"<= budget {budget} (after portfolio escalation)")
+            elif result.threshold > budget:
+                print(f"GATE ✗ {result.name}: worst-case increase "
+                      f"+{result.threshold:g} exceeds budget {budget}")
                 failures += 1
             else:
-                print(f"GATE ✓ {result.name}: +{portfolio.threshold:g} "
-                      f"<= budget {budget} (after portfolio escalation)")
-        elif result.threshold > budget:
-            print(f"GATE ✗ {result.name}: worst-case increase "
-                  f"+{result.threshold:g} exceeds budget {budget}")
-            failures += 1
-        else:
-            print(f"GATE ✓ {result.name}: +{result.threshold:g} "
-                  f"<= budget {budget}"
-                  + (" (cached)" if result.cached else ""))
+                print(f"GATE ✓ {result.name}: +{result.threshold:g} "
+                      f"<= budget {budget}"
+                      + (" (cached)" if result.cached else ""))
     return failures
 
 

@@ -171,8 +171,12 @@ def run_suite(names: list[str] | None = None,
              or pair.group != "Fig. 1 running example")
     ]
     cache = ResultCache(cache_dir) if cache_dir else None
-    executor = ParallelExecutor(jobs=jobs, timeout=timeout, cache=cache)
-    results = executor.run([_suite_job(pair, lp_backend) for pair in selected])
+    # Context-managed so the long-lived worker pool is torn down when
+    # the suite finishes rather than lingering until garbage collection.
+    with ParallelExecutor(jobs=jobs, timeout=timeout, cache=cache) as executor:
+        results = executor.run(
+            [_suite_job(pair, lp_backend) for pair in selected]
+        )
     return [
         _outcome_from_job_result(pair, job_result)
         for pair, job_result in zip(selected, results)

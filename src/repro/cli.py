@@ -8,6 +8,7 @@ Subcommands::
     repro-diffcost single PROGRAM.imp
     repro-diffcost suite [--names a,b,c] [--jobs N]
     repro-diffcost batch DIR [--jobs N] [--portfolio] [--cache-dir D]
+                             [--max-inflight-pairs N]
     repro-diffcost show PROGRAM.imp [--dot]
 """
 
@@ -109,7 +110,12 @@ def _command_suite(args: argparse.Namespace) -> int:
         "csv": format_csv,
     }
     print(formatters[args.format](outcomes))
-    return 0
+    # Mirror batch's `report.ok` gate: a row whose job never executed
+    # (worker error/timeout) is an infrastructure failure and must fail
+    # the process — a suite that always exits 0 is a CI gate that
+    # cannot fail.  A sound ✗ row still exits 0: it is a completed
+    # answer, like the paper's own failed rows.
+    return 0 if all(o.job_status == "ok" for o in outcomes) else 1
 
 
 def _command_batch(args: argparse.Namespace) -> int:
@@ -123,6 +129,7 @@ def _command_batch(args: argparse.Namespace) -> int:
         # running the single-config path would misread the user's intent.
         portfolio=args.portfolio or args.portfolio_mode is not None,
         portfolio_mode=args.portfolio_mode or "first",
+        max_inflight_pairs=args.max_inflight_pairs,
     )
     report = run_batch(args.directory, config=_config(args), engine=engine)
     if args.format == "json":
@@ -234,6 +241,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="first succeeding rung wins, or minimal "
                             "threshold among succeeding rungs "
                             "(implies --portfolio; default: first)")
+    batch.add_argument("--max-inflight-pairs", type=int, default=None,
+                       metavar="N",
+                       help="first-mode portfolio scheduler: cap on "
+                            "pairs escalating at once on the shared "
+                            "worker pool (default: auto from --jobs; "
+                            "does not affect which rungs are chosen)")
     batch.add_argument("--format", choices=["text", "json"], default="text",
                        help="output format")
     _add_config_arguments(batch)

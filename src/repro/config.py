@@ -92,6 +92,13 @@ class EngineConfig:
     portfolio_mode:
         ``"first"`` (first succeeding rung wins, losers cancelled) or
         ``"best"`` (minimal threshold among succeeding rungs).
+    max_inflight_pairs:
+        In ``first``-mode portfolio batches, how many pairs' escalation
+        ladders the scheduler keeps in flight at once on the shared
+        worker pool.  ``None`` (default) sizes automatically from the
+        pool: enough pairs to keep every worker busy without flooding
+        the queue.  Has no effect on selection — chosen rungs are
+        deterministic regardless.
     """
 
     jobs: int = 1
@@ -99,6 +106,7 @@ class EngineConfig:
     cache_dir: str | None = None
     portfolio: bool = False
     portfolio_mode: str = "first"
+    max_inflight_pairs: int | None = None
 
     def __post_init__(self):
         if self.jobs < 1:
@@ -109,4 +117,8 @@ class EngineConfig:
             raise AnalysisError(
                 f"unknown portfolio_mode {self.portfolio_mode!r} "
                 "(use 'first' or 'best')"
+            )
+        if self.max_inflight_pairs is not None and self.max_inflight_pairs < 1:
+            raise AnalysisError(
+                "max_inflight_pairs must be at least 1 (or None for auto)"
             )

@@ -5,6 +5,9 @@ The orchestration layer over the single-pair analyzers of
 
 - :mod:`repro.engine.jobs` — the content-addressed job model
   (:class:`AnalysisJob` / :class:`JobResult`);
+- :mod:`repro.engine.scheduler` — the long-lived worker pool with
+  per-task process tracking and the cross-pair escalation scheduler
+  (:class:`WorkerPool` / :class:`EscalationScheduler`);
 - :mod:`repro.engine.executor` — process-pool execution with per-job
   timeouts and structured failure capture
   (:class:`ParallelExecutor`);
@@ -21,6 +24,7 @@ gates) goes through this package.
 
 from repro.engine.jobs import AnalysisJob, JobResult, run_job
 from repro.engine.cache import ResultCache
+from repro.engine.scheduler import EscalationScheduler, Task, WorkerPool
 from repro.engine.executor import (
     ExecutorStats,
     JobTimeoutError,
@@ -49,6 +53,9 @@ __all__ = [
     "JobResult",
     "run_job",
     "ResultCache",
+    "EscalationScheduler",
+    "Task",
+    "WorkerPool",
     "ExecutorStats",
     "JobTimeoutError",
     "ParallelExecutor",

@@ -22,7 +22,6 @@ from repro.engine.portfolio import (
     DEFAULT_LADDER,
     PortfolioResult,
     portfolio_jobs,
-    run_portfolio,
     select_result,
 )
 from repro.errors import AnalysisError
@@ -131,76 +130,77 @@ def run_batch(directory: str | Path,
     engine = engine or EngineConfig()
     config = config or AnalysisConfig()
     cache = ResultCache(engine.cache_dir) if engine.cache_dir else None
-    executor = ParallelExecutor(
-        jobs=engine.jobs, timeout=engine.timeout, cache=cache
-    )
     pairs = discover_pairs(directory)
     start = time.perf_counter()
 
-    if engine.portfolio:
-        if engine.portfolio_mode == "best":
-            # Every rung of every pair runs anyway in best mode, so
-            # submit them all to one pool and select winners per pair —
-            # cross-pair parallelism instead of one pair at a time.
+    # One executor — and therefore one long-lived worker pool — for the
+    # whole batch, however many pairs it has.
+    with ParallelExecutor(
+        jobs=engine.jobs, timeout=engine.timeout, cache=cache
+    ) as executor:
+        if engine.portfolio:
             per_pair = [
                 portfolio_jobs(*pair.sources(), pair.name,
                                base=config, ladder=ladder)
                 for pair in pairs
             ]
-            flat = executor.run([job for jobs in per_pair for job in jobs])
-            portfolios, offset = [], 0
-            for pair, jobs in zip(pairs, per_pair):
-                rungs = flat[offset:offset + len(jobs)]
-                offset += len(jobs)
-                portfolios.append(
-                    PortfolioResult(
-                        name=pair.name,
-                        mode="best",
-                        chosen=select_result(rungs, "best"),
-                        rungs=rungs,
-                    )
+            if engine.portfolio_mode == "best":
+                # Every rung of every pair runs anyway in best mode, so
+                # submit them all to one pool and select winners per
+                # pair — cross-pair parallelism instead of one pair at
+                # a time.
+                flat = executor.run(
+                    [job for jobs in per_pair for job in jobs]
                 )
-        else:
-            # "first" escalates rung by rung, so pairs run one after
-            # another (each pair's rungs still race on the pool).
-            portfolios = []
-            for pair in pairs:
-                old_source, new_source = pair.sources()
-                portfolios.append(
-                    run_portfolio(
-                        old_source, new_source, pair.name, executor,
-                        base=config, ladder=ladder,
-                        mode=engine.portfolio_mode,
-                    )
+                rungs_per_pair, offset = [], 0
+                for jobs in per_pair:
+                    rungs_per_pair.append(flat[offset:offset + len(jobs)])
+                    offset += len(jobs)
+            else:
+                # "first" overlaps the escalation ladders of many pairs
+                # on the shared pool; per-pair selection stays
+                # ladder-order deterministic (chosen rungs identical to
+                # --jobs 1).
+                rungs_per_pair = executor.run_escalating_many(
+                    per_pair, max_inflight=engine.max_inflight_pairs
                 )
-        results = [rung for p in portfolios for rung in p.rungs]
+            portfolios = [
+                PortfolioResult(
+                    name=pair.name,
+                    mode=engine.portfolio_mode,
+                    chosen=select_result(rungs, engine.portfolio_mode),
+                    rungs=rungs,
+                )
+                for pair, rungs in zip(pairs, rungs_per_pair)
+            ]
+            results = [rung for p in portfolios for rung in p.rungs]
+            return BatchReport(
+                directory=str(directory),
+                results=results,
+                portfolios=portfolios,
+                stats=executor.stats,
+                seconds=time.perf_counter() - start,
+            )
+
+        jobs = []
+        for pair in pairs:
+            old_source, new_source = pair.sources()
+            jobs.append(
+                AnalysisJob(
+                    kind="diff",
+                    old_source=old_source,
+                    new_source=new_source,
+                    config=config,
+                    name=pair.name,
+                )
+            )
+        results = executor.run(jobs)
         return BatchReport(
             directory=str(directory),
             results=results,
-            portfolios=portfolios,
             stats=executor.stats,
             seconds=time.perf_counter() - start,
         )
-
-    jobs = []
-    for pair in pairs:
-        old_source, new_source = pair.sources()
-        jobs.append(
-            AnalysisJob(
-                kind="diff",
-                old_source=old_source,
-                new_source=new_source,
-                config=config,
-                name=pair.name,
-            )
-        )
-    results = executor.run(jobs)
-    return BatchReport(
-        directory=str(directory),
-        results=results,
-        stats=executor.stats,
-        seconds=time.perf_counter() - start,
-    )
 
 
 def format_batch_table(report: BatchReport) -> str:

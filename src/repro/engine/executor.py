@@ -1,13 +1,16 @@
-"""Parallel job execution on a ``concurrent.futures`` process pool.
+"""Parallel job execution on a long-lived worker pool.
 
 The executor is the engine's scheduling layer:
 
 - ``jobs == 1`` runs inline (no pool, no serialization round-trip), so
   single-worker runs stay byte-identical to the historical sequential
   path and keep full in-process result objects;
-- ``jobs > 1`` fans jobs out to a :class:`ProcessPoolExecutor`.  Workers
-  receive jobs as plain dicts and return :class:`JobResult` dicts, so
-  nothing analyzer-internal crosses process boundaries;
+- ``jobs > 1`` fans jobs out to a long-lived
+  :class:`~repro.engine.scheduler.WorkerPool` — one pool per executor,
+  created on first parallel use and reused across every ``run`` /
+  ``run_escalating_many`` call until :meth:`ParallelExecutor.close`.
+  Workers receive jobs as plain dicts and return :class:`JobResult`
+  dicts, so nothing analyzer-internal crosses process boundaries;
 - per-job timeouts are enforced *inside* the worker with an interval
   timer (``SIGALRM``), which turns an overrunning job into a
   structured ``"timeout"`` result without killing the worker slot.
@@ -28,11 +31,11 @@ from __future__ import annotations
 import signal
 import time
 import traceback as traceback_module
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro.engine.cache import ResultCache
 from repro.engine.jobs import AnalysisJob, JobResult, run_job
+from repro.engine.scheduler import EscalationScheduler, WorkerPool
 from repro.errors import AnalysisError
 
 
@@ -122,12 +125,6 @@ def _run_with_alarm(job: AnalysisJob, timeout: float) -> JobResult:
         signal.signal(signal.SIGALRM, previous)
 
 
-def _pool_worker(payload: dict, timeout: float | None) -> dict:
-    """Top-level worker entry point (must be importable for the pool)."""
-    job = AnalysisJob.from_dict(payload)
-    return execute_job(job, timeout).to_dict()
-
-
 class ParallelExecutor:
     """Runs batches of :class:`AnalysisJob` with caching and timeouts."""
 
@@ -139,6 +136,35 @@ class ParallelExecutor:
         self.timeout = timeout
         self.cache = cache
         self.stats = ExecutorStats()
+        self._pool: WorkerPool | None = None
+        #: How many worker pools this executor ever built — one for a
+        #: whole batch, however many pairs it has.
+        self.pools_created = 0
+
+    # -- pool lifecycle ----------------------------------------------------
+
+    @property
+    def pool(self) -> WorkerPool | None:
+        """The long-lived worker pool (``None`` until first parallel use)."""
+        return self._pool
+
+    def _ensure_pool(self) -> WorkerPool:
+        if self._pool is None or self._pool.closed:
+            self._pool = WorkerPool(self.jobs)
+            self.pools_created += 1
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; the executor stays
+        usable — the next parallel run builds a fresh pool)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- cache plumbing ----------------------------------------------------
 
@@ -204,125 +230,87 @@ class ParallelExecutor:
 
     def _run_pool(self, pending: list[tuple[int, AnalysisJob]],
                   results: list[JobResult | None]) -> None:
-        workers = min(self.jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_pool_worker, job.to_dict(), self.timeout):
-                    (index, job)
-                for index, job in pending
-            }
-            for future in futures:
-                index, job = futures[future]
-                results[index] = self._finish(job, self._collect(job, future))
-
-    def _collect(self, job: AnalysisJob, future) -> JobResult:
-        try:
-            return JobResult.from_dict(future.result())
-        except Exception as error:  # noqa: BLE001 — e.g. BrokenProcessPool
-            return JobResult(
-                job_key=job.key,
-                name=job.name,
-                kind=job.kind,
-                status="error",
-                error_type=type(error).__name__,
-                message=f"worker failed: {error}",
-            )
+        pool = self._ensure_pool()
+        waiting = {}
+        for order, (index, job) in enumerate(pending):
+            task = pool.submit(job, timeout=self.timeout, priority=(0, order))
+            waiting[task.id] = (index, job)
+        while waiting:
+            completed = pool.wait()
+            if not completed:
+                # Nothing running and nothing dispatchable: the pool
+                # stalled (it should be impossible with size >= 1, but
+                # an infinite wait would be worse than a hard error).
+                for index, job in waiting.values():
+                    results[index] = self._finish(job, JobResult(
+                        job_key=job.key, name=job.name, kind=job.kind,
+                        status="error", error_type="SchedulerError",
+                        message="worker pool stalled with tasks outstanding",
+                    ))
+                return
+            for task in completed:
+                entry = waiting.pop(task.id, None)
+                if entry is not None:
+                    index, job = entry
+                    results[index] = self._finish(job, task.result)
 
     def run_escalating(self, jobs: list[AnalysisJob]) -> list[JobResult]:
-        """Run an ordered ladder, stopping at the first success.
+        """Run one ordered ladder, stopping at the first success.
 
         All rungs may execute concurrently, but the *selection* walks
         the ladder in order: once rung ``i`` succeeds, every rung after
-        it is cancelled — pending ones via ``Future.cancel``, already
-        running ones by terminating their worker processes — and their
-        outcomes never influence the caller, so the chosen rung is
-        deterministic regardless of completion order.
+        it is cancelled (a rung still running gets exactly its worker
+        terminated) and their outcomes never influence the caller, so
+        the chosen rung is deterministic regardless of completion
+        order.  Completed loser rungs are still harvested into the
+        result cache before being dropped from selection.
         """
+        return self.run_escalating_many([jobs])[0]
+
+    def run_escalating_many(self, ladders: list[list[AnalysisJob]],
+                            max_inflight: int | None = None,
+                            ) -> list[list[JobResult]]:
+        """Run many escalation ladders, overlapping them on one pool.
+
+        The cross-pair scheduler of ``first``-mode portfolio batches:
+        up to ``max_inflight`` ladders (``None`` = auto from the pool
+        size) are in flight at once on the executor's long-lived
+        worker pool, so pair B's cheap first rung runs while pair A's
+        expensive late rung is still solving.  Per-ladder selection is
+        the same as :meth:`run_escalating` — chosen rungs are
+        byte-identical to a ``jobs == 1`` run.
+        """
+        start = time.perf_counter()
+        if self.jobs == 1:
+            results = [self._escalate_inline(jobs) for jobs in ladders]
+        else:
+            scheduler = EscalationScheduler(
+                self, self._ensure_pool(), max_inflight
+            )
+            results = scheduler.run(ladders)
+        self.stats.seconds += time.perf_counter() - start
+        return results
+
+    def _escalate_inline(self, jobs: list[AnalysisJob]) -> list[JobResult]:
+        """The sequential ladder walk (``jobs == 1``), the behavioral
+        reference for the scheduler's parallel selection."""
         if not jobs:
             return []
-        start = time.perf_counter()
         self.stats.submitted += len(jobs)
         results: list[JobResult] = []
-
-        if self.jobs == 1:
-            stopped = False
-            for job in jobs:
-                if stopped:
-                    results.append(self._account(self._cancelled(job)))
-                    continue
-                hit = self._lookup(job)
-                if hit is not None:
-                    result = self._use_hit(hit)
-                else:
-                    result = self._finish(job, execute_job(job, self.timeout))
-                results.append(result)
-                if result.succeeded:
-                    stopped = True
-            self.stats.seconds += time.perf_counter() - start
-            return results
-
-        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(jobs)))
-        abandoned_running = False
-        try:
-            futures = []
-            cached_success = False
-            for job in jobs:
-                # Pre-fetch cache hits so only genuine work is
-                # submitted; accounting happens at use time below, so
-                # stats and statuses match the jobs == 1 path exactly.
-                # Rungs past the first cached *success* can never be
-                # chosen (a lower rung wins first either way), so they
-                # are not worth a worker.
-                if cached_success:
-                    futures.append((job, None, None))
-                    continue
-                hit = self._lookup(job)
-                if hit is not None:
-                    futures.append((job, None, hit))
-                    cached_success = hit.succeeded
-                else:
-                    futures.append(
-                        (job, pool.submit(_pool_worker, job.to_dict(),
-                                          self.timeout), None)
-                    )
-            stopped = False
-            for job, future, ready in futures:
-                if stopped:
-                    # Loser rung: drop it whether it started or not —
-                    # waiting for a running rung would make "first"
-                    # mode as slow as its slowest rung, and replaying a
-                    # pre-fetched cache hit would diverge from the
-                    # jobs == 1 statuses.  cancel() is False for both
-                    # running AND already-finished futures; only a rung
-                    # still running warrants terminating workers.
-                    if (future is not None and not future.cancel()
-                            and not future.done()):
-                        abandoned_running = True
-                    result = self._account(self._cancelled(job))
-                elif ready is not None:
-                    result = self._use_hit(ready)
-                elif future is None:
-                    # Never submitted (sat past a cached success).
-                    result = self._account(self._cancelled(job))
-                else:
-                    result = self._finish(job, self._collect(job, future))
-                results.append(result)
-                if result.succeeded:
-                    stopped = True
-        finally:
-            pool.shutdown(wait=not abandoned_running, cancel_futures=True)
-            if abandoned_running:
-                # Abandoned rungs still hold worker processes; reclaim
-                # them now instead of draining multi-minute LP solves
-                # nobody will read.  (Private attribute, but stable
-                # across CPython 3.8+; a failure here only delays
-                # reclamation to interpreter exit.)
-                try:
-                    for process in list(pool._processes.values()):
-                        process.terminate()
-                except Exception:  # noqa: BLE001 — best-effort cleanup
-                    pass
-        self.stats.seconds += time.perf_counter() - start
+        stopped = False
+        for job in jobs:
+            if stopped:
+                results.append(self._account(self._cancelled(job)))
+                continue
+            hit = self._lookup(job)
+            if hit is not None:
+                result = self._use_hit(hit)
+            else:
+                result = self._finish(job, execute_job(job, self.timeout))
+            results.append(result)
+            if result.succeeded:
+                stopped = True
         return results
 
     def _cancelled(self, job: AnalysisJob) -> JobResult:

@@ -89,6 +89,12 @@ def select_result(results: list[JobResult], mode: str) -> JobResult | None:
     minimal threshold among succeeding rungs (ladder order breaks ties);
     successes without a recorded threshold (e.g. ``bound`` jobs) rank
     after thresholded ones.
+
+    Ranking uses :meth:`~repro.engine.jobs.JobResult.exact_threshold`:
+    exact-backend rungs carry a ``Fraction`` whose ``float`` rendering
+    can collide with (or cross) a neighbouring rung's value, and
+    ranking the rounded floats would mis-pick the rung.  Fractions and
+    floats compare exactly in Python, so mixed ladders order soundly.
     """
     if mode not in PORTFOLIO_MODES:
         raise AnalysisError(
@@ -102,12 +108,13 @@ def select_result(results: list[JobResult], mode: str) -> JobResult | None:
         return None
     if mode == "first":
         return successes[0][1]
-    return min(
-        successes,
-        key=lambda pair: (
-            pair[1].threshold is None, pair[1].threshold, pair[0]
-        ),
-    )[1]
+
+    def rank(pair):
+        index, result = pair
+        exact = result.exact_threshold()
+        return (exact is None, 0 if exact is None else exact, index)
+
+    return min(successes, key=rank)[1]
 
 
 def portfolio_jobs(old_source: str, new_source: str, name: str,

@@ -1,0 +1,542 @@
+"""Long-lived worker pool and cross-pair escalation scheduling.
+
+The scheduling layer under :class:`~repro.engine.executor.ParallelExecutor`.
+Two pieces:
+
+- :class:`WorkerPool` — a pool of analysis worker processes that lives
+  for a whole batch (one handle per batch, not per pair).  Unlike
+  ``concurrent.futures``, the pool tracks which *process* runs which
+  *task*, so cancelling one abandoned portfolio rung terminates exactly
+  that rung's worker and leaves the rest of the pool running.  This is
+  what lets ``first``-mode portfolios share one pool across pairs
+  instead of rebuilding a pool per pair.
+- :class:`EscalationScheduler` — an event-driven completion loop that
+  overlaps the escalation ladders of many pairs on one pool: while pair
+  A's ``d2K2`` rung is solving, pair B's ``d1K1`` rung runs.  Selection
+  stays per-pair ladder-order deterministic: rung ``i`` of a pair is
+  only judged once every rung ``< i`` has a verdict, so the chosen
+  rungs are byte-identical to a sequential ``--jobs 1`` run even though
+  rungs of many pairs complete in arbitrary order.
+
+Tasks are dispatched lowest ``(rung, pair)`` first, so cheap first
+rungs of waiting pairs get workers before expensive late rungs — the
+portfolio's latency profile, applied across the whole batch.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import multiprocessing
+import weakref
+from collections import deque
+from multiprocessing.connection import wait as _wait_ready
+
+from repro.engine.jobs import AnalysisJob, JobResult
+from repro.errors import AnalysisError
+
+#: Task lifecycle: PENDING (queued) → RUNNING (on a worker) → DONE
+#: (result available) or DROPPED (cancelled before a result existed).
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+DROPPED = "dropped"
+
+
+class Task:
+    """One submitted job with its scheduling state.
+
+    ``state`` transitions only inside the pool's (single-threaded)
+    bookkeeping, so callers can read it without racing a worker: a task
+    seen as ``DONE`` has its ``result`` populated.
+    """
+
+    __slots__ = ("id", "job", "timeout", "priority", "state", "result",
+                 "worker")
+
+    def __init__(self, task_id: int, job: AnalysisJob,
+                 timeout: float | None, priority: tuple):
+        self.id = task_id
+        self.job = job
+        self.timeout = timeout
+        self.priority = priority
+        self.state = PENDING
+        self.result: JobResult | None = None
+        self.worker: _Worker | None = None
+
+
+def _worker_main(conn) -> None:
+    """Entry point of one pool worker: a receive/execute/send loop.
+
+    Jobs arrive as plain dicts and results leave as dicts, so nothing
+    analyzer-internal crosses the pipe.  The per-job timeout is
+    enforced inside :func:`~repro.engine.executor.execute_job` with an
+    interval timer; a ``None`` message (or a closed pipe) ends the
+    worker.
+    """
+    from repro.engine.executor import execute_job
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            return
+        task_id, payload, timeout = message
+        result = execute_job(AnalysisJob.from_dict(payload), timeout)
+        try:
+            conn.send((task_id, result.to_dict()))
+        except (BrokenPipeError, OSError):
+            return
+
+
+class _Worker:
+    """One worker process and the duplex pipe to it."""
+
+    __slots__ = ("process", "conn", "task")
+
+    def __init__(self, context):
+        parent_conn, child_conn = context.Pipe()
+        self.process = context.Process(
+            target=_worker_main, args=(child_conn,), daemon=True
+        )
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+        self.task: Task | None = None
+
+
+def _terminate_workers(workers: list) -> None:
+    """Finalizer: reclaim worker processes of an abandoned pool."""
+    for worker in list(workers):
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.process.is_alive():
+            worker.process.terminate()
+
+
+class WorkerPool:
+    """A long-lived pool of analysis workers with per-task tracking.
+
+    Workers are spawned lazily up to ``size`` and then reused across
+    submissions — a batch pays process startup once, not once per pair.
+    The pool records which worker runs which task, so :meth:`cancel`
+    on a running task terminates exactly that worker; everyone else
+    keeps solving.
+
+    All bookkeeping happens in the caller's thread (``submit`` /
+    ``wait`` / ``cancel``); the pool is not itself thread-safe, which
+    is fine for the executor's single-threaded event loops.
+    """
+
+    def __init__(self, size: int, context: str | None = None):
+        if size < 1:
+            raise AnalysisError("worker pool size must be at least 1")
+        self.size = size
+        self._context = multiprocessing.get_context(context)
+        self._workers: list[_Worker] = []
+        self._idle: list[_Worker] = []
+        self._queue: list[tuple[tuple, int, Task]] = []
+        self._sequence = itertools.count()
+        #: Workers ever started / workers killed by cancellation.  The
+        #: latter must stay 0 when every rung ran to completion — a
+        #: nonzero count on a fully-finished ladder is the cancel/done
+        #: race this pool exists to close.
+        self.spawned = 0
+        self.terminated = 0
+        self.closed = False
+        self._finalizer = weakref.finalize(
+            self, _terminate_workers, self._workers
+        )
+
+    # -- submission and dispatch -------------------------------------------
+
+    def submit(self, job: AnalysisJob, timeout: float | None = None,
+               priority: tuple = (), dispatch: bool = True) -> Task:
+        """Queue ``job``; lower ``priority`` tuples dispatch first.
+
+        ``dispatch=False`` only queues: a caller submitting a related
+        batch (all rungs of several pairs) defers dispatch to one
+        :meth:`flush` so priorities order the whole wave, not the
+        submission interleaving.
+        """
+        if self.closed:
+            raise AnalysisError("worker pool is closed")
+        task = Task(next(self._sequence), job, timeout, priority)
+        heapq.heappush(self._queue, (task.priority, task.id, task))
+        if dispatch:
+            self._dispatch()
+        return task
+
+    def flush(self) -> None:
+        """Dispatch queued tasks to every idle (or spawnable) worker."""
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while True:
+            task = self._pop_pending()
+            if task is None:
+                return
+            worker = self._acquire_worker()
+            if worker is None:
+                heapq.heappush(self._queue, (task.priority, task.id, task))
+                return
+            task.state = RUNNING
+            task.worker = worker
+            worker.task = task
+            try:
+                worker.conn.send((task.id, task.job.to_dict(), task.timeout))
+            except (BrokenPipeError, OSError):
+                # The worker died while idle.  Requeue the task and
+                # retire the corpse; the next loop turn acquires (or
+                # spawns) a replacement.  A fresh worker's send always
+                # lands in the pipe buffer, so this cannot spin.
+                task.state = PENDING
+                task.worker = None
+                self._retire(worker)
+                heapq.heappush(self._queue, (task.priority, task.id, task))
+
+    def _pop_pending(self) -> Task | None:
+        while self._queue:
+            _, _, task = heapq.heappop(self._queue)
+            if task.state == PENDING:
+                return task
+        return None
+
+    def _acquire_worker(self) -> _Worker | None:
+        if self._idle:
+            return self._idle.pop()
+        if len(self._workers) < self.size:
+            worker = _Worker(self._context)
+            self._workers.append(worker)
+            self.spawned += 1
+            return worker
+        return None
+
+    # -- completion --------------------------------------------------------
+
+    def wait(self, timeout: float | None = None) -> list[Task]:
+        """Block until at least one running task completes.
+
+        Returns the newly completed tasks (empty only when nothing is
+        running, or on a ``timeout``); queued tasks are dispatched to
+        any workers this frees.
+        """
+        self._dispatch()
+        busy = {worker.conn: worker for worker in self._workers
+                if worker.task is not None}
+        if not busy:
+            return []
+        completed: list[Task] = []
+        for conn in _wait_ready(list(busy), timeout):
+            worker = busy[conn]
+            task = worker.task
+            if self._receive(worker) and task is not None:
+                completed.append(task)
+        self._dispatch()
+        return completed
+
+    def _receive(self, worker: _Worker) -> bool:
+        """Read one message from ``worker``; True iff a task completed.
+
+        A dead pipe means the worker died mid-task (hard crash, OOM
+        kill): the task completes with a structured ``"error"`` result
+        and the worker is retired — one poisoned job cannot take down
+        the batch.
+        """
+        task = worker.task
+        try:
+            task_id, payload = worker.conn.recv()
+        except (EOFError, OSError):
+            exitcode = worker.process.exitcode
+            self._retire(worker)
+            if task is None:
+                return False
+            task.state = DONE
+            task.worker = None
+            task.result = JobResult(
+                job_key=task.job.key,
+                name=task.job.name,
+                kind=task.job.kind,
+                status="error",
+                error_type="BrokenWorker",
+                message=f"worker died (exit code {exitcode})",
+            )
+            return True
+        assert task is not None and task_id == task.id
+        task.state = DONE
+        task.worker = None
+        task.result = JobResult.from_dict(payload)
+        worker.task = None
+        self._idle.append(worker)
+        return True
+
+    # -- cancellation ------------------------------------------------------
+
+    def cancel(self, task: Task) -> bool:
+        """Withdraw ``task``; True iff it will never produce a result.
+
+        Pending tasks are dropped from the queue.  For a running task
+        the pipe is checked first: the task may have finished between
+        the caller's decision and this call, in which case its result
+        is drained and the worker survives (returns False) — killing a
+        worker whose rung already completed is the cancel/done race
+        this check closes.  Only a task still genuinely running gets
+        its worker (and exactly its worker) terminated.  Done tasks
+        are left alone.
+        """
+        if task.state == PENDING:
+            task.state = DROPPED
+            return True
+        if task.state == RUNNING:
+            worker = task.worker
+            if worker.conn.poll() and self._receive(worker):
+                return False
+            if task.state != RUNNING:
+                # _receive retired a dead worker and completed the task.
+                return False
+            task.state = DROPPED
+            task.worker = None
+            self._kill(worker)
+            return True
+        return False
+
+    def _kill(self, worker: _Worker) -> None:
+        """Terminate exactly this worker's process (abandoned rung)."""
+        self._retire(worker)
+        if worker.process.is_alive():
+            worker.process.terminate()
+            self.terminated += 1
+            worker.process.join(0.5)
+
+    def _retire(self, worker: _Worker) -> None:
+        worker.task = None
+        if worker in self._idle:
+            self._idle.remove(worker)
+        if worker in self._workers:
+            self._workers.remove(worker)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop all workers (idempotent).
+
+        Idle workers exit via the sentinel; a worker still running a
+        task is terminated — callers resolve or cancel every task
+        before shutting down, so that path is a safety net.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        self._finalizer.detach()
+        for worker in list(self._workers):
+            if worker.task is None:
+                try:
+                    worker.conn.send(None)
+                except OSError:
+                    pass
+            elif worker.process.is_alive():
+                worker.process.terminate()
+        for worker in list(self._workers):
+            worker.process.join(2.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(1.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        self._workers.clear()
+        self._idle.clear()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+class _LadderState:
+    """Escalation progress of one pair.
+
+    ``entries[i]`` is how rung ``i`` is being answered: a pre-fetched
+    cache hit, a pool task, or skipped (it sat past a cached success
+    and was never worth a worker).  ``cursor`` is the first rung
+    without a verdict; resolution never looks past an unfinished rung,
+    which is what keeps selection ladder-order deterministic.
+    """
+
+    __slots__ = ("index", "jobs", "entries", "results", "cursor", "winner",
+                 "decided")
+
+    HIT = "hit"
+    TASK = "task"
+    SKIP = "skip"
+
+    def __init__(self, index: int, jobs: list[AnalysisJob]):
+        self.index = index
+        self.jobs = jobs
+        self.entries: list[tuple] = [None] * len(jobs)
+        self.results: list[JobResult | None] = [None] * len(jobs)
+        self.cursor = 0
+        self.winner: int | None = None
+        self.decided = not jobs
+
+
+class EscalationScheduler:
+    """Overlap the escalation ladders of many pairs on one pool.
+
+    The event-driven core of ``first``-mode portfolio batches: all
+    rungs of up to ``max_inflight`` pairs are in flight at once, each
+    completion advances exactly the affected pair's ladder, and a
+    pair's decision immediately cancels its abandoned rungs and admits
+    the next waiting pair.  Completed loser rungs are harvested into
+    the result cache before being dropped from selection — paid-for
+    work a later ``best``-mode run can replay for free.
+    """
+
+    def __init__(self, executor, pool: WorkerPool,
+                 max_inflight: int | None = None):
+        if max_inflight is not None and max_inflight < 1:
+            raise AnalysisError(
+                "max_inflight must be at least 1 (or None for auto)"
+            )
+        self.executor = executor
+        self.pool = pool
+        # Auto: enough pairs to keep every worker busy even when each
+        # pair is down to its last undecided rung, without flooding the
+        # queue with rungs that will sit for minutes.
+        self.max_inflight = max_inflight or max(2, pool.size)
+
+    def run(self, ladders: list[list[AnalysisJob]]) -> list[list[JobResult]]:
+        """Run every ladder; per-pair results in ladder order."""
+        states = [_LadderState(i, jobs) for i, jobs in enumerate(ladders)]
+        waiting = deque(state for state in states if not state.decided)
+        owners: dict[int, _LadderState] = {}
+        active: list[_LadderState] = []
+        while waiting or active:
+            while waiting and len(active) < self.max_inflight:
+                state = waiting.popleft()
+                self._activate(state, owners)
+                self._resolve(state)
+                if not state.decided:
+                    active.append(state)
+            # One dispatch for the whole admission wave, so the
+            # (rung, pair) priority orders it: first rungs of every
+            # admitted pair get workers before anyone's late rungs.
+            self.pool.flush()
+            if not active:
+                continue
+            completed = self.pool.wait()
+            if not completed:
+                # Nothing running and nothing dispatchable while pairs
+                # are still undecided: the pool stalled.  Should be
+                # impossible with size >= 1, but failing structurally
+                # beats waiting forever.
+                for state in active:
+                    self._fail(state)
+                while waiting:
+                    self._fail(waiting.popleft())
+                break
+            for task in completed:
+                state = owners.pop(task.id, None)
+                if state is not None and not state.decided:
+                    self._resolve(state)
+            active = [state for state in active if not state.decided]
+        return [state.results for state in states]
+
+    def _fail(self, state: _LadderState) -> None:
+        executor = self.executor
+        for rung in range(state.cursor, len(state.jobs)):
+            entry = state.entries[rung]  # None when never activated
+            if (entry is not None and entry[0] == _LadderState.TASK
+                    and entry[1].state != DONE):
+                self.pool.cancel(entry[1])
+            job = state.jobs[rung]
+            state.results[rung] = executor._account(JobResult(
+                job_key=job.key, name=job.name, kind=job.kind,
+                status="error", error_type="SchedulerError",
+                message="worker pool stalled with rungs outstanding",
+            ))
+        state.decided = True
+
+    def _activate(self, state: _LadderState,
+                  owners: dict[int, _LadderState]) -> None:
+        """Probe the cache and submit every rung that needs work.
+
+        Rungs past the first cached *success* can never be chosen (a
+        lower rung wins first either way), so they are not worth a
+        worker.  Cache accounting happens at use time in `_resolve`,
+        so stats and statuses match the ``jobs == 1`` path exactly.
+        """
+        executor = self.executor
+        executor.stats.submitted += len(state.jobs)
+        cached_success = False
+        for rung, job in enumerate(state.jobs):
+            if cached_success:
+                state.entries[rung] = (_LadderState.SKIP, None)
+                continue
+            hit = executor._lookup(job)
+            if hit is not None:
+                state.entries[rung] = (_LadderState.HIT, hit)
+                cached_success = hit.succeeded
+            else:
+                task = self.pool.submit(
+                    job, timeout=executor.timeout,
+                    priority=(rung, state.index), dispatch=False,
+                )
+                owners[task.id] = state
+                state.entries[rung] = (_LadderState.TASK, task)
+
+    def _resolve(self, state: _LadderState) -> None:
+        """Advance the ladder as far as finished rungs allow."""
+        if state.decided:
+            return
+        executor = self.executor
+        total = len(state.jobs)
+        while state.cursor < total:
+            kind, payload = state.entries[state.cursor]
+            if kind == _LadderState.TASK and payload.state != DONE:
+                return
+            job = state.jobs[state.cursor]
+            if kind == _LadderState.HIT:
+                result = executor._use_hit(payload)
+            elif kind == _LadderState.SKIP:
+                result = executor._account(executor._cancelled(job))
+            else:
+                result = executor._finish(job, payload.result)
+            state.results[state.cursor] = result
+            state.cursor += 1
+            if result.succeeded:
+                state.winner = state.cursor - 1
+                self._abandon(state, state.cursor)
+                state.cursor = total
+        state.decided = True
+
+    def _abandon(self, state: _LadderState, start: int) -> None:
+        """Drop every rung past the winner.
+
+        A rung that already *completed* is paid-for work: its result
+        is harvested into the cache (a later ``best``-mode run replays
+        it for free) even though its reported status stays
+        ``"cancelled"`` for parity with sequential selection.  Pending
+        rungs are dequeued; a rung still running gets exactly its
+        worker terminated.
+        """
+        executor = self.executor
+        for rung in range(start, len(state.jobs)):
+            kind, payload = state.entries[rung]
+            if kind == _LadderState.TASK:
+                self.pool.cancel(payload)
+                if payload.state == DONE and payload.result is not None:
+                    executor._store(state.jobs[rung], payload.result)
+            state.results[rung] = executor._account(
+                executor._cancelled(state.jobs[rung])
+            )
