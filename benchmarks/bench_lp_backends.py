@@ -1,8 +1,12 @@
-"""Ablation: float (HiGHS) vs exact rational simplex LP backends.
+"""Ablation: float (HiGHS) vs the exact LP backends.
 
-The paper used Gurobi; we provide scipy-HiGHS (fast, float) and a pure
-Python exact simplex (slow, certificate-exact).  Both must agree on the
-computed thresholds; the bench records the runtime gap.
+The paper used Gurobi; we provide scipy-HiGHS (fast, float) plus three
+exact rational solvers: the sparse revised simplex (``exact``), its
+float-warm-started certified variant (``exact-warm``) and the seed's
+dense tableau (``exact-dense``, the perf baseline).  All backends must
+agree on the computed thresholds — exact ones bit-identically — and the
+bench records the runtime gaps.  (``repro-diffcost perf`` runs the same
+comparison at the LP level and emits ``BENCH_lp.json``.)
 """
 
 import pytest
@@ -10,12 +14,14 @@ import pytest
 from repro import AnalysisConfig, analyze_diffcost
 from repro.bench import load_pair
 
-# Small/medium pairs where the exact backend stays reasonable.
+# Small/medium pairs where the exact backends stay reasonable.
 PAIRS = ["simple_single", "ex2", "ex4", "dis2"]
+
+BACKENDS = ["scipy", "exact", "exact-warm", "exact-dense"]
 
 
 @pytest.mark.parametrize("name", PAIRS)
-@pytest.mark.parametrize("backend", ["scipy", "exact"])
+@pytest.mark.parametrize("backend", BACKENDS)
 def test_backend(benchmark, name, backend):
     old, new = load_pair(name)
     config = AnalysisConfig(lp_backend=backend)
@@ -31,18 +37,22 @@ def test_backend(benchmark, name, backend):
 def test_backends_agree(benchmark, name):
     old, new = load_pair(name)
 
-    def both():
-        scipy_result = analyze_diffcost(
-            old, new, AnalysisConfig(lp_backend="scipy")
-        )
-        exact_result = analyze_diffcost(
-            old, new, AnalysisConfig(lp_backend="exact")
-        )
-        return scipy_result, exact_result
+    def all_of_them():
+        return {
+            backend: analyze_diffcost(
+                old, new, AnalysisConfig(lp_backend=backend)
+            )
+            for backend in BACKENDS
+        }
 
-    scipy_result, exact_result = benchmark.pedantic(
-        both, rounds=1, iterations=1, warmup_rounds=0
+    results = benchmark.pedantic(
+        all_of_them, rounds=1, iterations=1, warmup_rounds=0
     )
-    assert float(scipy_result.threshold) == pytest.approx(
-        float(exact_result.threshold), abs=1e-4
+    exact = results["exact"]
+    # Exact trio: bit-identical Fractions.
+    assert results["exact-warm"].threshold == exact.threshold
+    assert results["exact-dense"].threshold == exact.threshold
+    # Float backend: approximate agreement.
+    assert float(results["scipy"].threshold) == pytest.approx(
+        float(exact.threshold), abs=1e-4
     )

@@ -16,8 +16,22 @@ from repro.bench.suite import (
 )
 from repro.bench.runner import BenchmarkOutcome, run_pair, run_suite
 from repro.bench.reporting import format_csv, format_markdown, format_table
+from repro.bench.perf import (
+    DEFAULT_PERF_BACKENDS,
+    DEFAULT_PERF_PAIRS,
+    build_lp_model,
+    format_perf_table,
+    run_lp_perf,
+    write_bench_json,
+)
 
 __all__ = [
+    "DEFAULT_PERF_BACKENDS",
+    "DEFAULT_PERF_PAIRS",
+    "build_lp_model",
+    "format_perf_table",
+    "run_lp_perf",
+    "write_bench_json",
     "BenchmarkPair",
     "SUITE",
     "get_pair",

@@ -1,0 +1,231 @@
+"""LP backend performance harness — emits ``BENCH_lp.json``.
+
+For each selected Table 1 pair the harness builds the Handelman LP
+*once* (invariants + constraints + encoding) and then times every
+requested backend on that same :class:`~repro.lp.model.LPModel`,
+recording wall time, solver statistics (pivots, warm-start path,
+refactorizations) and the objective.  Agreement is gated:
+
+- every backend must report the same LP status;
+- all exact backends (``exact``, ``exact-warm``, ``exact-dense``) must
+  return **bit-identical** ``Fraction`` optima;
+- float backends must match the exact optimum within
+  ``float_tolerance`` (absolute + relative).
+
+The JSON report is the repo's perf trajectory: CI runs the harness on a
+small subset every push and uploads the file as an artifact, failing
+the build on any disagreement.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from fractions import Fraction
+from typing import Any, Sequence
+
+from repro.bench.suite import SUITE, load_pair
+from repro.core.diffcost import THRESHOLD_SYMBOL, DiffCostAnalyzer
+from repro.errors import AnalysisError
+from repro.lp.backend import (
+    LP_SOLVER_REVISION,
+    backend_is_exact,
+    get_backend,
+)
+from repro.lp.model import LPModel
+from repro.lp.solution import LPStatus
+from repro.poly.linexpr import AffineExpr
+from repro.poly.template import TemplatePolynomial
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Default backend set: the dense seed baseline first (speedups are
+#: reported relative to it), then the sparse exact solvers, then float.
+DEFAULT_PERF_BACKENDS: tuple[str, ...] = (
+    "exact-dense", "exact", "exact-warm", "scipy",
+)
+
+#: Pairs whose exact-dense solve stays in single-digit seconds; the
+#: full suite is available with ``names=None`` / ``--names all``.
+DEFAULT_PERF_PAIRS: tuple[str, ...] = (
+    "simple_single", "ex2", "ex4", "dis2", "sum",
+)
+
+
+def build_lp_model(name: str) -> LPModel:
+    """The pair's threshold LP (paper Step 4), ready to solve."""
+    matches = [pair for pair in SUITE if pair.name == name]
+    if not matches:
+        raise AnalysisError(f"unknown benchmark pair {name!r}")
+    pair = matches[0]
+    old, new = load_pair(name)
+    analyzer = DiffCostAnalyzer(old, new, pair.config())
+    bound = TemplatePolynomial.from_symbol(THRESHOLD_SYMBOL)
+    _, _, constraints = analyzer.build_constraints(bound)
+    model = analyzer.encode(constraints)
+    model.minimize(AffineExpr.variable(THRESHOLD_SYMBOL))
+    return model
+
+
+def _objective_repr(value: Any) -> Any:
+    if isinstance(value, Fraction):
+        return str(value)
+    return value
+
+
+def _solve_timed(backend_name: str, model: LPModel,
+                 repeats: int) -> dict[str, Any]:
+    backend = get_backend(backend_name)
+    best = None
+    solution = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        solution = backend.solve(model)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    entry: dict[str, Any] = {
+        "seconds": round(best, 6),
+        "status": solution.status.value,
+        "objective": _objective_repr(solution.objective_value),
+    }
+    stats = dict(solution.stats)
+    if stats:
+        entry["stats"] = stats
+    entry["_solution"] = solution  # stripped before serialization
+    return entry
+
+
+def _check_agreement(row: dict[str, Any], backends: Sequence[str],
+                     float_tolerance: float) -> list[str]:
+    """Status/objective agreement failures for one row (empty = agree)."""
+    failures: list[str] = []
+    statuses = {
+        name: row["backends"][name]["status"] for name in backends
+    }
+    if len(set(statuses.values())) > 1:
+        failures.append(f"status mismatch: {statuses}")
+        return failures
+
+    exact_values: dict[str, Fraction] = {}
+    float_values: dict[str, float] = {}
+    for name in backends:
+        solution = row["backends"][name]["_solution"]
+        if solution.status is not LPStatus.OPTIMAL:
+            continue
+        if solution.objective_value is None:
+            continue
+        if backend_is_exact(name):
+            exact_values[name] = solution.objective_value
+        else:
+            float_values[name] = float(solution.objective_value)
+
+    if len(set(exact_values.values())) > 1:
+        failures.append(
+            "exact backends disagree: "
+            + str({k: str(v) for k, v in exact_values.items()})
+        )
+    if exact_values and float_values:
+        reference = next(iter(exact_values.values()))
+        bound = float_tolerance * (1 + abs(float(reference)))
+        for name, value in float_values.items():
+            if abs(value - float(reference)) > bound:
+                failures.append(
+                    f"{name} objective {value} vs exact {reference} "
+                    f"(tolerance {bound})"
+                )
+    return failures
+
+
+def run_lp_perf(names: Sequence[str] | None = None,
+                backends: Sequence[str] = DEFAULT_PERF_BACKENDS,
+                repeats: int = 1,
+                float_tolerance: float = 1e-4) -> dict[str, Any]:
+    """Time every backend on every pair's LP; returns the report dict."""
+    selected = list(names) if names else list(DEFAULT_PERF_PAIRS)
+    rows: list[dict[str, Any]] = []
+    totals: dict[str, float] = {name: 0.0 for name in backends}
+    path_counts: dict[str, int] = {}
+    disagreements = 0
+
+    for pair_name in selected:
+        model = build_lp_model(pair_name)
+        row: dict[str, Any] = {
+            "pair": pair_name,
+            "lp_variables": model.num_variables,
+            "lp_constraints": model.num_constraints,
+            "backends": {},
+        }
+        for backend_name in backends:
+            entry = _solve_timed(backend_name, model, repeats)
+            row["backends"][backend_name] = entry
+            totals[backend_name] += entry["seconds"]
+            path = entry.get("stats", {}).get("path")
+            if path:
+                path_counts[path] = path_counts.get(path, 0) + 1
+        failures = _check_agreement(row, backends, float_tolerance)
+        row["agree"] = not failures
+        if failures:
+            row["disagreements"] = failures
+            disagreements += 1
+        for entry in row["backends"].values():
+            entry.pop("_solution", None)
+        rows.append(row)
+
+    summary: dict[str, Any] = {
+        "seconds_total": {k: round(v, 6) for k, v in totals.items()},
+        "disagreements": disagreements,
+        "warm_start_paths": path_counts,
+    }
+    baseline = "exact-dense"
+    if baseline in totals and totals[baseline] > 0:
+        summary["speedup_vs_dense"] = {
+            name: round(totals[baseline] / seconds, 2)
+            for name, seconds in totals.items()
+            if name != baseline and seconds > 0
+        }
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "generated_by": "repro-diffcost perf",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "lp_solver_revision": LP_SOLVER_REVISION,
+        "backends": list(backends),
+        "repeats": repeats,
+        "float_tolerance": float_tolerance,
+        "rows": rows,
+        "summary": summary,
+    }
+
+
+def write_bench_json(report: dict[str, Any], path: str) -> None:
+    """Write the report, stable key order, trailing newline."""
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def format_perf_table(report: dict[str, Any]) -> str:
+    """Human-readable rendering of a perf report."""
+    backends = report["backends"]
+    header = ["pair"] + [f"{name} (s)" for name in backends] + ["agree"]
+    lines = ["  ".join(f"{h:>16}" for h in header)]
+    for row in report["rows"]:
+        cells = [f"{row['pair']:>16}"]
+        for name in backends:
+            cells.append(f"{row['backends'][name]['seconds']:>16.4f}")
+        cells.append(f"{'yes' if row['agree'] else 'NO':>16}")
+        lines.append("  ".join(cells))
+    summary = report["summary"]
+    lines.append("")
+    lines.append(f"totals: {summary['seconds_total']}")
+    if "speedup_vs_dense" in summary:
+        lines.append(f"speedup vs exact-dense: {summary['speedup_vs_dense']}")
+    if summary["warm_start_paths"]:
+        lines.append(f"warm-start paths: {summary['warm_start_paths']}")
+    lines.append(f"disagreements: {summary['disagreements']}")
+    return "\n".join(lines)

@@ -9,6 +9,8 @@ Subcommands::
     repro-diffcost suite [--names a,b,c] [--jobs N]
     repro-diffcost batch DIR [--jobs N] [--portfolio] [--cache-dir D]
                              [--max-inflight-pairs N]
+    repro-diffcost perf [--names a,b,c] [--backends exact,exact-warm]
+                        [--output BENCH_lp.json]
     repro-diffcost show PROGRAM.imp [--dot]
 """
 
@@ -26,6 +28,7 @@ from repro.core import (
 )
 from repro.errors import ReproError
 from repro.lang import load_program
+from repro.lp.backend import available_backends
 from repro.poly import parse_polynomial
 from repro.ts.pretty import render_dot, render_text
 
@@ -35,7 +38,7 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         help="maximal template degree (default 2)")
     parser.add_argument("-K", "--max-products", type=int, default=2,
                         help="Handelman product bound (default 2)")
-    parser.add_argument("--backend", choices=["scipy", "exact"],
+    parser.add_argument("--backend", choices=list(available_backends()),
                         default="scipy", help="LP backend")
 
 
@@ -116,6 +119,37 @@ def _command_suite(args: argparse.Namespace) -> int:
     # cannot fail.  A sound ✗ row still exits 0: it is a completed
     # answer, like the paper's own failed rows.
     return 0 if all(o.job_status == "ok" for o in outcomes) else 1
+
+
+def _command_perf(args: argparse.Namespace) -> int:
+    from repro.bench.perf import (
+        DEFAULT_PERF_BACKENDS,
+        format_perf_table,
+        run_lp_perf,
+        write_bench_json,
+    )
+    from repro.bench.suite import SUITE
+
+    if args.names == "all":
+        names = [pair.name for pair in SUITE]
+    elif args.names:
+        names = args.names.split(",")
+    else:
+        names = None
+    backends = (args.backends.split(",") if args.backends
+                else list(DEFAULT_PERF_BACKENDS))
+    report = run_lp_perf(
+        names=names,
+        backends=backends,
+        repeats=args.repeats,
+        float_tolerance=args.float_tolerance,
+    )
+    write_bench_json(report, args.output)
+    print(format_perf_table(report))
+    print(f"wrote {args.output}")
+    # Any disagreement between backends on the same LP is a solver bug
+    # and must fail the process (this is CI's perf-smoke gate).
+    return 0 if report["summary"]["disagreements"] == 0 else 1
 
 
 def _command_batch(args: argparse.Namespace) -> int:
@@ -220,7 +254,7 @@ def build_parser() -> argparse.ArgumentParser:
     suite = subparsers.add_parser("suite", help="run the Table 1 suite")
     suite.add_argument("--names", default=None,
                        help="comma-separated benchmark subset")
-    suite.add_argument("--backend", choices=["scipy", "exact"],
+    suite.add_argument("--backend", choices=list(available_backends()),
                        default="scipy")
     suite.add_argument("--format", choices=["text", "markdown", "csv"],
                        default="text", help="output format")
@@ -252,6 +286,25 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_arguments(batch)
     _add_engine_arguments(batch, default_cache=".repro-cache")
     batch.set_defaults(handler=_command_batch)
+
+    perf = subparsers.add_parser(
+        "perf",
+        help="time the LP backends on Table 1 LPs, emit BENCH_lp.json",
+    )
+    perf.add_argument("--names", default=None,
+                      help="comma-separated pair subset, or 'all' "
+                           "(default: the curated perf subset)")
+    perf.add_argument("--backends", default=None,
+                      help="comma-separated backend names "
+                           "(default: exact-dense,exact,exact-warm,scipy)")
+    perf.add_argument("--output", default="BENCH_lp.json",
+                      help="report path (default: BENCH_lp.json)")
+    perf.add_argument("--repeats", type=int, default=1,
+                      help="timing repeats per backend; best-of is kept")
+    perf.add_argument("--float-tolerance", type=float, default=1e-4,
+                      help="allowed |float - exact| objective gap "
+                           "(absolute + relative)")
+    perf.set_defaults(handler=_command_perf)
 
     witness = subparsers.add_parser(
         "witness", help="find a concrete input exhibiting a cost difference"

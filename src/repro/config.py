@@ -24,8 +24,11 @@ class AnalysisConfig:
         Handelman parameter ``K``: products of at most this many premise
         inequalities (paper default 2).
     lp_backend:
-        ``"scipy"`` (float, HiGHS — fast) or ``"exact"`` (rational
-        simplex — exact but slower).
+        Any registered LP backend name: ``"scipy"`` (float, HiGHS —
+        fast), ``"exact"`` (sparse revised simplex over rationals),
+        ``"exact-warm"`` (float warm start + rational certification —
+        the fast exact rung) or ``"exact-dense"`` (the seed's dense
+        tableau simplex, kept as baseline/oracle).
     widening_delay / narrowing_passes:
         Invariant-engine tuning.
     template_includes_params_only:
@@ -58,9 +61,14 @@ class AnalysisConfig:
             raise AnalysisError("degree must be nonnegative")
         if self.max_products < 1:
             raise AnalysisError("max_products (K) must be at least 1")
-        if self.lp_backend not in ("scipy", "exact"):
+        # Local import: repro.lp pulls in the polynomial layer, which
+        # must not become an import-time dependency of plain configs.
+        from repro.lp.backend import available_backends
+
+        if self.lp_backend not in available_backends():
             raise AnalysisError(
-                f"unknown lp_backend {self.lp_backend!r} (use 'scipy' or 'exact')"
+                f"unknown lp_backend {self.lp_backend!r} "
+                f"(available: {sorted(available_backends())})"
             )
         if self.check_samples < 1:
             raise AnalysisError("check_samples must be at least 1")

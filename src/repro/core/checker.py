@@ -218,12 +218,12 @@ def certify_implications_exact(constraints, assignment,
     """
     from repro.handelman.encode import encode_implication
     from repro.lp.model import LPModel
-    from repro.lp.simplex import ExactSimplexBackend
+    from repro.lp.revised import RevisedSimplexBackend
     from repro.lp.solution import LPStatus
     from repro.poly.template import TemplatePolynomial
     from repro.utils.naming import FreshNameGenerator
 
-    solver = ExactSimplexBackend()
+    solver = RevisedSimplexBackend()
     failures: list[str] = []
     for constraint in constraints:
         concrete = constraint.consequent.instantiate(

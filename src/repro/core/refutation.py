@@ -30,7 +30,7 @@ from repro.core.potentials import ANTI_POTENTIAL, POTENTIAL
 from repro.core.results import AnalysisStatus, RefutationResult
 from repro.handelman.encode import encode_implication
 from repro.invariants.polyhedron import Polyhedron
-from repro.lp.backend import get_backend
+from repro.lp.backend import backend_is_exact, get_backend
 from repro.lp.model import LPModel
 from repro.lp.solution import LPStatus
 from repro.ts.system import COST_VAR, TransitionSystem
@@ -144,7 +144,7 @@ def refute_threshold(old: ProgramLike, new: ProgramLike,
         gap = (chi_at_witness - phi_at_witness).evaluate(
             {name: solution.value(name)
              for name in (chi_at_witness - phi_at_witness).symbols}
-        ) if analyzer.config.lp_backend == "exact" else -float(
+        ) if backend_is_exact(analyzer.config.lp_backend) else -float(
             solution.objective_value  # objective was negated by maximize()
         )
         if best_gap is None or float(gap) > float(best_gap):

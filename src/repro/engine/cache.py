@@ -75,12 +75,17 @@ class ResultCache:
         """Store ``result`` under ``job``'s key; returns whether stored."""
         if result.status not in CACHEABLE_STATUSES:
             return False
+        payload = job.canonical_payload()
         entry = {
             "version": JOB_SCHEMA_VERSION,
             "job": {
                 "kind": job.kind,
                 "name": job.name,
-                "config": job.canonical_payload()["config"],
+                "config": payload["config"],
+                # Recorded for debuggability; the *key* (file name)
+                # already covers both, so entries written by an older
+                # solver revision are simply never looked up again.
+                "lp_solver": payload["lp_solver"],
             },
             "result": result.to_dict(),
         }

@@ -24,6 +24,7 @@ from typing import Any
 
 from repro.config import AnalysisConfig
 from repro.errors import AnalysisError
+from repro.lp.backend import LP_SOLVER_REVISION
 
 #: Bump when the meaning of a job (or the result schema) changes, so
 #: stale cache entries are never replayed across incompatible versions.
@@ -87,6 +88,15 @@ class AnalysisJob:
             # fixes, invariant improvements); keying on the package
             # version keeps the on-disk cache from replaying them.
             "analyzer": analyzer_version,
+            # The backend *name* is keyed through config.lp_backend; the
+            # solver revision additionally invalidates cached results
+            # when a backend's algorithm changes under an unchanged name
+            # (a result computed by the old solver must never be
+            # replayed as if produced by the new one).
+            "lp_solver": {
+                "backend": self.config.lp_backend,
+                "revision": LP_SOLVER_REVISION,
+            },
             "kind": self.kind,
             "old_source": self.old_source,
             "new_source": self.new_source,

@@ -5,7 +5,7 @@ configurations — cheap low-degree templates first, richer (and slower)
 ones after, with an exact-arithmetic fallback rung at the end:
 
     d=1, K=1 (scipy)  →  d=2, K=2 (scipy)  →  d=3, K=2 (scipy)
-                      →  d=2, K=2 (exact)
+                      →  d=2, K=2 (exact-warm)
 
 and runs the rungs through a :class:`~repro.engine.executor.ParallelExecutor`.
 Two selection modes:
@@ -28,11 +28,14 @@ from repro.engine.jobs import AnalysisJob, JobResult
 from repro.errors import AnalysisError
 
 #: The escalation ladder as (degree, max_products, lp_backend) triples.
+#: The exact rung uses the warm-started certified backend: identical
+#: Fraction thresholds to plain ``exact`` (both stop at an exactly
+#: verified optimal basis of the same LP) at a fraction of the latency.
 DEFAULT_LADDER: tuple[tuple[int, int, str], ...] = (
     (1, 1, "scipy"),
     (2, 2, "scipy"),
     (3, 2, "scipy"),
-    (2, 2, "exact"),
+    (2, 2, "exact-warm"),
 )
 
 PORTFOLIO_MODES = ("first", "best")

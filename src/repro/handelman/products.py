@@ -4,11 +4,19 @@
 repetition) affine expressions from ``Aff``, including the empty product
 ``1``.  Every element is nonnegative wherever all ``aff_i >= 0`` hold,
 which is what makes the encoding sound.
+
+Products are enumerated with *prefix sharing*: the degree-``k`` level is
+built by multiplying each degree-``(k-1)`` product by one more generator
+(with index at least the prefix's last index, so each multiset is
+enumerated exactly once).  Every product therefore costs exactly one
+polynomial multiplication off its parent — the seed re-multiplied each
+combination from the constant polynomial up, i.e. ``k`` multiplies per
+degree-``k`` product.  The enumeration order is identical to
+``itertools.combinations_with_replacement`` per level, so generated LP
+columns (and hence pivot sequences) are unchanged.
 """
 
 from __future__ import annotations
-
-import itertools
 
 from repro.poly.polynomial import Polynomial
 
@@ -32,7 +40,8 @@ def generate_products(affine_exprs: list[Polynomial],
             seen.add(poly)
             products.append(poly)
 
-    add(Polynomial.constant(1))
+    one = Polynomial.constant(1)
+    add(one)
     # Deduplicate the generators themselves first (guards often repeat
     # invariant inequalities verbatim).
     generators: list[Polynomial] = []
@@ -42,10 +51,15 @@ def generate_products(affine_exprs: list[Polynomial],
             generator_seen.add(expr)
             generators.append(expr)
 
-    for count in range(1, max_factors + 1):
-        for combo in itertools.combinations_with_replacement(generators, count):
-            product = Polynomial.constant(1)
-            for factor in combo:
-                product = product * factor
-            add(product)
+    # Level k holds every product of exactly k generators as
+    # (product, smallest generator index allowed to extend it).
+    level: list[tuple[Polynomial, int]] = [(one, 0)]
+    for _ in range(max_factors):
+        next_level: list[tuple[Polynomial, int]] = []
+        for prefix, start in level:
+            for index in range(start, len(generators)):
+                product = prefix * generators[index]
+                add(product)
+                next_level.append((product, index))
+        level = next_level
     return products

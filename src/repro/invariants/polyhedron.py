@@ -1,8 +1,8 @@
 """A polyhedra-lite abstract domain: conjunctions of affine inequalities.
 
 Operations are implemented with exact rational LPs
-(:class:`~repro.lp.simplex.ExactSimplexBackend`), so the domain is sound
-by construction — no floating-point tolerance enters invariant
+(:class:`~repro.lp.revised.RevisedSimplexBackend`), so the domain is
+sound by construction — no floating-point tolerance enters invariant
 generation.  The join is the *weak join* (mutual entailment filter),
 which over-approximates the convex hull; widening is the standard
 constraint-dropping widening.  Existential projection uses
@@ -17,13 +17,13 @@ from typing import Iterable, Mapping, Sequence
 from repro.invariants.intervals import Interval, polynomial_range
 from repro.lp.model import LPModel
 from repro.lp.scipy_backend import ScipyBackend
-from repro.lp.simplex import ExactSimplexBackend
+from repro.lp.revised import RevisedSimplexBackend
 from repro.lp.solution import LPStatus
 from repro.poly.polynomial import Polynomial
 from repro.ts.guards import LinIneq
 from repro.ts.system import COST_VAR, NondetUpdate, Transition
 
-_SOLVER = ExactSimplexBackend()
+_SOLVER = RevisedSimplexBackend()
 _FLOAT_SOLVER = ScipyBackend()
 _POST_SUFFIX = "!post"
 

@@ -1,21 +1,42 @@
 """Linear-programming layer.
 
 The synthesis algorithm reduces to a single LP instance (paper Step 4).
-This package provides a solver-independent :class:`LPModel` plus two
-interchangeable backends:
+This package provides a solver-independent :class:`LPModel` plus a
+registry of interchangeable backends:
 
-- :class:`ScipyBackend` — floating-point, ``scipy.optimize.linprog`` with
-  the HiGHS method (the stand-in for the paper's Gurobi);
-- :class:`ExactSimplexBackend` — a pure-Python two-phase simplex over
-  exact rationals (Bland's rule), used for certificate-exact results on
-  small instances and as an independent cross-check of the float backend.
+- :class:`ScipyBackend` (``scipy``) — floating-point,
+  ``scipy.optimize.linprog`` with the HiGHS method (the stand-in for
+  the paper's Gurobi);
+- :class:`RevisedSimplexBackend` (``exact``) — sparse revised simplex
+  over exact rationals (Dantzig pricing, Bland fallback);
+- :class:`WarmStartExactBackend` (``exact-warm``) — float warm start
+  (HiGHS or the revised simplex over floats) whose candidate basis is
+  refactorized and certified — or repaired — in exact arithmetic;
+- :class:`DenseSimplexBackend` (``exact-dense``) — the seed's dense
+  tableau simplex, kept as perf baseline and cross-check oracle.
+
+``ExactSimplexBackend`` remains as an alias of the backend registered
+under the name ``"exact"``.
 """
 
 from repro.lp.model import Constraint, LPModel, Objective
 from repro.lp.solution import LPSolution, LPStatus
 from repro.lp.scipy_backend import ScipyBackend
-from repro.lp.simplex import ExactSimplexBackend
-from repro.lp.backend import LPBackend, get_backend
+from repro.lp.simplex import DenseSimplexBackend
+from repro.lp.revised import RevisedSimplexBackend
+from repro.lp.certify import WarmStartExactBackend
+from repro.lp.standard import SparseStandardForm, standardize
+from repro.lp.backend import (
+    LP_SOLVER_REVISION,
+    LPBackend,
+    available_backends,
+    backend_is_exact,
+    get_backend,
+    register_backend,
+)
+
+#: Backwards-compatible alias: the backend named ``"exact"``.
+ExactSimplexBackend = RevisedSimplexBackend
 
 __all__ = [
     "Constraint",
@@ -24,7 +45,16 @@ __all__ = [
     "LPSolution",
     "LPStatus",
     "LPBackend",
+    "LP_SOLVER_REVISION",
     "ScipyBackend",
+    "RevisedSimplexBackend",
+    "WarmStartExactBackend",
+    "DenseSimplexBackend",
     "ExactSimplexBackend",
+    "SparseStandardForm",
+    "standardize",
+    "available_backends",
+    "backend_is_exact",
     "get_backend",
+    "register_backend",
 ]

@@ -1,0 +1,250 @@
+"""Float warm-started, exactly certified LP solving (backend ``exact-warm``).
+
+The solve ladder, in the style of iteratively-refined exact solvers
+(QSopt_ex, SoPlex):
+
+1. **Float stage** — solve the standard-form LP in floating point:
+   through scipy's HiGHS when importable (its vertex solution is turned
+   into a basis by a support crossover), otherwise with the revised
+   simplex over floats.  Float answers are never trusted; they only
+   nominate a candidate basis.
+2. **Exact certification** — refactorize the candidate basis over
+   ``Fraction``; check primal feasibility exactly (``B^{-1} b >= 0``,
+   artificials at zero) and dual feasibility by exact pricing.  If both
+   hold the float basis *is* the exact optimum: ``path = "certified"``,
+   zero exact pivots.
+3. **Exact resume** — primal feasible but not dual feasible: exact
+   phase-2 pivoting resumes from the candidate basis
+   (``path = "resumed"``), typically a handful of pivots.
+4. **Fallback** — an unusable basis (singular, exactly infeasible) or a
+   non-optimal float verdict falls back to the exact two-phase solve
+   (``path = "fallback"``), so every answer is exact regardless of what
+   floating point did.
+
+All reported values are Fractions.  Optima are bit-identical to the
+pure ``exact`` backend's: both terminate at an exactly-verified optimal
+basis of the same LP, and the optimal objective value is unique.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import LPError
+from repro.lp.model import LPModel
+from repro.lp.revised import (
+    OPTIMAL,
+    UNBOUNDED,
+    WARM_READY,
+    RevisedSimplex,
+    _no_constraint_solution,
+)
+from repro.lp.solution import LPSolution, LPStatus
+from repro.lp.standard import (
+    SparseStandardForm,
+    model_objective_value,
+    recover_values,
+    standardize,
+)
+
+#: Tests flip this to force the float-simplex warm-start path even when
+#: scipy is installed.
+USE_SCIPY = True
+
+#: Float values below this are treated as zero during crossover.
+_SUPPORT_TOL = 1e-9
+#: Minimal acceptable elimination pivot while selecting basis columns.
+_PIVOT_TOL = 1e-7
+
+
+def _scipy_modules():
+    try:
+        import numpy
+        from scipy.optimize import linprog
+        from scipy.sparse import csc_matrix
+    except ImportError:  # pragma: no cover - scipy is an optional extra
+        return None
+    return numpy, linprog, csc_matrix
+
+
+def _crossover_basis(form: SparseStandardForm, x, numpy) -> list[int] | None:
+    """Select a basis from a float vertex solution's support.
+
+    Columns are scanned in descending solution value (then the
+    artificial identity columns, which guarantee completion) and
+    accepted greedily when independent of the already-selected ones,
+    measured by float Gaussian elimination.  Artificial columns picked
+    here end up basic at zero and are pinned by the exact phase-2 ratio
+    test, so they never distort the solved program.
+    """
+    m, n = form.num_rows, form.num_cols
+    support = sorted(
+        (j for j in range(n) if x[j] > _SUPPORT_TOL),
+        key=lambda j: (-x[j], j),
+    )
+    in_support = set(support)
+    # Degenerate vertices have fewer positive entries than rows; prefer
+    # completing the basis with zero-valued *structural* columns over
+    # artificials — every artificial chosen here is a pinned row that
+    # exact phase 2 must pivot around.
+    rest = [j for j in range(n) if j not in in_support]
+    basis: list[int] = []
+    used = numpy.zeros(m, dtype=bool)
+    eliminated: list[tuple[int, object]] = []  # (pivot row, unit vector)
+    for j in support + rest + [n + row for row in range(m)]:
+        if len(basis) == m:
+            break
+        vector = numpy.zeros(m)
+        if j < n:
+            for i, value in form.cols[j].items():
+                vector[i] = float(value)
+        else:
+            vector[j - n] = 1.0
+        for pivot, unit in eliminated:
+            factor = vector[pivot]
+            if factor:
+                vector -= factor * unit
+        candidates = numpy.where(used, 0.0, numpy.abs(vector))
+        pivot = int(candidates.argmax())
+        if candidates[pivot] <= _PIVOT_TOL:
+            continue
+        vector /= vector[pivot]
+        eliminated.append((pivot, vector))
+        used[pivot] = True
+        basis.append(j)
+    return basis if len(basis) == m else None
+
+
+class WarmStartExactBackend:
+    """Exact optimum via a float warm start with rational certification."""
+
+    name = "exact-warm"
+
+    def __init__(self, max_iterations: int = 200_000,
+                 bland_trigger: int = 24):
+        self._max_iterations = max_iterations
+        self._bland_trigger = bland_trigger
+
+    # -- float stage -------------------------------------------------------
+
+    def _scipy_basis(self, form: SparseStandardForm,
+                     stats: dict) -> list[int] | None:
+        modules = _scipy_modules()
+        if modules is None:
+            return None
+        numpy, linprog, csc_matrix = modules
+        m, n = form.num_rows, form.num_cols
+        data, indices, indptr = [], [], [0]
+        for col in form.cols:
+            for i, value in sorted(col.items()):
+                data.append(float(value))
+                indices.append(i)
+            indptr.append(len(data))
+        matrix = csc_matrix(
+            (numpy.array(data), numpy.array(indices), numpy.array(indptr)),
+            shape=(m, n),
+        )
+        result = linprog(
+            c=numpy.array([float(c) for c in form.costs]),
+            A_eq=matrix,
+            b_eq=numpy.array([float(b) for b in form.rhs]),
+            bounds=(0, None),
+            method="highs",
+        )
+        stats["float_status"] = int(result.status)
+        if result.status != 0 or result.x is None:
+            return None
+        return _crossover_basis(form, result.x, numpy)
+
+    def _float_simplex_basis(self, form: SparseStandardForm,
+                             stats: dict) -> list[int] | None:
+        solver = RevisedSimplex(
+            form, float_mode=True, max_iterations=self._max_iterations,
+            bland_trigger=self._bland_trigger,
+        )
+        try:
+            status = solver.solve_two_phase()
+        except LPError as error:
+            stats["float_simplex_status"] = f"error: {error}"
+            return None
+        stats["float_simplex_status"] = status
+        stats["float_pivots"] = solver.stats["pivots"]
+        if status is not OPTIMAL:
+            return None
+        return list(solver.basis)
+
+    def _candidate_bases(self, form: SparseStandardForm, stats: dict):
+        """Candidate bases, laziest-first: the float simplex only runs
+        when the scipy basis is absent or fails exact verification."""
+        if USE_SCIPY:
+            basis = self._scipy_basis(form, stats)
+            if basis is not None:
+                yield "scipy", basis
+        basis = self._float_simplex_basis(form, stats)
+        if basis is not None:
+            yield "float-simplex", basis
+
+    # -- exact stage -------------------------------------------------------
+
+    def solve(self, model: LPModel) -> LPSolution:
+        """Solve ``model`` exactly; all reported values are Fractions."""
+        form = standardize(model)
+        stats: dict = {"path": None}
+        if form.num_rows == 0:
+            solution = _no_constraint_solution(model, form)
+            stats["path"] = "certified"
+            solution.stats = stats
+            return solution
+
+        for source, basis in self._candidate_bases(form, stats):
+            solver = RevisedSimplex(
+                form, max_iterations=self._max_iterations,
+                bland_trigger=self._bland_trigger,
+            )
+            verdict = solver.warm_start(basis)
+            stats[f"warm_{source}"] = verdict
+            if verdict is not WARM_READY:
+                continue
+            status = solver._run_phase(solver.phase2_costs(), 2)
+            stats["basis_source"] = source
+            stats.update(solver.stats)
+            if status is UNBOUNDED:
+                # Exact pivoting from an exactly-feasible basis: the
+                # improving ray is a rational certificate, no fallback.
+                stats["path"] = "resumed"
+                return LPSolution(LPStatus.UNBOUNDED,
+                                  message="phase-2 unbounded (warm start)",
+                                  stats=stats)
+            stats["path"] = ("certified" if solver.stats["phase2_pivots"] == 0
+                             else "resumed")
+            values = recover_values(form, solver.assignment())
+            return LPSolution(
+                LPStatus.OPTIMAL, values=values,
+                objective_value=model_objective_value(model, values),
+                stats=stats,
+            )
+
+        return self._solve_fallback(model, form, stats)
+
+    def _solve_fallback(self, model: LPModel, form: SparseStandardForm,
+                        stats: dict) -> LPSolution:
+        """Exact two-phase solve when no float basis was usable."""
+        stats["path"] = "fallback"
+        solver = RevisedSimplex(
+            form, max_iterations=self._max_iterations,
+            bland_trigger=self._bland_trigger,
+        )
+        status = solver.solve_two_phase()
+        stats.update(solver.stats)
+        if status is UNBOUNDED:
+            return LPSolution(LPStatus.UNBOUNDED,
+                              message="phase-2 unbounded", stats=stats)
+        if status is not OPTIMAL:
+            return LPSolution(LPStatus.INFEASIBLE,
+                              message="phase-1 optimum positive", stats=stats)
+        values = recover_values(form, solver.assignment())
+        return LPSolution(
+            LPStatus.OPTIMAL, values=values,
+            objective_value=model_objective_value(model, values),
+            stats=stats,
+        )

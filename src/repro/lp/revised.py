@@ -1,0 +1,432 @@
+"""Revised simplex over sparse columns, exact (``Fraction``) or float.
+
+The solver keeps the basis inverse explicitly (an ``m x m`` dense matrix
+updated by elementary row operations on each pivot) and works directly
+on the sparse columns of a :class:`~repro.lp.standard.SparseStandardForm`.
+Per iteration that costs ``O(m^2 + nnz(A))`` — far below the dense
+tableau's ``O(m * n)`` row sweeps when ``n >> m``, which is exactly the
+shape of Handelman encodings (a few dozen monomial identities over
+hundreds of product multipliers).
+
+Pricing is Dantzig (most negative reduced cost, lowest index on ties)
+with a Bland fallback: after :attr:`bland_trigger` consecutive
+degenerate pivots the solver switches to Bland's smallest-index rule
+until the objective strictly improves again.  In exact arithmetic this
+guarantees termination — Bland's rule cannot cycle, and every return to
+Dantzig is preceded by a strict objective decrease, so no basis repeats.
+
+The same code runs over floats (``float_mode=True``) with small
+tolerances; the float run is never trusted for answers — it only
+produces candidate bases for :mod:`repro.lp.certify` to verify exactly.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import LPError
+from repro.lp.model import LPModel
+from repro.lp.solution import LPSolution, LPStatus
+from repro.lp.standard import (
+    SparseStandardForm,
+    model_objective_value,
+    recover_values,
+    standardize,
+)
+
+OPTIMAL = "optimal"
+INFEASIBLE = "infeasible"
+UNBOUNDED = "unbounded"
+
+#: warm_start verdicts
+WARM_READY = "ready"
+WARM_SINGULAR = "singular"
+WARM_INFEASIBLE = "infeasible"
+
+
+class RevisedSimplex:
+    """Two-phase revised simplex over one standard-form instance.
+
+    Artificial columns ``n .. n+m-1`` (the phase-1 identity basis) are
+    created eagerly; they may never *enter* the basis, and in phase 2 a
+    basic artificial is pinned at zero by the ratio test (any entering
+    column crossing its row binds with step 0 and pivots it out), so the
+    solved program is always the original one.
+    """
+
+    def __init__(self, form: SparseStandardForm, *, float_mode: bool = False,
+                 max_iterations: int = 200_000, bland_trigger: int = 24,
+                 refactor_every: int = 120):
+        self.form = form
+        self.float_mode = float_mode
+        self.max_iterations = max_iterations
+        self.bland_trigger = bland_trigger
+        self.refactor_every = refactor_every
+        self.m = form.num_rows
+        self.n = form.num_cols
+
+        if float_mode:
+            convert = float
+            self.dual_tol = 1e-9      # entering: reduced cost < -dual_tol
+            self.pivot_tol = 1e-9     # ratio test / elimination pivots
+            self.feas_tol = 1e-7      # phase-1 residual counted infeasible
+        else:
+            convert = Fraction
+            self.dual_tol = 0
+            self.pivot_tol = 0
+            self.feas_tol = 0
+        self.zero = convert(0)
+        self.one = convert(1)
+
+        self.cols: list[dict[int, object]] = [
+            {i: convert(v) for i, v in col.items()} for col in form.cols
+        ]
+        for row in range(self.m):
+            self.cols.append({row: self.one})  # artificial e_row
+        self.b = [convert(v) for v in form.rhs]
+        self.costs = [convert(v) for v in form.costs]
+
+        # Phase-1 start: artificial identity basis, Binv = I, x_B = b.
+        self.basis: list[int] = list(range(self.n, self.n + self.m))
+        self.in_basis: list[bool] = (
+            [False] * self.n + [True] * self.m
+        )
+        self.binv: list[list[object]] = [
+            [self.one if i == j else self.zero for j in range(self.m)]
+            for i in range(self.m)
+        ]
+        self.xb: list[object] = list(self.b)
+        self.phase = 1
+        self.stats: dict[str, int] = {
+            "pivots": 0,
+            "phase1_pivots": 0,
+            "phase2_pivots": 0,
+            "degenerate_pivots": 0,
+            "bland_pivots": 0,
+            "refactorizations": 0,
+        }
+
+    # -- linear algebra kernels ------------------------------------------
+
+    def _ftran(self, col: dict[int, object]) -> list[object]:
+        """``w = Binv @ a`` for a sparse column ``a``."""
+        w = [self.zero] * self.m
+        binv = self.binv
+        for k, v in col.items():
+            for i in range(self.m):
+                p = binv[i][k]
+                if p:
+                    w[i] = w[i] + p * v
+        return w
+
+    def _btran(self, cb: list[object]) -> list[object]:
+        """``y = cb^T @ Binv`` for the basic cost vector ``cb``."""
+        y = [self.zero] * self.m
+        for i, ci in enumerate(cb):
+            if ci:
+                row = self.binv[i]
+                for j in range(self.m):
+                    rj = row[j]
+                    if rj:
+                        y[j] = y[j] + ci * rj
+        return y
+
+    def _price(self, costs: list[object], y: list[object],
+               bland: bool) -> int:
+        """Entering column (structural only), or -1 if dual feasible."""
+        best_j = -1
+        best_reduced = None
+        in_basis = self.in_basis
+        threshold = -self.dual_tol
+        for j in range(self.n):
+            if in_basis[j]:
+                continue
+            reduced = costs[j]
+            for i, a in self.cols[j].items():
+                yi = y[i]
+                if yi:
+                    reduced = reduced - yi * a
+            if reduced < threshold:
+                if bland:
+                    return j  # smallest improving index
+                if best_reduced is None or reduced < best_reduced:
+                    best_j, best_reduced = j, reduced
+        return best_j
+
+    def _ratio_test(self, w: list[object]) -> int:
+        """Leaving row for the entering direction ``w``; -1 = unbounded.
+
+        Ties break toward the smallest basic column index (required for
+        Bland's termination guarantee, and deterministic).  In phase 2 a
+        basic artificial is pinned at zero: any nonzero ``w[i]`` in its
+        row — either sign — binds with step 0, so artificials can leave
+        but never move off zero.
+        """
+        leaving = -1
+        best = None
+        xb, basis = self.xb, self.basis
+        pinned = self.phase == 2
+        tol = self.pivot_tol
+        for i in range(self.m):
+            wi = w[i]
+            if pinned and basis[i] >= self.n:
+                if wi > tol or wi < -tol:
+                    ratio = self.zero
+                else:
+                    continue
+            elif wi > tol:
+                ratio = xb[i] / wi
+            else:
+                continue
+            if (best is None or ratio < best
+                    or (ratio == best and basis[i] < basis[leaving])):
+                best, leaving = ratio, i
+        return leaving
+
+    def _pivot(self, row: int, entering: int, w: list[object]) -> object:
+        """Make ``entering`` basic in ``row``; returns the step length."""
+        inverse = self.one / w[row]
+        pivot_row = self.binv[row]
+        if inverse != 1:
+            pivot_row = [x * inverse if x else x for x in pivot_row]
+            self.binv[row] = pivot_row
+        theta = self.xb[row] * inverse
+        self.xb[row] = theta
+        for i in range(self.m):
+            if i == row:
+                continue
+            wi = w[i]
+            if wi:
+                other = self.binv[i]
+                for k in range(self.m):
+                    pk = pivot_row[k]
+                    if pk:
+                        other[k] = other[k] - wi * pk
+                if theta:
+                    self.xb[i] = self.xb[i] - wi * theta
+        self.in_basis[self.basis[row]] = False
+        self.in_basis[entering] = True
+        self.basis[row] = entering
+        return theta
+
+    def _refactorize(self) -> bool:
+        """Recompute ``Binv`` and ``x_B`` from the current basis by
+        Gauss-Jordan on ``[B | I]``; returns False iff B is singular."""
+        m = self.m
+        self.stats["refactorizations"] += 1
+        mat = [[self.zero] * (2 * m) for _ in range(m)]
+        for pos, j in enumerate(self.basis):
+            for i, v in self.cols[j].items():
+                mat[i][pos] = v
+        for i in range(m):
+            mat[i][m + i] = self.one
+        for col in range(m):
+            pivot_row = -1
+            if self.float_mode:
+                best = 1e-10
+                for i in range(col, m):
+                    a = abs(mat[i][col])
+                    if a > best:
+                        best, pivot_row = a, i
+            else:
+                for i in range(col, m):
+                    if mat[i][col]:
+                        pivot_row = i
+                        break
+            if pivot_row < 0:
+                return False
+            mat[col], mat[pivot_row] = mat[pivot_row], mat[col]
+            prow = mat[col]
+            inverse = self.one / prow[col]
+            if inverse != 1:
+                prow = [x * inverse if x else x for x in prow]
+                mat[col] = prow
+            for i in range(m):
+                if i == col:
+                    continue
+                factor = mat[i][col]
+                if factor:
+                    row_i = mat[i]
+                    for k in range(2 * m):
+                        pk = prow[k]
+                        if pk:
+                            row_i[k] = row_i[k] - factor * pk
+        self.binv = [row[m:] for row in mat]
+        self.xb = self._ftran_dense(self.b)
+        return True
+
+    def _ftran_dense(self, vec: list[object]) -> list[object]:
+        """``Binv @ v`` for a dense vector ``v``."""
+        out = [self.zero] * self.m
+        for i, row in enumerate(self.binv):
+            total = self.zero
+            for k, vk in enumerate(vec):
+                if vk:
+                    rk = row[k]
+                    if rk:
+                        total = total + rk * vk
+            out[i] = total
+        return out
+
+    # -- simplex driver ---------------------------------------------------
+
+    def _run_phase(self, costs: list[object], phase: int) -> str:
+        self.phase = phase
+        bland = False
+        degenerate_run = 0
+        since_refactor = 0
+        for _ in range(self.max_iterations):
+            cb = [costs[b] for b in self.basis]
+            y = self._btran(cb)
+            entering = self._price(costs, y, bland)
+            if entering < 0:
+                return OPTIMAL
+            w = self._ftran(self.cols[entering])
+            leaving = self._ratio_test(w)
+            if leaving < 0:
+                return UNBOUNDED
+            theta = self._pivot(leaving, entering, w)
+            self.stats["pivots"] += 1
+            self.stats[f"phase{phase}_pivots"] += 1
+            if bland:
+                self.stats["bland_pivots"] += 1
+            degenerate = (theta <= self.pivot_tol if self.float_mode
+                          else not theta)
+            if degenerate:
+                self.stats["degenerate_pivots"] += 1
+                degenerate_run += 1
+                if degenerate_run >= self.bland_trigger:
+                    bland = True
+            else:
+                degenerate_run = 0
+                bland = False
+            if self.float_mode:
+                since_refactor += 1
+                if since_refactor >= self.refactor_every:
+                    since_refactor = 0
+                    if not self._refactorize():
+                        raise LPError("float basis became singular")
+        raise LPError("simplex iteration limit exceeded")
+
+    def _drive_out_artificials(self) -> None:
+        """Pivot zero-level basic artificials out where a structural
+        column can replace them; rows where none can are redundant and
+        stay pinned behind the phase-2 ratio test."""
+        for row in range(self.m):
+            if self.basis[row] < self.n:
+                continue
+            binv_row = self.binv[row]
+            replacement = -1
+            for j in range(self.n):
+                if self.in_basis[j]:
+                    continue
+                value = self.zero
+                for i, a in self.cols[j].items():
+                    ri = binv_row[i]
+                    if ri:
+                        value = value + ri * a
+                if value > self.pivot_tol or value < -self.pivot_tol:
+                    replacement = j
+                    break
+            if replacement >= 0:
+                self._pivot(row, replacement, self._ftran(self.cols[replacement]))
+
+    def phase2_costs(self) -> list[object]:
+        return self.costs + [self.zero] * self.m
+
+    def solve_two_phase(self) -> str:
+        """Full solve from the artificial basis; returns a status."""
+        status = self._run_phase([self.zero] * self.n + [self.one] * self.m, 1)
+        if status is not OPTIMAL:  # pragma: no cover - phase 1 is bounded
+            raise LPError("phase-1 solve reported unbounded")
+        infeasibility = self.zero
+        for i, b in enumerate(self.basis):
+            if b >= self.n:
+                infeasibility = infeasibility + self.xb[i]
+        if infeasibility > self.feas_tol:
+            return INFEASIBLE
+        self._drive_out_artificials()
+        return self._run_phase(self.phase2_costs(), 2)
+
+    # -- warm starting ----------------------------------------------------
+
+    def warm_start(self, basis: list[int]) -> str:
+        """Install a candidate basis; returns a ``WARM_*`` verdict.
+
+        ``ready`` means the basis is nonsingular and exactly primal
+        feasible (all basic values nonnegative, artificials at zero);
+        resume with ``_run_phase(phase2_costs(), 2)``.
+        """
+        if len(basis) != self.m or len(set(basis)) != self.m:
+            return WARM_SINGULAR
+        if any(j < 0 or j >= self.n + self.m for j in basis):
+            return WARM_SINGULAR
+        self.basis = list(basis)
+        self.in_basis = [False] * (self.n + self.m)
+        for j in self.basis:
+            self.in_basis[j] = True
+        if not self._refactorize():
+            return WARM_SINGULAR
+        for i, value in enumerate(self.xb):
+            if value < -self.feas_tol:
+                return WARM_INFEASIBLE
+            if self.basis[i] >= self.n and (value > self.feas_tol
+                                            or value < -self.feas_tol):
+                # A nonzero artificial means A x = b is violated.
+                return WARM_INFEASIBLE
+        return WARM_READY
+
+    # -- extraction -------------------------------------------------------
+
+    def assignment(self) -> list[object]:
+        """Values of the structural standard-form columns."""
+        values = [self.zero] * self.n
+        for i, b in enumerate(self.basis):
+            if b < self.n:
+                values[b] = self.xb[i]
+        return values
+
+
+def _no_constraint_solution(model: LPModel,
+                            form: SparseStandardForm) -> LPSolution:
+    """The ``m == 0`` special case shared by the sparse exact backends."""
+    if any(cost < 0 for cost in form.costs):
+        return LPSolution(LPStatus.UNBOUNDED,
+                          message="no constraints, improving ray")
+    values = recover_values(form, [Fraction(0)] * form.num_cols)
+    return LPSolution(LPStatus.OPTIMAL, values=values,
+                      objective_value=model_objective_value(model, values))
+
+
+class RevisedSimplexBackend:
+    """Exact sparse revised simplex (two-phase) over rationals."""
+
+    name = "exact"
+
+    def __init__(self, max_iterations: int = 200_000,
+                 bland_trigger: int = 24):
+        self._max_iterations = max_iterations
+        self._bland_trigger = bland_trigger
+
+    def solve(self, model: LPModel) -> LPSolution:
+        """Solve ``model`` exactly; all reported values are Fractions."""
+        form = standardize(model)
+        if form.num_rows == 0:
+            return _no_constraint_solution(model, form)
+        solver = RevisedSimplex(
+            form, max_iterations=self._max_iterations,
+            bland_trigger=self._bland_trigger,
+        )
+        status = solver.solve_two_phase()
+        if status is INFEASIBLE:
+            return LPSolution(LPStatus.INFEASIBLE,
+                              message="phase-1 optimum positive",
+                              stats=dict(solver.stats))
+        if status is UNBOUNDED:
+            return LPSolution(LPStatus.UNBOUNDED,
+                              message="phase-2 unbounded",
+                              stats=dict(solver.stats))
+        values = recover_values(form, solver.assignment())
+        return LPSolution(LPStatus.OPTIMAL, values=values,
+                          objective_value=model_objective_value(model, values),
+                          stats=dict(solver.stats))

@@ -106,6 +106,29 @@ class ScipyBackend:
             # verdict at the default rung, which is the one we trust.
 
         if result.status == 2:
+            # HiGHS presolve conflates primal infeasibility with dual
+            # infeasibility: feasible-but-unbounded instances (e.g. a
+            # free variable riding an improving ray) come back as plain
+            # "infeasible".  A presolve-free re-solve distinguishes the
+            # two; the exact backends agree with that verdict.  Only the
+            # ambiguous "infeasible" verdict is re-solved, and only a
+            # definitive retry replaces it — a retry that hits iteration
+            # limits or numerical trouble must not downgrade a trusted
+            # INFEASIBLE to ERROR.
+            retry = linprog(
+                c=objective,
+                A_ub=a_ub,
+                b_ub=b_ub,
+                A_eq=a_eq,
+                b_eq=b_eq,
+                bounds=bounds,
+                method="highs",
+                options={"presolve": False},
+            )
+            if retry.status in (0, 2, 3):
+                result = retry
+
+        if result.status == 2:
             return LPSolution(LPStatus.INFEASIBLE, message=result.message)
         if result.status == 3:
             return LPSolution(LPStatus.UNBOUNDED, message=result.message)

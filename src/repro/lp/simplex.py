@@ -1,11 +1,13 @@
-"""A pure-Python exact-rational simplex solver.
+"""The dense two-phase tableau simplex (backend ``exact-dense``).
 
-Implements the classical two-phase primal simplex over
-:class:`fractions.Fraction`, with Bland's anti-cycling rule.  It is slow
-compared to HiGHS but exact: thresholds such as ``100`` come out as the
-rational ``100``, not ``99.99999999``, which lets tests and the
-certificate checker assert exactness.  Intended for the small-to-medium
-LP instances produced by the benchmark suite.
+This is the seed's original exact solver, kept as the perf baseline and
+as an independent cross-check of the sparse revised simplex
+(:mod:`repro.lp.revised`): classical primal simplex on a dense
+``Fraction`` tableau with Bland's rule.  It is slow — every pivot sweeps
+the whole ``m x n`` tableau — but exact and algorithmically boring,
+which makes it a good oracle.  Standard-form conversion is shared with
+the sparse solvers (:mod:`repro.lp.standard`), so the quadratic
+per-column row padding of the seed builder is gone even here.
 """
 
 from __future__ import annotations
@@ -13,107 +15,16 @@ from __future__ import annotations
 from fractions import Fraction
 
 from repro.errors import LPError
-from repro.lp.model import EQ, GE, LPModel
+from repro.lp.model import LPModel
 from repro.lp.solution import LPSolution, LPStatus
+from repro.lp.standard import (
+    model_objective_value,
+    recover_values,
+    standardize,
+)
 
 _ZERO = Fraction(0)
 _ONE = Fraction(1)
-
-
-class _StandardForm:
-    """``min c.x  s.t.  A x = b, x >= 0`` plus the bookkeeping needed to
-    recover values of the original model variables."""
-
-    def __init__(self):
-        self.columns: list[str] = []  # internal column names, for debugging
-        self.rows: list[list[Fraction]] = []
-        self.rhs: list[Fraction] = []
-        self.costs: list[Fraction] = []
-        # original variable -> list of (column index, coefficient, shift)
-        self.recover: dict[str, list[tuple[int, Fraction]]] = {}
-        self.shifts: dict[str, Fraction] = {}
-
-    def new_column(self, name: str, cost: Fraction = _ZERO) -> int:
-        self.columns.append(name)
-        self.costs.append(cost)
-        for row in self.rows:
-            row.append(_ZERO)
-        return len(self.columns) - 1
-
-
-def _standardize(model: LPModel) -> _StandardForm:
-    """Convert an :class:`LPModel` to equality standard form.
-
-    Bounded variables are shifted/reflected to have lower bound 0; free
-    variables are split into positive and negative parts; two-sided
-    bounds add an explicit row for the upper bound; GE constraints gain a
-    slack column.
-    """
-    form = _StandardForm()
-    objective = model.objective.expr if model.objective is not None else None
-
-    def objective_coeff(name: str) -> Fraction:
-        if objective is None:
-            return _ZERO
-        return objective.coefficient(name)
-
-    # Column layout per original variable.
-    extra_rows: list[tuple[dict[int, Fraction], Fraction]] = []
-    for name in model.variable_names:
-        lower, upper = model.bounds(name)
-        cost = objective_coeff(name)
-        if lower is None and upper is None:
-            pos = form.new_column(f"{name}+", cost)
-            neg = form.new_column(f"{name}-", -cost)
-            form.recover[name] = [(pos, _ONE), (neg, -_ONE)]
-            form.shifts[name] = _ZERO
-        elif lower is not None:
-            col = form.new_column(name, cost)
-            form.recover[name] = [(col, _ONE)]
-            form.shifts[name] = lower
-            if upper is not None:
-                if upper < lower:
-                    raise LPError(f"variable {name} has empty bounds")
-                slack = form.new_column(f"{name}.ub", _ZERO)
-                extra_rows.append(({col: _ONE, slack: _ONE}, upper - lower))
-        else:
-            # Only an upper bound: x = upper - x', x' >= 0.
-            col = form.new_column(name, -cost)
-            form.recover[name] = [(col, -_ONE)]
-            form.shifts[name] = upper
-
-    def expand_expr(expr) -> tuple[dict[int, Fraction], Fraction]:
-        """Rewrite an AffineExpr over original variables into column
-        space; returns (column coefficients, constant)."""
-        columns: dict[int, Fraction] = {}
-        constant = expr.constant_term
-        for name, coeff in expr.coefficients():
-            constant += coeff * form.shifts[name]
-            for col, factor in form.recover[name]:
-                columns[col] = columns.get(col, _ZERO) + coeff * factor
-        return columns, constant
-
-    def add_row(columns: dict[int, Fraction], rhs: Fraction) -> None:
-        row = [_ZERO] * len(form.columns)
-        for col, coeff in columns.items():
-            row[col] = coeff
-        form.rows.append(row)
-        form.rhs.append(rhs)
-
-    for columns, rhs in extra_rows:
-        add_row(columns, rhs)
-
-    for i, constraint in enumerate(model.constraints):
-        columns, constant = expand_expr(constraint.expr)
-        if constraint.sense == GE:
-            slack = form.new_column(f"slack.{i}", _ZERO)
-            columns[slack] = -_ONE
-        elif constraint.sense != EQ:
-            raise LPError(f"unsupported sense {constraint.sense!r}")
-        # expr (==|>=) 0  becomes  columns . x = -constant
-        add_row(columns, -constant)
-
-    return form
 
 
 class _Tableau:
@@ -151,7 +62,8 @@ class _Tableau:
 
 def _simplex_phase(tableau: _Tableau, costs: list[Fraction],
                    max_iterations: int,
-                   allowed_cols: int | None = None) -> Fraction:
+                   allowed_cols: int | None = None,
+                   counters: dict | None = None) -> Fraction:
     """Run primal simplex with Bland's rule on the given costs.
 
     Only columns with index below ``allowed_cols`` may enter the basis
@@ -198,6 +110,8 @@ def _simplex_phase(tableau: _Tableau, costs: list[Fraction],
         if leaving < 0:
             raise _Unbounded()
         tableau.pivot(leaving, entering)
+        if counters is not None:
+            counters["pivots"] += 1
     raise LPError("simplex iteration limit exceeded")
 
 
@@ -205,19 +119,19 @@ class _Unbounded(LPError):
     pass
 
 
-class ExactSimplexBackend:
-    """Two-phase exact simplex over rationals."""
+class DenseSimplexBackend:
+    """Two-phase dense tableau simplex over rationals (Bland's rule)."""
 
-    name = "exact"
+    name = "exact-dense"
 
     def __init__(self, max_iterations: int = 200_000):
         self._max_iterations = max_iterations
 
     def solve(self, model: LPModel) -> LPSolution:
         """Solve ``model`` exactly; all reported values are Fractions."""
-        form = _standardize(model)
-        num_structural = len(form.columns)
-        num_rows = len(form.rows)
+        form = standardize(model)
+        num_structural = form.num_cols
+        num_rows = form.num_rows
 
         if num_rows == 0:
             # No constraints: optimal at the origin of standard form
@@ -225,26 +139,30 @@ class ExactSimplexBackend:
             if any(c < 0 for c in form.costs):
                 return LPSolution(LPStatus.UNBOUNDED,
                                   message="no constraints, improving ray")
-            values = _recover_values(form, [_ZERO] * num_structural)
+            values = recover_values(form, [_ZERO] * num_structural)
             return LPSolution(LPStatus.OPTIMAL, values=values,
-                              objective_value=_objective_value(model, values))
+                              objective_value=model_objective_value(
+                                  model, values))
 
-        tableau = _Tableau(form.rows, form.rhs)
+        tableau = _Tableau(form.dense_rows(), form.rhs)
+        counters = {"pivots": 0}
 
         # Phase 1: artificial basis.
         phase1_costs = [_ZERO] * num_structural
         for i in range(num_rows):
-            col = _append_artificial(tableau, i)
+            _append_artificial(tableau, i)
             phase1_costs.append(_ONE)
         try:
             infeasibility = _simplex_phase(
-                tableau, phase1_costs, self._max_iterations
+                tableau, phase1_costs, self._max_iterations,
+                counters=counters,
             )
         except _Unbounded:  # pragma: no cover - phase 1 is bounded below
             return LPSolution(LPStatus.ERROR, message="phase-1 unbounded")
         if infeasibility != 0:
             return LPSolution(LPStatus.INFEASIBLE,
-                              message=f"phase-1 optimum {infeasibility}")
+                              message=f"phase-1 optimum {infeasibility}",
+                              stats=dict(counters))
 
         _drive_out_artificials(tableau, num_structural)
         _remove_redundant_rows(tableau, num_structural)
@@ -257,16 +175,18 @@ class ExactSimplexBackend:
         )
         try:
             _simplex_phase(tableau, phase2_costs, self._max_iterations,
-                           allowed_cols=num_structural)
+                           allowed_cols=num_structural, counters=counters)
         except _Unbounded:
-            return LPSolution(LPStatus.UNBOUNDED, message="phase-2 unbounded")
+            return LPSolution(LPStatus.UNBOUNDED, message="phase-2 unbounded",
+                              stats=dict(counters))
 
         assignment = [_ZERO] * tableau.num_cols
         for i, b in enumerate(tableau.basis):
             assignment[b] = tableau.rhs[i]
-        values = _recover_values(form, assignment[:num_structural])
+        values = recover_values(form, assignment[:num_structural])
         return LPSolution(LPStatus.OPTIMAL, values=values,
-                          objective_value=_objective_value(model, values))
+                          objective_value=model_objective_value(model, values),
+                          stats=dict(counters))
 
 
 def _append_artificial(tableau: _Tableau, row: int) -> int:
@@ -302,21 +222,3 @@ def _remove_redundant_rows(tableau: _Tableau, num_structural: int) -> None:
         tableau.rows = [tableau.rows[i] for i in keep]
         tableau.rhs = [tableau.rhs[i] for i in keep]
         tableau.basis = [tableau.basis[i] for i in keep]
-
-
-def _recover_values(form: _StandardForm,
-                    assignment: list[Fraction]) -> dict[str, Fraction]:
-    values: dict[str, Fraction] = {}
-    for name, parts in form.recover.items():
-        total = form.shifts[name]
-        for col, factor in parts:
-            total += factor * assignment[col]
-        values[name] = total
-    return values
-
-
-def _objective_value(model: LPModel,
-                     values: dict[str, Fraction]) -> Fraction | None:
-    if model.objective is None:
-        return None
-    return model.objective.expr.evaluate(values)

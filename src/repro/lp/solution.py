@@ -5,6 +5,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 from fractions import Fraction
+from typing import Any
 
 
 class LPStatus(enum.Enum):
@@ -21,14 +22,18 @@ class LPSolution:
     """Result of solving an :class:`~repro.lp.model.LPModel`.
 
     ``values`` maps variable names to floats (scipy backend) or
-    :class:`Fraction` (exact backend).  ``objective_value`` is ``None``
-    for feasibility problems and non-optimal statuses.
+    :class:`Fraction` (exact backends).  ``objective_value`` is ``None``
+    for feasibility problems and non-optimal statuses.  ``stats`` holds
+    backend-specific solve counters (pivot counts, warm-start path,
+    refactorizations, ...) consumed by the perf harness; its keys are
+    backend-dependent and may be empty.
     """
 
     status: LPStatus
     values: dict[str, float | Fraction] = field(default_factory=dict)
     objective_value: float | Fraction | None = None
     message: str = ""
+    stats: dict[str, Any] = field(default_factory=dict)
 
     @property
     def is_optimal(self) -> bool:

@@ -8,6 +8,7 @@ constraint pipeline (guards, invariants, Handelman identities) is exact.
 from __future__ import annotations
 
 from fractions import Fraction
+from functools import lru_cache
 from typing import Iterator, Mapping
 
 from repro.errors import PolynomialError
@@ -146,9 +147,10 @@ class Polynomial:
         if other is NotImplemented:
             return NotImplemented
         terms: dict[Monomial, Fraction] = {}
+        mono_mul = _monomial_product
         for mono_a, coeff_a in self._terms:
             for mono_b, coeff_b in other._terms:
-                product = mono_a * mono_b
+                product = mono_mul(mono_a, mono_b)
                 terms[product] = terms.get(product, Fraction(0)) + coeff_a * coeff_b
         return Polynomial(terms)
 
@@ -236,6 +238,19 @@ class Polynomial:
 
     def __repr__(self) -> str:
         return f"Polynomial({str(self)!r})"
+
+
+@lru_cache(maxsize=1 << 16)
+def _monomial_product(a: Monomial, b: Monomial) -> Monomial:
+    """Cached monomial product for the ``Polynomial.__mul__`` hot path.
+
+    Handelman product generation multiplies the same low-degree
+    monomial pairs over and over (every guard inequality shares the
+    program variables); building each product ``Monomial`` involves a
+    dict merge plus a sort, which the cache skips entirely on repeats.
+    Monomials are immutable and hashable, so memoization is sound.
+    """
+    return a.multiply(b)
 
 
 def _coerce(value: "Polynomial | Numeric") -> "Polynomial":

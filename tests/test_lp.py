@@ -1,6 +1,5 @@
 """Unit, integration and property tests for the LP layer."""
 
-import random
 from fractions import Fraction
 
 import pytest
@@ -8,20 +7,39 @@ from hypothesis import given, settings, strategies as st
 
 from repro.errors import LPError
 from repro.lp import (
+    DenseSimplexBackend,
     ExactSimplexBackend,
     LPModel,
     LPStatus,
+    RevisedSimplexBackend,
     ScipyBackend,
+    WarmStartExactBackend,
+    available_backends,
+    backend_is_exact,
     get_backend,
 )
+from repro.lp.standard import standardize
 from repro.poly.linexpr import AffineExpr
 
 X = AffineExpr.variable("x")
 Y = AffineExpr.variable("y")
 
 
-def both_backends():
-    return [ScipyBackend(), ExactSimplexBackend()]
+def all_backends():
+    return [
+        ScipyBackend(),
+        RevisedSimplexBackend(),
+        WarmStartExactBackend(),
+        DenseSimplexBackend(),
+    ]
+
+
+def exact_backends():
+    return [
+        RevisedSimplexBackend(),
+        WarmStartExactBackend(),
+        DenseSimplexBackend(),
+    ]
 
 
 class TestLPModel:
@@ -55,8 +73,44 @@ class TestLPModel:
         assert model.objective.expr == -X
 
 
+class TestStandardForm:
+    def test_columns_stay_sparse(self):
+        model = LPModel()
+        for i in range(20):
+            model.add_variable(f"v{i}", 0)
+        model.add_inequality(
+            AffineExpr.variable("v0") + AffineExpr.variable("v19") - 1
+        )
+        form = standardize(model)
+        # One constraint row; only three columns touch it (v0, v19 and
+        # the slack) — the other 18 columns hold no data at all.
+        assert form.num_rows == 1
+        assert form.num_nonzeros == 3
+
+    def test_rhs_sign_normalized(self):
+        model = LPModel()
+        model.add_variable("x", 0)
+        model.add_equality(X - 5)  # x = 5, encoded as columns.x = 5
+        model.add_equality(-X + 3)  # -x = -3, must flip to x = 3
+        form = standardize(model)
+        assert all(rhs >= 0 for rhs in form.rhs)
+
+    def test_dense_rows_match_sparse_columns(self):
+        model = LPModel()
+        model.add_variable("x", 0)
+        model.add_variable("y", 0)
+        model.add_inequality(4 - X - Y)
+        model.add_equality(X - Y)
+        form = standardize(model)
+        rows = form.dense_rows()
+        for j, col in enumerate(form.cols):
+            for i, coeff in col.items():
+                assert rows[i][j] == coeff
+        assert sum(1 for row in rows for v in row if v != 0) == form.num_nonzeros
+
+
 class TestBackendsAgree:
-    @pytest.mark.parametrize("backend", both_backends(),
+    @pytest.mark.parametrize("backend", all_backends(),
                              ids=lambda b: b.name)
     def test_simple_optimum(self, backend):
         model = LPModel()
@@ -69,7 +123,7 @@ class TestBackendsAgree:
         assert solution.status is LPStatus.OPTIMAL
         assert float(solution.objective_value) == pytest.approx(-8)
 
-    @pytest.mark.parametrize("backend", both_backends(),
+    @pytest.mark.parametrize("backend", all_backends(),
                              ids=lambda b: b.name)
     def test_infeasible(self, backend):
         model = LPModel()
@@ -77,7 +131,7 @@ class TestBackendsAgree:
         model.add_equality(X + 1)
         assert backend.solve(model).status is LPStatus.INFEASIBLE
 
-    @pytest.mark.parametrize("backend", both_backends(),
+    @pytest.mark.parametrize("backend", all_backends(),
                              ids=lambda b: b.name)
     def test_unbounded(self, backend):
         model = LPModel()
@@ -85,7 +139,7 @@ class TestBackendsAgree:
         model.minimize(-X)
         assert backend.solve(model).status is LPStatus.UNBOUNDED
 
-    @pytest.mark.parametrize("backend", both_backends(),
+    @pytest.mark.parametrize("backend", all_backends(),
                              ids=lambda b: b.name)
     def test_free_variables_in_equalities(self, backend):
         model = LPModel()
@@ -96,7 +150,7 @@ class TestBackendsAgree:
         assert solution.status is LPStatus.OPTIMAL
         assert float(solution.objective_value) == pytest.approx(-1)
 
-    @pytest.mark.parametrize("backend", both_backends(),
+    @pytest.mark.parametrize("backend", all_backends(),
                              ids=lambda b: b.name)
     def test_upper_bounded_only_variable(self, backend):
         model = LPModel()
@@ -106,7 +160,7 @@ class TestBackendsAgree:
         assert solution.status is LPStatus.OPTIMAL
         assert float(solution.value("x")) == pytest.approx(5)
 
-    @pytest.mark.parametrize("backend", both_backends(),
+    @pytest.mark.parametrize("backend", all_backends(),
                              ids=lambda b: b.name)
     def test_two_sided_bounds(self, backend):
         model = LPModel()
@@ -115,33 +169,80 @@ class TestBackendsAgree:
         solution = backend.solve(model)
         assert float(solution.value("x")) == pytest.approx(-3)
 
-    def test_exact_backend_returns_fractions(self):
+    @pytest.mark.parametrize("backend", exact_backends(),
+                             ids=lambda b: b.name)
+    def test_exact_backends_return_fractions(self, backend):
         model = LPModel()
         model.add_variable("x", 0)
         model.add_equality(X.scale(3) - 1)
-        solution = ExactSimplexBackend().solve(model)
+        solution = backend.solve(model)
         assert solution.values["x"] == Fraction(1, 3)
+        assert isinstance(solution.values["x"], Fraction)
 
     def test_feasibility_problem_without_objective(self):
         model = LPModel()
         model.add_variable("x", 0)
         model.add_inequality(X - 2)
-        for backend in both_backends():
+        for backend in all_backends():
             solution = backend.solve(model)
             assert solution.status is LPStatus.OPTIMAL
             assert solution.objective_value is None
 
-    def test_empty_bounds_rejected_exact(self):
+    def test_legacy_alias_is_the_exact_backend(self):
+        assert ExactSimplexBackend is RevisedSimplexBackend
+
+
+class TestEmptyBounds:
+    """The seed only rejected ``upper < lower`` in the lower-bounded
+    standardization branch and without naming the variable everywhere;
+    validation now runs up front for every variable."""
+
+    @pytest.mark.parametrize("backend", exact_backends(),
+                             ids=lambda b: b.name)
+    def test_lower_then_upper(self, backend):
         model = LPModel()
         model.add_variable("x", 5, 2)
-        with pytest.raises(LPError):
-            ExactSimplexBackend().solve(model)
+        with pytest.raises(LPError, match="'x'"):
+            backend.solve(model)
 
-    def test_get_backend(self):
-        assert get_backend("scipy").name == "scipy"
-        assert get_backend("exact").name == "exact"
+    @pytest.mark.parametrize("backend", exact_backends(),
+                             ids=lambda b: b.name)
+    def test_upper_then_lower_tightening(self, backend):
+        # Declared upper-bound-only first; a later tightening adds a
+        # lower bound above it.  The seed's branch-local check saw this
+        # case only by accident of branch order.
+        model = LPModel()
+        model.add_variable("y", None, 2)
+        model.add_variable("y", 5, None)
+        with pytest.raises(LPError, match="'y'"):
+            backend.solve(model)
+
+    def test_message_reports_bounds(self):
+        model = LPModel()
+        model.add_variable("gap", 7, 3)
+        with pytest.raises(LPError, match=r"lower 7 > upper 3"):
+            standardize(model)
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        names = available_backends()
+        assert set(names) >= {"scipy", "exact", "exact-warm", "exact-dense"}
+
+    def test_get_backend_names_match(self):
+        for name in ("scipy", "exact", "exact-warm", "exact-dense"):
+            assert get_backend(name).name == name
+
+    def test_unknown_backend_rejected(self):
         with pytest.raises(LPError):
             get_backend("gurobi")
+
+    def test_exactness_classification(self):
+        assert backend_is_exact("exact")
+        assert backend_is_exact("exact-warm")
+        assert backend_is_exact("exact-dense")
+        assert not backend_is_exact("scipy")
+        assert not backend_is_exact("never-registered")
 
 
 @st.composite
@@ -174,7 +275,7 @@ def random_lp(draw):
 @given(random_lp())
 def test_backends_agree_on_random_instances(model):
     scipy_solution = ScipyBackend().solve(model)
-    exact_solution = ExactSimplexBackend().solve(model)
+    exact_solution = RevisedSimplexBackend().solve(model)
     assert scipy_solution.status == exact_solution.status
     if scipy_solution.status is LPStatus.OPTIMAL:
         assert float(scipy_solution.objective_value) == pytest.approx(

@@ -1,0 +1,90 @@
+"""Tests for the LP perf harness and the ``perf`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.bench.perf import (
+    DEFAULT_PERF_BACKENDS,
+    DEFAULT_PERF_PAIRS,
+    build_lp_model,
+    format_perf_table,
+    run_lp_perf,
+    write_bench_json,
+)
+from repro.cli import main
+from repro.errors import AnalysisError
+
+BACKENDS = ("exact", "exact-warm", "scipy")
+
+
+class TestRunLpPerf:
+    def test_report_shape_and_agreement(self, tmp_path):
+        report = run_lp_perf(names=["simple_single"], backends=BACKENDS)
+        assert report["schema"] == 1
+        assert report["backends"] == list(BACKENDS)
+        assert report["lp_solver_revision"] >= 2
+        (row,) = report["rows"]
+        assert row["pair"] == "simple_single"
+        assert row["agree"] is True
+        assert row["lp_variables"] > 0 and row["lp_constraints"] > 0
+        for name in BACKENDS:
+            entry = row["backends"][name]
+            assert entry["seconds"] >= 0
+            assert entry["status"] == "optimal"
+            assert "_solution" not in entry
+        # Exact backends serialize Fractions as strings; identical here.
+        assert (row["backends"]["exact"]["objective"]
+                == row["backends"]["exact-warm"]["objective"])
+        # The warm backend must report which path it took.
+        assert (row["backends"]["exact-warm"]["stats"]["path"]
+                in ("certified", "resumed", "fallback"))
+        summary = report["summary"]
+        assert summary["disagreements"] == 0
+        assert set(summary["seconds_total"]) == set(BACKENDS)
+
+        path = tmp_path / "BENCH_lp.json"
+        write_bench_json(report, str(path))
+        on_disk = json.loads(path.read_text())
+        assert on_disk["summary"]["disagreements"] == 0
+
+        table = format_perf_table(report)
+        assert "simple_single" in table and "yes" in table
+
+    def test_speedup_vs_dense_reported(self):
+        report = run_lp_perf(names=["dis2"],
+                             backends=("exact-dense", "exact-warm"))
+        assert "speedup_vs_dense" in report["summary"]
+        assert report["summary"]["speedup_vs_dense"]["exact-warm"] > 1
+
+    def test_unknown_pair_rejected(self):
+        with pytest.raises(AnalysisError):
+            run_lp_perf(names=["no_such_pair"], backends=("exact",))
+
+    def test_defaults_are_valid(self):
+        from repro.bench.suite import SUITE
+        from repro.lp import available_backends
+
+        suite_names = {pair.name for pair in SUITE}
+        assert set(DEFAULT_PERF_PAIRS) <= suite_names
+        assert set(DEFAULT_PERF_BACKENDS) <= set(available_backends())
+
+    def test_build_lp_model_minimizes_threshold(self):
+        model = build_lp_model("simple_single")
+        assert model.objective is not None
+        assert "t" in model.variable_names
+
+
+class TestPerfCli:
+    def test_perf_subcommand_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_lp.json"
+        code = main([
+            "perf", "--names", "simple_single",
+            "--backends", "exact,exact-warm", "--output", str(out),
+        ])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["summary"]["disagreements"] == 0
+        assert {r["pair"] for r in report["rows"]} == {"simple_single"}
+        captured = capsys.readouterr().out
+        assert "wrote" in captured
