@@ -12,9 +12,21 @@ refactorizations) and the objective.  Agreement is gated:
 - float backends must match the exact optimum within
   ``float_tolerance`` (absolute + relative).
 
+A second section benchmarks the **refutation batch**: the full witness
+loop of :func:`~repro.core.refutation.refute_threshold` per pair, once
+through the incremental one-encode path
+(:class:`~repro.lp.dual.IncrementalLP`: one factorized basis re-solved
+per witness) and once through the cold path (every witness LP solved
+from scratch — the pre-incremental behaviour).  Both must produce
+bit-identical certified gaps and witnesses (gated like backend
+agreement); the report records factorization counts, eta/refactor
+statistics and the re-solve-versus-cold speedup.
+
 The JSON report is the repo's perf trajectory: CI runs the harness on a
-small subset every push and uploads the file as an artifact, failing
-the build on any disagreement.
+small subset every push, uploads the file as an artifact, fails the
+build on any disagreement, and — via :func:`compare_reports` — fails on
+a >2x regression of any tracked timing against the committed baseline
+snapshot (``benchmarks/BENCH_lp.baseline.json``).
 """
 
 from __future__ import annotations
@@ -22,6 +34,7 @@ from __future__ import annotations
 import json
 import platform
 import time
+from dataclasses import replace
 from fractions import Fraction
 from typing import Any, Sequence
 
@@ -38,7 +51,7 @@ from repro.lp.solution import LPStatus
 from repro.poly.linexpr import AffineExpr
 from repro.poly.template import TemplatePolynomial
 
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
 
 #: Default backend set: the dense seed baseline first (speedups are
 #: reported relative to it), then the sparse exact solvers, then float.
@@ -50,6 +63,21 @@ DEFAULT_PERF_BACKENDS: tuple[str, ...] = (
 #: full suite is available with ``names=None`` / ``--names all``.
 DEFAULT_PERF_PAIRS: tuple[str, ...] = (
     "simple_single", "ex2", "ex4", "dis2", "sum",
+)
+
+#: Candidate handed to the refutation benchmark.  The witness-loop work
+#: is candidate-independent (every witness LP is solved either way), so
+#: any value exercises the full loop; 0 keeps all Table 1 pairs valid.
+REFUTE_BENCH_CANDIDATE = 0.0
+
+#: Default pairs of the refutation-batch section: the refutation-heavy
+#: rows — two-variable input boxes, so the witness loop runs 4-5 LPs —
+#: plus the Fig. 1 running example, whose refutation LP is the largest.
+#: Pairs with a single bounded input collapse to ~3 witnesses and
+#: barely exercise the loop.
+DEFAULT_REFUTE_PAIRS: tuple[str, ...] = (
+    "join", "dis2", "simple_multiple", "simple_multiple_dep",
+    "simple_single2",
 )
 
 
@@ -138,10 +166,109 @@ def _check_agreement(row: dict[str, Any], backends: Sequence[str],
     return failures
 
 
+#: Per-variant counters surfaced in each refutation-batch row.
+_REFUTE_STAT_KEYS = (
+    "solves", "factorizations", "refactorizations", "pivots",
+    "eta_pivots", "max_eta", "resolves", "dual_resolves",
+    "float_factorizations",
+)
+
+
+def _refute_variant(old, new, config) -> dict[str, Any]:
+    start = time.perf_counter()
+    from repro.core.refutation import refute_threshold
+
+    result = refute_threshold(old, new, REFUTE_BENCH_CANDIDATE, config)
+    elapsed = time.perf_counter() - start
+    entry: dict[str, Any] = {"seconds": round(elapsed, 6)}
+    for key in _REFUTE_STAT_KEYS:
+        value = result.lp_stats.get(key)
+        if value:
+            entry[key] = value
+    entry["_result"] = result  # stripped before serialization
+    return entry
+
+
+def run_refutation_batch(names: Sequence[str] | None = None
+                         ) -> dict[str, Any]:
+    """Benchmark the refutation witness loop, incremental vs cold.
+
+    Runs :func:`~repro.core.refutation.refute_threshold` per pair twice
+    — ``lp_incremental=True`` (one encode, one factorized basis,
+    re-solves per witness) and ``lp_incremental=False`` (per-witness
+    cold solves, the PR 3 behaviour) — and gates on bit-identical
+    certified gaps and witnesses.  The summary carries the aggregate
+    exact-factorization ratio and wall-clock speedup, which is the
+    number the incremental LP core is accountable for.
+    """
+    selected = list(names) if names else list(DEFAULT_REFUTE_PAIRS)
+    rows: list[dict[str, Any]] = []
+    totals = {"incremental": 0.0, "cold": 0.0}
+    factorizations = {"incremental": 0, "cold": 0}
+    disagreements = 0
+    for pair_name in selected:
+        matches = [pair for pair in SUITE if pair.name == pair_name]
+        if not matches:
+            raise AnalysisError(f"unknown benchmark pair {pair_name!r}")
+        pair = matches[0]
+        old, new = load_pair(pair_name)
+        base = pair.config("exact-warm")
+        row: dict[str, Any] = {"pair": pair_name}
+        for variant, incremental in (("incremental", True), ("cold", False)):
+            config = replace(base, lp_incremental=incremental)
+            entry = _refute_variant(old, new, config)
+            row[variant] = entry
+            totals[variant] += entry["seconds"]
+            factorizations[variant] += entry.get("factorizations", 0)
+
+        warm = row["incremental"].pop("_result")
+        cold = row["cold"].pop("_result")
+        gap = warm.guaranteed_difference
+        row["witnesses"] = warm.lp_stats.get("solves", 0)
+        row["gap"] = None if gap is None else str(gap)
+        failures = []
+        if warm.guaranteed_difference != cold.guaranteed_difference:
+            failures.append(
+                f"gap mismatch: incremental {warm.guaranteed_difference} "
+                f"vs cold {cold.guaranteed_difference}"
+            )
+        if warm.witness_input != cold.witness_input:
+            failures.append(
+                f"witness mismatch: incremental {warm.witness_input} "
+                f"vs cold {cold.witness_input}"
+            )
+        row["agree"] = not failures
+        if failures:
+            row["disagreements"] = failures
+            disagreements += 1
+        cold_seconds = row["cold"]["seconds"]
+        if row["incremental"]["seconds"] > 0:
+            row["speedup"] = round(
+                cold_seconds / row["incremental"]["seconds"], 2
+            )
+        rows.append(row)
+
+    summary: dict[str, Any] = {
+        "seconds_total": {k: round(v, 6) for k, v in totals.items()},
+        "factorizations_total": dict(factorizations),
+        "disagreements": disagreements,
+    }
+    if factorizations["incremental"] > 0:
+        summary["factorization_ratio"] = round(
+            factorizations["cold"] / factorizations["incremental"], 2
+        )
+    if totals["incremental"] > 0:
+        summary["speedup"] = round(
+            totals["cold"] / totals["incremental"], 2
+        )
+    return {"rows": rows, "summary": summary}
+
+
 def run_lp_perf(names: Sequence[str] | None = None,
                 backends: Sequence[str] = DEFAULT_PERF_BACKENDS,
                 repeats: int = 1,
-                float_tolerance: float = 1e-4) -> dict[str, Any]:
+                float_tolerance: float = 1e-4,
+                refutation: bool = True) -> dict[str, Any]:
     """Time every backend on every pair's LP; returns the report dict."""
     selected = list(names) if names else list(DEFAULT_PERF_PAIRS)
     rows: list[dict[str, Any]] = []
@@ -185,7 +312,7 @@ def run_lp_perf(names: Sequence[str] | None = None,
             for name, seconds in totals.items()
             if name != baseline and seconds > 0
         }
-    return {
+    report: dict[str, Any] = {
         "schema": BENCH_SCHEMA_VERSION,
         "generated_by": "repro-diffcost perf",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -200,6 +327,16 @@ def run_lp_perf(names: Sequence[str] | None = None,
         "rows": rows,
         "summary": summary,
     }
+    if refutation:
+        # An explicit pair selection drives both sections; the defaults
+        # differ (the backend matrix wants cheap-for-dense pairs, the
+        # refutation batch wants witness-heavy ones).
+        section = run_refutation_batch(names=list(names) if names else None)
+        report["refutation"] = section
+        # A gap/witness divergence between the incremental and cold
+        # loops is a solver bug exactly like a backend disagreement.
+        summary["disagreements"] += section["summary"]["disagreements"]
+    return report
 
 
 def write_bench_json(report: dict[str, Any], path: str) -> None:
@@ -207,6 +344,65 @@ def write_bench_json(report: dict[str, Any], path: str) -> None:
     with open(path, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+
+#: Timings shorter than this are dominated by noise and exempt from the
+#: baseline regression gate.
+_COMPARE_MIN_SECONDS = 0.05
+
+
+def _tracked_timings(report: dict[str, Any]) -> dict[str, float]:
+    """name -> seconds for every timing the baseline gate tracks."""
+    tracked: dict[str, float] = {}
+    for name, seconds in report["summary"]["seconds_total"].items():
+        tracked[f"backend:{name}"] = seconds
+    refutation = report.get("refutation")
+    if refutation:
+        for variant, seconds in (
+                refutation["summary"]["seconds_total"].items()):
+            tracked[f"refutation:{variant}"] = seconds
+        for row in refutation["rows"]:
+            tracked[f"refutation:{row['pair']}:incremental"] = (
+                row["incremental"]["seconds"]
+            )
+    return tracked
+
+
+def compare_reports(baseline: dict[str, Any], current: dict[str, Any],
+                    max_ratio: float = 2.0) -> list[str]:
+    """Regressions of ``current`` against a ``BENCH_lp.json`` baseline.
+
+    Returns human-readable failure strings (empty = pass):
+
+    - any disagreement in the current report (backends or the
+      incremental/cold refutation loops);
+    - any tracked timing (per-backend totals, refutation totals,
+      per-pair incremental refutation) slower than ``max_ratio`` times
+      the baseline.  Sub-``50ms`` timings are exempt — they measure
+      interpreter noise, not the solver.  Entries present on only one
+      side (new pairs, new backends) are skipped: the gate tracks
+      trajectory, not schema.
+    """
+    failures: list[str] = []
+    if current["summary"]["disagreements"]:
+        failures.append(
+            f"current report has "
+            f"{current['summary']['disagreements']} disagreement(s)"
+        )
+    base_timings = _tracked_timings(baseline)
+    for name, seconds in _tracked_timings(current).items():
+        reference = base_timings.get(name)
+        if reference is None:
+            continue
+        if seconds <= _COMPARE_MIN_SECONDS:
+            continue
+        floor = max(reference, _COMPARE_MIN_SECONDS)
+        if seconds > max_ratio * floor:
+            failures.append(
+                f"timing regression: {name} {seconds:.3f}s vs baseline "
+                f"{reference:.3f}s (> {max_ratio:.1f}x)"
+            )
+    return failures
 
 
 def format_perf_table(report: dict[str, Any]) -> str:
@@ -227,5 +423,31 @@ def format_perf_table(report: dict[str, Any]) -> str:
         lines.append(f"speedup vs exact-dense: {summary['speedup_vs_dense']}")
     if summary["warm_start_paths"]:
         lines.append(f"warm-start paths: {summary['warm_start_paths']}")
+    refutation = report.get("refutation")
+    if refutation:
+        lines.append("")
+        lines.append("refutation batch (incremental vs cold):")
+        header = ["pair", "wit", "inc (s)", "cold (s)", "fact i/c", "agree"]
+        lines.append("  ".join(f"{h:>12}" for h in header))
+        for row in refutation["rows"]:
+            cells = [
+                f"{row['pair']:>12}",
+                f"{row['witnesses']:>12}",
+                f"{row['incremental']['seconds']:>12.4f}",
+                f"{row['cold']['seconds']:>12.4f}",
+                f"{row['incremental'].get('factorizations', 0):>5}/"
+                f"{row['cold'].get('factorizations', 0):<6}",
+                f"{'yes' if row['agree'] else 'NO':>12}",
+            ]
+            lines.append("  ".join(cells))
+        rsum = refutation["summary"]
+        lines.append(
+            f"refutation totals: {rsum['seconds_total']}; factorizations "
+            f"{rsum['factorizations_total']}"
+            + (f"; {rsum['factorization_ratio']}x fewer factorizations"
+               if "factorization_ratio" in rsum else "")
+            + (f"; {rsum['speedup']}x wall speedup"
+               if "speedup" in rsum else "")
+        )
     lines.append(f"disagreements: {summary['disagreements']}")
     return "\n".join(lines)

@@ -7,10 +7,10 @@ Subcommands::
     repro-diffcost refute OLD.imp NEW.imp --candidate 9999
     repro-diffcost single PROGRAM.imp
     repro-diffcost suite [--names a,b,c] [--jobs N]
-    repro-diffcost batch DIR [--jobs N] [--portfolio] [--cache-dir D]
-                             [--max-inflight-pairs N]
+    repro-diffcost batch DIR [--jobs N] [--portfolio] [--refute]
+                             [--cache-dir D] [--max-inflight-pairs N]
     repro-diffcost perf [--names a,b,c] [--backends exact,exact-warm]
-                        [--output BENCH_lp.json]
+                        [--output BENCH_lp.json] [--baseline SNAPSHOT]
     repro-diffcost show PROGRAM.imp [--dot]
 """
 
@@ -40,6 +40,10 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         help="Handelman product bound (default 2)")
     parser.add_argument("--backend", choices=list(available_backends()),
                         default="scipy", help="LP backend")
+    parser.add_argument("--cold-lp", action="store_true",
+                        help="solve every LP cold instead of reusing a "
+                             "factorized basis across re-solves "
+                             "(A/B baseline; answers are identical)")
 
 
 def _config(args: argparse.Namespace) -> AnalysisConfig:
@@ -47,6 +51,7 @@ def _config(args: argparse.Namespace) -> AnalysisConfig:
         degree=args.degree,
         max_products=args.max_products,
         lp_backend=args.backend,
+        lp_incremental=not args.cold_lp,
     )
 
 
@@ -122,8 +127,11 @@ def _command_suite(args: argparse.Namespace) -> int:
 
 
 def _command_perf(args: argparse.Namespace) -> int:
+    import json
+
     from repro.bench.perf import (
         DEFAULT_PERF_BACKENDS,
+        compare_reports,
         format_perf_table,
         run_lp_perf,
         write_bench_json,
@@ -143,10 +151,21 @@ def _command_perf(args: argparse.Namespace) -> int:
         backends=backends,
         repeats=args.repeats,
         float_tolerance=args.float_tolerance,
+        refutation=not args.no_refutation,
     )
     write_bench_json(report, args.output)
     print(format_perf_table(report))
     print(f"wrote {args.output}")
+    if args.baseline:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        failures = compare_reports(baseline, report,
+                                   max_ratio=args.max_regression)
+        for failure in failures:
+            print(f"baseline: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"baseline ok (vs {args.baseline})")
     # Any disagreement between backends on the same LP is a solver bug
     # and must fail the process (this is CI's perf-smoke gate).
     return 0 if report["summary"]["disagreements"] == 0 else 1
@@ -159,11 +178,15 @@ def _command_batch(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         timeout=args.timeout,
         cache_dir=None if args.no_cache else args.cache_dir,
-        # An explicit --portfolio-mode implies --portfolio: silently
-        # running the single-config path would misread the user's intent.
-        portfolio=args.portfolio or args.portfolio_mode is not None,
+        # An explicit --portfolio-mode or --refute implies --portfolio:
+        # silently running the single-config path would misread the
+        # user's intent (the tightness stage is a portfolio feature).
+        portfolio=(args.portfolio or args.portfolio_mode is not None
+                   or args.refute),
         portfolio_mode=args.portfolio_mode or "first",
         max_inflight_pairs=args.max_inflight_pairs,
+        refute=args.refute,
+        refute_margin=args.refute_margin,
     )
     report = run_batch(args.directory, config=_config(args), engine=engine)
     if args.format == "json":
@@ -281,6 +304,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "pairs escalating at once on the shared "
                             "worker pool (default: auto from --jobs; "
                             "does not affect which rungs are chosen)")
+    batch.add_argument("--refute", action="store_true",
+                       help="portfolio mode: probe each chosen "
+                            "threshold T with an exact refutation of "
+                            "T - margin; [tight] rows are certified "
+                            "minimal within the margin")
+    batch.add_argument("--refute-margin", type=float, default=1.0,
+                       metavar="M",
+                       help="tightness probe margin (default 1.0 — "
+                            "exactly tight for integer-cost programs)")
     batch.add_argument("--format", choices=["text", "json"], default="text",
                        help="output format")
     _add_config_arguments(batch)
@@ -304,6 +336,17 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--float-tolerance", type=float, default=1e-4,
                       help="allowed |float - exact| objective gap "
                            "(absolute + relative)")
+    perf.add_argument("--no-refutation", action="store_true",
+                      help="skip the refutation-batch section "
+                           "(incremental vs cold witness loops)")
+    perf.add_argument("--baseline", default=None, metavar="JSON",
+                      help="diff against a committed BENCH_lp.json "
+                           "snapshot; exit 1 on disagreement or timing "
+                           "regression")
+    perf.add_argument("--max-regression", type=float, default=2.0,
+                      metavar="X",
+                      help="tracked timings may be at most X times the "
+                           "baseline (default 2.0)")
     perf.set_defaults(handler=_command_perf)
 
     witness = subparsers.add_parser(

@@ -29,6 +29,13 @@ class AnalysisConfig:
         ``"exact-warm"`` (float warm start + rational certification —
         the fast exact rung) or ``"exact-dense"`` (the seed's dense
         tableau simplex, kept as baseline/oracle).
+    lp_incremental:
+        Reuse one factorized basis across LP re-solves that share a
+        constraint system (the refutation witness loop, the threshold
+        search) via :class:`~repro.lp.dual.IncrementalLP` when the
+        backend is exact.  Off = solve every LP cold, the pre-LU
+        behaviour kept for A/B benchmarking; answers are bit-identical
+        either way (LP optima are unique).
     widening_delay / narrowing_passes:
         Invariant-engine tuning.
     template_includes_params_only:
@@ -48,6 +55,7 @@ class AnalysisConfig:
     degree: int = 2
     max_products: int = 2
     lp_backend: str = "scipy"
+    lp_incremental: bool = True
     widening_delay: int = 3
     narrowing_passes: int = 2
     check_certificates: bool = False
@@ -107,6 +115,15 @@ class EngineConfig:
         pool: enough pairs to keep every worker busy without flooding
         the queue.  Has no effect on selection — chosen rungs are
         deterministic regardless.
+    refute:
+        Portfolio mode only: after selection, probe every chosen
+        threshold ``T`` with a ``refute`` job at candidate
+        ``T - refute_margin`` (winning rung's template shape, exact
+        backend).  A refuted probe certifies the threshold tight to
+        within the margin; see ``PortfolioResult.tight``.
+    refute_margin:
+        Slack allowed by the tightness probe (default 1.0 — exactly
+        tight for integer-cost programs).
     """
 
     jobs: int = 1
@@ -115,6 +132,8 @@ class EngineConfig:
     portfolio: bool = False
     portfolio_mode: str = "first"
     max_inflight_pairs: int | None = None
+    refute: bool = False
+    refute_margin: float = 1.0
 
     def __post_init__(self):
         if self.jobs < 1:
@@ -130,3 +149,5 @@ class EngineConfig:
             raise AnalysisError(
                 "max_inflight_pairs must be at least 1 (or None for auto)"
             )
+        if self.refute_margin <= 0:
+            raise AnalysisError("refute_margin must be positive")

@@ -26,7 +26,11 @@ from repro.core.results import (
     RefutationResult,
     SingleProgramResult,
 )
-from repro.core.diffcost import DiffCostAnalyzer, analyze_diffcost
+from repro.core.diffcost import (
+    DiffCostAnalyzer,
+    ThresholdSearchResult,
+    analyze_diffcost,
+)
 from repro.core.symbolic import prove_symbolic_bound
 from repro.core.refutation import refute_threshold
 from repro.core.precision import analyze_single_program
@@ -42,6 +46,7 @@ __all__ = [
     "RefutationResult",
     "SingleProgramResult",
     "DiffCostAnalyzer",
+    "ThresholdSearchResult",
     "analyze_diffcost",
     "prove_symbolic_bound",
     "refute_threshold",

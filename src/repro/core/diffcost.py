@@ -14,7 +14,9 @@ refutation and single-program entry points.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from fractions import Fraction
+from typing import Iterable
 
 from repro.config import DEFAULT_CONFIG, AnalysisConfig
 from repro.core.constraints import (
@@ -35,6 +37,7 @@ from repro.handelman.encode import ImplicationConstraint, encode_implication
 from repro.invariants.generator import InvariantMap, generate_invariants
 from repro.lang.lower import LoweredProgram
 from repro.lp.backend import get_backend
+from repro.lp.dual import IncrementalLP
 from repro.lp.model import LPModel
 from repro.lp.solution import LPSolution, LPStatus
 from repro.poly.linexpr import AffineExpr
@@ -43,12 +46,31 @@ from repro.poly.template import TemplatePolynomial
 from repro.ts.guards import LinIneq
 from repro.ts.system import TransitionSystem
 from repro.utils.naming import FreshNameGenerator
-from repro.utils.rationals import rationalize
+from repro.utils.rationals import Numeric, as_fraction, rationalize
 from repro.utils.timers import Stopwatch
 
 THRESHOLD_SYMBOL = "t"
 
 ProgramLike = TransitionSystem | LoweredProgram
+
+
+@dataclass
+class ThresholdSearchResult:
+    """Outcome of probing a set of threshold caps (see
+    :meth:`DiffCostAnalyzer.threshold_search`)."""
+
+    #: The minimized threshold under the loosest probed cap (``None``
+    #: when even the loosest cap admits no certificate).
+    threshold: Fraction | None
+    #: cap -> does a certificate with ``t <= cap`` exist?
+    feasible: dict[Fraction, bool] = field(default_factory=dict)
+    #: Aggregated :class:`~repro.lp.dual.IncrementalLP` counters.
+    lp_stats: dict = field(default_factory=dict)
+
+    def tightest_feasible(self) -> Fraction | None:
+        """The smallest cap that still admits a certificate."""
+        admitted = [cap for cap, ok in self.feasible.items() if ok]
+        return min(admitted) if admitted else None
 
 
 def _unpack(program: ProgramLike) -> tuple[TransitionSystem, dict]:
@@ -201,6 +223,54 @@ class DiffCostAnalyzer:
             self._check_result(result)
         result.timings = self.stopwatch.as_dict()
         return result
+
+    def threshold_search(self, candidates: Iterable[Numeric]
+                         ) -> ThresholdSearchResult:
+        """Probe which caps ``t <= c`` admit a certificate, sharing one
+        encoding and one factorized basis across every probe.
+
+        The loosest candidate solves cold (and yields the minimized
+        threshold); each tighter candidate is an rhs patch on the
+        threshold variable's bound row followed by a dual-simplex
+        re-solve from the previous optimal basis — no re-encoding, no
+        fresh factorization (see :class:`~repro.lp.dual.IncrementalLP`).
+        Feasibility is monotone in the cap, so probing stops at the
+        first infeasible candidate (every tighter cap is recorded
+        infeasible without a solve); probed caps are still *verified*
+        exactly by the LP rather than inferred from the minimum.
+
+        Always exact — probes go through the incremental exact solver
+        regardless of ``config.lp_backend``.
+        """
+        caps = sorted({as_fraction(c) for c in candidates}, reverse=True)
+        if not caps:
+            raise AnalysisError("threshold_search needs at least one "
+                                "candidate cap")
+        bound = TemplatePolynomial.from_symbol(THRESHOLD_SYMBOL)
+        _, _, constraints = self.build_constraints(bound)
+        model = self.encode(constraints)
+        model.add_variable(THRESHOLD_SYMBOL, upper=caps[0])
+        model.minimize(AffineExpr.variable(THRESHOLD_SYMBOL))
+        feasible: dict[Fraction, bool] = {}
+        threshold: Fraction | None = None
+        with self.stopwatch.phase("lp"):
+            incremental = IncrementalLP(model)
+            for index, cap in enumerate(caps):
+                solution = (incremental.solve() if index == 0
+                            else incremental.update_upper(
+                                THRESHOLD_SYMBOL, cap))
+                admitted = solution.status is LPStatus.OPTIMAL
+                feasible[cap] = admitted
+                if admitted and threshold is None:
+                    threshold = solution.value(THRESHOLD_SYMBOL)
+                if not admitted:
+                    for tighter in caps[index + 1:]:
+                        feasible[tighter] = False
+                    break
+        return ThresholdSearchResult(
+            threshold=threshold, feasible=feasible,
+            lp_stats=dict(incremental.stats),
+        )
 
     def _check_result(self, result: DiffCostResult) -> None:
         """Run-based certificate check on sampled Θ0 inputs (opt-in via

@@ -11,6 +11,21 @@ not a threshold.  For a *fixed* witness input the left-hand side is
 linear in the template symbols, so maximizing it is again an LP; we try
 a set of witness candidates (box corners and the center of Θ0 by
 default) and keep the best certified gap.
+
+Every witness shares the same constraint system — only the objective
+(the gap at that witness) changes.  With
+``AnalysisConfig.lp_incremental`` (the default) the loop therefore runs
+the Handelman expansion and ``encode_implication`` **once** and swaps
+objectives: exact backends re-solve through
+:class:`~repro.lp.dual.IncrementalLP`, which re-optimizes each witness
+from the previous optimal basis (primal phase-2 pivots on one LU/eta
+factorization) instead of solving cold — one factorization amortized
+over up to 33 witness LPs; float backends re-solve the shared model.
+``lp_incremental=False`` restores the original loop verbatim
+(re-encode and solve cold per witness), kept as the A/B baseline the
+perf harness measures against.  The certified gaps are bit-identical
+either way: the optimal value of an LP is unique, whatever basis path
+reaches it.
 """
 
 from __future__ import annotations
@@ -31,6 +46,7 @@ from repro.core.results import AnalysisStatus, RefutationResult
 from repro.handelman.encode import encode_implication
 from repro.invariants.polyhedron import Polyhedron
 from repro.lp.backend import backend_is_exact, get_backend
+from repro.lp.dual import IncrementalLP
 from repro.lp.model import LPModel
 from repro.lp.solution import LPStatus
 from repro.ts.system import COST_VAR, TransitionSystem
@@ -75,7 +91,35 @@ def default_witnesses(old_system: TransitionSystem,
         for var, values in zip(variables, choices)
     }
     candidates.append(center)
-    return [c for c in candidates if theta0.contains_point(c)]
+    # Degenerate boxes (or center == corner along every axis) duplicate
+    # candidates; each duplicate would cost a full LP solve downstream.
+    seen: set[tuple] = set()
+    unique: list[dict[str, int]] = []
+    for candidate in candidates:
+        key = tuple(sorted(candidate.items()))
+        if key not in seen:
+            seen.add(key)
+            unique.append(candidate)
+    return [c for c in unique if theta0.contains_point(c)]
+
+
+#: Solver counters worth aggregating across the cold per-witness solves
+#: (mirrors what IncrementalLP totals on the incremental path).
+_LP_COUNTER_KEYS = (
+    "pivots", "phase1_pivots", "phase2_pivots", "dual_pivots",
+    "degenerate_pivots", "bland_pivots", "refactorizations",
+    "factorizations", "eta_pivots", "float_pivots", "float_factorizations",
+)
+
+
+def _accumulate_lp_stats(total: dict, stats: dict) -> None:
+    for key in _LP_COUNTER_KEYS:
+        value = stats.get(key)
+        if value:
+            total[key] = total.get(key, 0) + value
+    max_eta = stats.get("max_eta", 0)
+    if max_eta > total.get("max_eta", 0):
+        total["max_eta"] = max_eta
 
 
 def refute_threshold(old: ProgramLike, new: ProgramLike,
@@ -120,46 +164,85 @@ def refute_threshold(old: ProgramLike, new: ProgramLike,
         )
     )
 
-    backend = get_backend(analyzer.config.lp_backend)
-    best_gap: Fraction | float | None = None
-    best_witness: dict[str, int] | None = None
-    best_solution = None
-    for witness in witnesses:
+    # One encoding for the whole loop: the Handelman expansion is
+    # witness-independent, only the objective changes per witness.
+    # With ``lp_incremental`` off the loop reproduces the pre-LU
+    # behaviour verbatim — re-encode and solve cold per witness — which
+    # is the A/B baseline `BENCH_lp.json`'s refutation section tracks.
+    exact = backend_is_exact(analyzer.config.lp_backend)
+    incremental = analyzer.config.lp_incremental
+
+    def encode_model() -> LPModel:
         model = LPModel()
         encoding_fresh = FreshNameGenerator()
         for constraint in constraints:
             encode_implication(
-                constraint, model, encoding_fresh, analyzer.config.max_products
+                constraint, model, encoding_fresh,
+                analyzer.config.max_products,
             )
+        return model
+
+    inc = None
+    backend = None
+    shared_model = None
+    if incremental:
+        shared_model = encode_model()
+        if exact:
+            inc = IncrementalLP(shared_model)
+        else:
+            backend = get_backend(analyzer.config.lp_backend)
+    else:
+        backend = get_backend(analyzer.config.lp_backend)
+    lp_stats: dict = {"incremental": incremental, "solves": 0}
+
+    best_gap: Fraction | float | None = None
+    best_witness: dict[str, int] | None = None
+    best_solution = None
+    for witness in witnesses:
         chi_at_witness = new_templates.at(
             analyzer.new_system.initial_location
         ).evaluate_program_vars(witness)
         phi_at_witness = old_templates.at(
             analyzer.old_system.initial_location
         ).evaluate_program_vars(witness)
-        model.maximize(chi_at_witness - phi_at_witness)
-        solution = backend.solve(model)
+        objective = chi_at_witness - phi_at_witness
+        if inc is not None:
+            solution = inc.maximize(objective)
+        else:
+            model = shared_model if shared_model is not None else (
+                encode_model()
+            )
+            model.maximize(objective)
+            solution = backend.solve(model)
+            _accumulate_lp_stats(lp_stats, solution.stats)
+        lp_stats["solves"] += 1
         if solution.status is not LPStatus.OPTIMAL:
             continue
-        gap = (chi_at_witness - phi_at_witness).evaluate(
-            {name: solution.value(name)
-             for name in (chi_at_witness - phi_at_witness).symbols}
-        ) if backend_is_exact(analyzer.config.lp_backend) else -float(
+        gap = objective.evaluate(
+            {name: solution.value(name) for name in objective.symbols}
+        ) if exact else -float(
             solution.objective_value  # objective was negated by maximize()
         )
-        if best_gap is None or float(gap) > float(best_gap):
+        # Exact comparison: Fractions (and mixed Fraction/float) compare
+        # exactly in Python; casting exact gaps through float could rank
+        # two distinct rationals as equal and mis-pick the witness.
+        if best_gap is None or gap > best_gap:
             best_gap = gap
             best_witness = witness
             best_solution = solution
+    if inc is not None:
+        for key, value in inc.stats.items():
+            lp_stats.setdefault(key, value)
 
     if best_gap is None:
         return RefutationResult(
             status=AnalysisStatus.UNKNOWN,
             candidate=candidate,
             message="no refutation certificate found (LP infeasible)",
+            lp_stats=lp_stats,
         )
 
-    refuted = float(best_gap) > float(candidate)
+    refuted = best_gap > candidate
     result = RefutationResult(
         status=AnalysisStatus.REFUTED if refuted else AnalysisStatus.UNKNOWN,
         candidate=candidate,
@@ -171,6 +254,7 @@ def refute_threshold(old: ProgramLike, new: ProgramLike,
         potential_old=extract_certificate(
             old_templates, best_solution, POTENTIAL
         ),
+        lp_stats=lp_stats,
     )
     if not refuted:
         result.message = (

@@ -82,6 +82,10 @@ class RefutationResult:
     anti_potential_new: PotentialFunction | None = None
     potential_old: PotentialFunction | None = None
     message: str = ""
+    #: LP work done across the witness loop (solves, factorizations,
+    #: eta/refactor counters, whether the incremental path ran) — what
+    #: the perf harness compares between incremental and cold runs.
+    lp_stats: dict = field(default_factory=dict)
 
     @property
     def is_refuted(self) -> bool:

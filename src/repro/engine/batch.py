@@ -21,6 +21,7 @@ from repro.engine.jobs import AnalysisJob, JobResult
 from repro.engine.portfolio import (
     DEFAULT_LADDER,
     PortfolioResult,
+    attach_refutations,
     portfolio_jobs,
     select_result,
 )
@@ -114,7 +115,10 @@ class BatchReport:
                     "mode": p.mode,
                     "threshold": p.threshold,
                     "chosen_rung": p.chosen_rung_index(),
+                    "tight": p.tight,
                     "rungs": [r.to_dict() for r in p.rungs],
+                    "refutation": (p.refutation.to_dict()
+                                   if p.refutation is not None else None),
                 }
                 for p in self.portfolios
             ]
@@ -173,6 +177,12 @@ def run_batch(directory: str | Path,
                 )
                 for pair, rungs in zip(pairs, rungs_per_pair)
             ]
+            if engine.refute:
+                attach_refutations(
+                    portfolios,
+                    {pair.name: pair.sources() for pair in pairs},
+                    executor, base=config, margin=engine.refute_margin,
+                )
             results = [rung for p in portfolios for rung in p.rungs]
             return BatchReport(
                 directory=str(directory),
@@ -225,6 +235,10 @@ def format_batch_table(report: BatchReport) -> str:
                 + (f", {failed} failed" if failed else "")
             )
             cached = " (cached)" if chosen and chosen.cached else ""
+            if portfolio.tight is True:
+                cached += " [tight]"
+            elif portfolio.tight is False:
+                cached += " [slack?]"  # tightness probe could not certify
             lines.append(
                 f"{portfolio.name:<24} {_fmt_threshold(portfolio.threshold):>10} "
                 f"{status:>9} {portfolio.seconds:>8.2f}  {rung}{cached}"

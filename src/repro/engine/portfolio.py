@@ -16,6 +16,16 @@ Two selection modes:
 - ``"best"``: every rung runs; the minimal threshold among succeeding
   rungs wins (ties broken by ladder order).  Use when tightness matters
   more than latency — richer templates can only tighten the bound.
+
+An optional **refutation stage** (``refute=True`` /
+``EngineConfig.refute``) follows selection: for every pair that won a
+threshold ``T``, a ``refute`` job probes the candidate ``T - margin``
+with the winning rung's template shape and the exact backend.  A
+refuted probe certifies the threshold tight to within ``margin``
+(Theorem 4.3); an unknown probe flags slack worth escalating for.  The
+probe solves one LP per witness over one shared constraint system —
+exactly the shape `~repro.lp.dual.IncrementalLP` re-solves from a
+single factorized basis, which is what keeps this stage affordable.
 """
 
 from __future__ import annotations
@@ -62,6 +72,10 @@ class PortfolioResult:
     mode: str
     chosen: JobResult | None
     rungs: list[JobResult] = field(default_factory=list)
+    #: Tightness probe of the chosen threshold (``None`` when the stage
+    #: was not requested, the pair has no threshold, or the probe job
+    #: failed to execute).
+    refutation: JobResult | None = None
 
     @property
     def succeeded(self) -> bool:
@@ -76,7 +90,19 @@ class PortfolioResult:
         """Analysis seconds actually spent on this pair *in this run*
         (summed across rungs, so parallel rungs count their combined
         compute; cached rungs arrive with 0)."""
-        return sum(rung.seconds for rung in self.rungs)
+        total = sum(rung.seconds for rung in self.rungs)
+        if self.refutation is not None:
+            total += self.refutation.seconds
+        return total
+
+    @property
+    def tight(self) -> bool | None:
+        """Did the refutation stage certify the chosen threshold tight
+        (no smaller threshold within the probe margin)?  ``None`` when
+        no probe completed."""
+        if self.refutation is None or self.refutation.status != "ok":
+            return None
+        return self.refutation.outcome == "refuted"
 
     def chosen_rung_index(self) -> int | None:
         """Index of the winning rung in the ladder, if any."""
@@ -140,20 +166,88 @@ def portfolio_jobs(old_source: str, new_source: str, name: str,
     return jobs
 
 
+#: Exact backend used by refutation probes: the gap certificates must
+#: be `Fraction`s for the tightness comparison to be sound, and the
+#: warm-started rung is the fastest exact solver.
+REFUTE_BACKEND = "exact-warm"
+
+
+def refutation_job(old_source: str, new_source: str, name: str,
+                   chosen: JobResult,
+                   base: AnalysisConfig | None = None,
+                   margin: float = 1.0) -> AnalysisJob | None:
+    """The tightness probe for a pair whose portfolio chose ``chosen``.
+
+    Probes the candidate ``threshold - margin`` with the winning rung's
+    template shape (degree / max products) and the exact backend, so a
+    ``refuted`` outcome certifies no smaller threshold exists within
+    ``margin`` — for integer-cost programs, ``margin=1`` means the
+    computed threshold is exactly tight.  Returns ``None`` when the
+    rung carries no threshold to probe.
+    """
+    exact = chosen.exact_threshold()
+    if exact is None:
+        return None
+    config = replace(
+        base or AnalysisConfig(),
+        degree=chosen.config_summary.get("degree", 2),
+        max_products=chosen.config_summary.get("max_products", 2),
+        lp_backend=REFUTE_BACKEND,
+    )
+    return AnalysisJob(
+        kind="refute",
+        old_source=old_source,
+        new_source=new_source,
+        config=config,
+        name=f"{name}[refute]",
+        candidate=float(exact) - margin,
+    )
+
+
+def attach_refutations(portfolios: list[PortfolioResult],
+                       sources: dict[str, tuple[str, str]],
+                       executor: ParallelExecutor,
+                       base: AnalysisConfig | None = None,
+                       margin: float = 1.0) -> None:
+    """Run the refutation stage for every succeeded portfolio in one
+    executor wave (cache-aware) and attach the probe results."""
+    jobs, owners = [], []
+    for portfolio in portfolios:
+        if portfolio.chosen is None:
+            continue
+        old_source, new_source = sources[portfolio.name]
+        job = refutation_job(old_source, new_source, portfolio.name,
+                             portfolio.chosen, base, margin)
+        if job is not None:
+            jobs.append(job)
+            owners.append(portfolio)
+    if not jobs:
+        return
+    for portfolio, result in zip(owners, executor.run(jobs)):
+        portfolio.refutation = result
+
+
 def run_portfolio(old_source: str, new_source: str, name: str,
                   executor: ParallelExecutor,
                   base: AnalysisConfig | None = None,
                   ladder: tuple[tuple[int, int, str], ...] = DEFAULT_LADDER,
-                  mode: str = "first") -> PortfolioResult:
+                  mode: str = "first", refute: bool = False,
+                  refute_margin: float = 1.0) -> PortfolioResult:
     """Race one pair through the ladder on ``executor``."""
     jobs = portfolio_jobs(old_source, new_source, name, base, ladder)
     if mode == "first":
         results = executor.run_escalating(jobs)
     else:
         results = executor.run(jobs)
-    return PortfolioResult(
+    portfolio = PortfolioResult(
         name=name,
         mode=mode,
         chosen=select_result(results, mode),
         rungs=results,
     )
+    if refute:
+        attach_refutations(
+            [portfolio], {name: (old_source, new_source)}, executor,
+            base, refute_margin,
+        )
+    return portfolio

@@ -17,13 +17,23 @@ registry of interchangeable backends:
 
 ``ExactSimplexBackend`` remains as an alias of the backend registered
 under the name ``"exact"``.
+
+All sparse exact solvers share one basis kernel
+(:class:`~repro.lp.basis.BasisFactorization`: sparse LU + eta-file
+updates with periodic refactorization) and one dual simplex
+(:mod:`repro.lp.dual`).  :class:`~repro.lp.dual.IncrementalLP` exposes
+them as an incremental re-solve API — one standardization and (mostly)
+one factorization across many objectives or bound tweaks — used by the
+threshold-refutation loop and the diffcost threshold search.
 """
 
 from repro.lp.model import Constraint, LPModel, Objective
 from repro.lp.solution import LPSolution, LPStatus
 from repro.lp.scipy_backend import ScipyBackend
 from repro.lp.simplex import DenseSimplexBackend
+from repro.lp.basis import BasisFactorization
 from repro.lp.revised import RevisedSimplexBackend
+from repro.lp.dual import IncrementalLP, exact_dual_feasible, run_dual_simplex
 from repro.lp.certify import WarmStartExactBackend
 from repro.lp.standard import SparseStandardForm, standardize
 from repro.lp.backend import (
@@ -51,6 +61,10 @@ __all__ = [
     "WarmStartExactBackend",
     "DenseSimplexBackend",
     "ExactSimplexBackend",
+    "BasisFactorization",
+    "IncrementalLP",
+    "run_dual_simplex",
+    "exact_dual_feasible",
     "SparseStandardForm",
     "standardize",
     "available_backends",

@@ -15,26 +15,38 @@ The solve ladder, in the style of iteratively-refined exact solvers
    zero exact pivots.
 3. **Exact resume** — primal feasible but not dual feasible: exact
    phase-2 pivoting resumes from the candidate basis
-   (``path = "resumed"``), typically a handful of pivots.
-4. **Fallback** — an unusable basis (singular, exactly infeasible) or a
-   non-optimal float verdict falls back to the exact two-phase solve
+   (``path = "resumed"``), typically a handful of pivots.  Primal
+   *infeasible* but exactly dual feasible: the dual simplex
+   (:mod:`repro.lp.dual`) re-optimizes from the same basis
+   (``path = "dual"``) — previously such bases were discarded and the
+   solve started over from the artificial basis.
+4. **Fallback** — an unusable basis (singular, neither feasibility) or
+   a non-optimal float verdict falls back to the exact two-phase solve
    (``path = "fallback"``), so every answer is exact regardless of what
    floating point did.
 
 All reported values are Fractions.  Optima are bit-identical to the
 pure ``exact`` backend's: both terminate at an exactly-verified optimal
 basis of the same LP, and the optimal objective value is unique.
+
+:func:`solve_form_exact` exposes the whole ladder as a reusable
+routine returning the *live* exact solver, which is what
+:class:`~repro.lp.dual.IncrementalLP` builds its factorized-basis
+re-solves on.
 """
 
 from __future__ import annotations
 
-from fractions import Fraction
+from typing import Iterator
 
 from repro.errors import LPError
+from repro.lp.dual import exact_dual_feasible, run_dual_simplex
 from repro.lp.model import LPModel
 from repro.lp.revised import (
+    INFEASIBLE,
     OPTIMAL,
     UNBOUNDED,
+    WARM_INFEASIBLE,
     WARM_READY,
     RevisedSimplex,
     _no_constraint_solution,
@@ -115,6 +127,127 @@ def _crossover_basis(form: SparseStandardForm, x, numpy) -> list[int] | None:
     return basis if len(basis) == m else None
 
 
+# -- float stage -----------------------------------------------------------
+
+def scipy_candidate_basis(form: SparseStandardForm,
+                          stats: dict) -> list[int] | None:
+    """HiGHS solve + support crossover; None when scipy is unusable."""
+    modules = _scipy_modules()
+    if modules is None:
+        return None
+    numpy, linprog, csc_matrix = modules
+    m, n = form.num_rows, form.num_cols
+    data, indices, indptr = [], [], [0]
+    for col in form.cols:
+        for i, value in sorted(col.items()):
+            data.append(float(value))
+            indices.append(i)
+        indptr.append(len(data))
+    matrix = csc_matrix(
+        (numpy.array(data), numpy.array(indices), numpy.array(indptr)),
+        shape=(m, n),
+    )
+    result = linprog(
+        c=numpy.array([float(c) for c in form.costs]),
+        A_eq=matrix,
+        b_eq=numpy.array([float(b) for b in form.rhs]),
+        bounds=(0, None),
+        method="highs",
+    )
+    stats["float_status"] = int(result.status)
+    if result.status != 0 or result.x is None:
+        return None
+    return _crossover_basis(form, result.x, numpy)
+
+
+def float_simplex_candidate_basis(form: SparseStandardForm, stats: dict, *,
+                                  max_iterations: int = 200_000,
+                                  bland_trigger: int = 24,
+                                  ) -> list[int] | None:
+    """Optimal basis of the float revised simplex; None on failure."""
+    solver = RevisedSimplex(
+        form, float_mode=True, max_iterations=max_iterations,
+        bland_trigger=bland_trigger,
+    )
+    try:
+        status = solver.solve_two_phase()
+    except LPError as error:
+        stats["float_simplex_status"] = f"error: {error}"
+        return None
+    stats["float_simplex_status"] = status
+    stats["float_pivots"] = solver.stats["pivots"]
+    stats["float_factorizations"] = solver.stats["factorizations"]
+    if status is not OPTIMAL:
+        return None
+    return list(solver.basis)
+
+
+def candidate_bases(form: SparseStandardForm, stats: dict, *,
+                    max_iterations: int = 200_000,
+                    bland_trigger: int = 24,
+                    ) -> Iterator[tuple[str, list[int]]]:
+    """Candidate bases, laziest-first: the float simplex only runs
+    when the scipy basis is absent or fails exact verification."""
+    if USE_SCIPY:
+        basis = scipy_candidate_basis(form, stats)
+        if basis is not None:
+            yield "scipy", basis
+    basis = float_simplex_candidate_basis(
+        form, stats, max_iterations=max_iterations,
+        bland_trigger=bland_trigger,
+    )
+    if basis is not None:
+        yield "float-simplex", basis
+
+
+# -- exact stage -----------------------------------------------------------
+
+def solve_form_exact(form: SparseStandardForm, stats: dict, *,
+                     max_iterations: int = 200_000,
+                     bland_trigger: int = 24,
+                     eta_limit: int | None = None,
+                     ) -> tuple[RevisedSimplex, str]:
+    """Run the full warm-start ladder on ``form``; returns the *live*
+    exact solver and its terminal status (``optimal`` / ``unbounded`` /
+    ``infeasible``).  ``stats`` records the path taken, per-candidate
+    verdicts and the float-stage counters.  ``eta_limit`` overrides the
+    exact solvers' refactorization policy (incremental callers keep
+    longer eta files than one-shot solves would).
+    """
+    exact_kwargs: dict = {"max_iterations": max_iterations,
+                          "bland_trigger": bland_trigger}
+    if eta_limit is not None:
+        exact_kwargs["eta_limit"] = eta_limit
+    for source, basis in candidate_bases(
+            form, stats, max_iterations=max_iterations,
+            bland_trigger=bland_trigger):
+        solver = RevisedSimplex(form, **exact_kwargs)
+        verdict = solver.warm_start(basis)
+        stats[f"warm_{source}"] = verdict
+        if verdict is WARM_READY:
+            status = solver._run_phase(solver.phase2_costs(), 2)
+            stats["basis_source"] = source
+            stats["path"] = (
+                "certified"
+                if status is OPTIMAL and solver.stats["phase2_pivots"] == 0
+                else "resumed"
+            )
+            return solver, status
+        if verdict is WARM_INFEASIBLE and exact_dual_feasible(
+                solver, solver.phase2_costs()):
+            # Primal infeasible basis with exactly nonnegative reduced
+            # costs: the dual simplex repairs it in place instead of
+            # throwing the factorization away.
+            status = run_dual_simplex(solver, solver.phase2_costs())
+            stats["basis_source"] = source
+            stats["path"] = "dual"
+            return solver, status
+
+    stats["path"] = "fallback"
+    solver = RevisedSimplex(form, **exact_kwargs)
+    return solver, solver.solve_two_phase()
+
+
 class WarmStartExactBackend:
     """Exact optimum via a float warm start with rational certification."""
 
@@ -124,67 +257,6 @@ class WarmStartExactBackend:
                  bland_trigger: int = 24):
         self._max_iterations = max_iterations
         self._bland_trigger = bland_trigger
-
-    # -- float stage -------------------------------------------------------
-
-    def _scipy_basis(self, form: SparseStandardForm,
-                     stats: dict) -> list[int] | None:
-        modules = _scipy_modules()
-        if modules is None:
-            return None
-        numpy, linprog, csc_matrix = modules
-        m, n = form.num_rows, form.num_cols
-        data, indices, indptr = [], [], [0]
-        for col in form.cols:
-            for i, value in sorted(col.items()):
-                data.append(float(value))
-                indices.append(i)
-            indptr.append(len(data))
-        matrix = csc_matrix(
-            (numpy.array(data), numpy.array(indices), numpy.array(indptr)),
-            shape=(m, n),
-        )
-        result = linprog(
-            c=numpy.array([float(c) for c in form.costs]),
-            A_eq=matrix,
-            b_eq=numpy.array([float(b) for b in form.rhs]),
-            bounds=(0, None),
-            method="highs",
-        )
-        stats["float_status"] = int(result.status)
-        if result.status != 0 or result.x is None:
-            return None
-        return _crossover_basis(form, result.x, numpy)
-
-    def _float_simplex_basis(self, form: SparseStandardForm,
-                             stats: dict) -> list[int] | None:
-        solver = RevisedSimplex(
-            form, float_mode=True, max_iterations=self._max_iterations,
-            bland_trigger=self._bland_trigger,
-        )
-        try:
-            status = solver.solve_two_phase()
-        except LPError as error:
-            stats["float_simplex_status"] = f"error: {error}"
-            return None
-        stats["float_simplex_status"] = status
-        stats["float_pivots"] = solver.stats["pivots"]
-        if status is not OPTIMAL:
-            return None
-        return list(solver.basis)
-
-    def _candidate_bases(self, form: SparseStandardForm, stats: dict):
-        """Candidate bases, laziest-first: the float simplex only runs
-        when the scipy basis is absent or fails exact verification."""
-        if USE_SCIPY:
-            basis = self._scipy_basis(form, stats)
-            if basis is not None:
-                yield "scipy", basis
-        basis = self._float_simplex_basis(form, stats)
-        if basis is not None:
-            yield "float-simplex", basis
-
-    # -- exact stage -------------------------------------------------------
 
     def solve(self, model: LPModel) -> LPSolution:
         """Solve ``model`` exactly; all reported values are Fractions."""
@@ -196,52 +268,22 @@ class WarmStartExactBackend:
             solution.stats = stats
             return solution
 
-        for source, basis in self._candidate_bases(form, stats):
-            solver = RevisedSimplex(
-                form, max_iterations=self._max_iterations,
-                bland_trigger=self._bland_trigger,
-            )
-            verdict = solver.warm_start(basis)
-            stats[f"warm_{source}"] = verdict
-            if verdict is not WARM_READY:
-                continue
-            status = solver._run_phase(solver.phase2_costs(), 2)
-            stats["basis_source"] = source
-            stats.update(solver.stats)
-            if status is UNBOUNDED:
-                # Exact pivoting from an exactly-feasible basis: the
-                # improving ray is a rational certificate, no fallback.
-                stats["path"] = "resumed"
-                return LPSolution(LPStatus.UNBOUNDED,
-                                  message="phase-2 unbounded (warm start)",
-                                  stats=stats)
-            stats["path"] = ("certified" if solver.stats["phase2_pivots"] == 0
-                             else "resumed")
-            values = recover_values(form, solver.assignment())
-            return LPSolution(
-                LPStatus.OPTIMAL, values=values,
-                objective_value=model_objective_value(model, values),
-                stats=stats,
-            )
-
-        return self._solve_fallback(model, form, stats)
-
-    def _solve_fallback(self, model: LPModel, form: SparseStandardForm,
-                        stats: dict) -> LPSolution:
-        """Exact two-phase solve when no float basis was usable."""
-        stats["path"] = "fallback"
-        solver = RevisedSimplex(
-            form, max_iterations=self._max_iterations,
+        solver, status = solve_form_exact(
+            form, stats, max_iterations=self._max_iterations,
             bland_trigger=self._bland_trigger,
         )
-        status = solver.solve_two_phase()
         stats.update(solver.stats)
         if status is UNBOUNDED:
-            return LPSolution(LPStatus.UNBOUNDED,
-                              message="phase-2 unbounded", stats=stats)
-        if status is not OPTIMAL:
-            return LPSolution(LPStatus.INFEASIBLE,
-                              message="phase-1 optimum positive", stats=stats)
+            message = ("phase-2 unbounded" if stats["path"] == "fallback"
+                       else "phase-2 unbounded (warm start)")
+            return LPSolution(LPStatus.UNBOUNDED, message=message,
+                              stats=stats)
+        if status is INFEASIBLE:
+            message = ("phase-1 optimum positive"
+                       if stats["path"] == "fallback"
+                       else "dual simplex certified infeasibility")
+            return LPSolution(LPStatus.INFEASIBLE, message=message,
+                              stats=stats)
         values = recover_values(form, solver.assignment())
         return LPSolution(
             LPStatus.OPTIMAL, values=values,

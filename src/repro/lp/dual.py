@@ -1,0 +1,541 @@
+"""Dual simplex and the incremental re-solve API (``IncrementalLP``).
+
+The primal simplex in :mod:`repro.lp.revised` needs a *primal* feasible
+basis to start from.  Two situations produce a basis that is dual
+feasible (all reduced costs nonnegative) but primal infeasible, where
+restarting from scratch throws away a perfectly good factorization:
+
+- a float warm-start basis whose exact refactorization reveals a
+  negative basic value (:mod:`repro.lp.certify` previously fell back to
+  the exact two-phase solve);
+- a right-hand-side change — e.g. tightening a variable bound — applied
+  to a previously *optimal* basis: costs are unchanged, so the basis
+  stays dual feasible, and only primal feasibility needs repair.
+
+:func:`run_dual_simplex` repairs both in place, driving the same
+:class:`~repro.lp.basis.BasisFactorization` the primal pivots use:
+pick the most-violated basic value (a basic artificial off zero counts
+as violated in either direction — it means ``A x = b`` is not met), a
+dual ratio test over the exact reduced costs chooses the entering
+column, and the shared ``_pivot`` pushes an eta.  Anti-cycling mirrors
+the primal solver: after ``bland_trigger`` consecutive degenerate
+steps the leaving rule switches to Bland's smallest-basic-index choice
+(the entering rule always breaks min-ratio ties toward the smallest
+index, which the dual Bland guarantee requires).
+
+:class:`IncrementalLP` packages this into the one-encode re-solve loop
+used by threshold refutation: standardize a model once, factorize once,
+then re-optimize per objective (primal phase 2 from the previous
+optimal basis) or per bound tweak (dual simplex after an rhs patch) —
+never re-encoding, and refactorizing only when the eta file says so.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import LPError
+from repro.lp.model import LPModel
+from repro.lp.revised import (
+    INFEASIBLE,
+    OPTIMAL,
+    PIVOT_LIMIT,
+    UNBOUNDED,
+    WARM_READY,
+    RevisedSimplex,
+    _no_constraint_solution,
+)
+from repro.lp.solution import LPSolution, LPStatus
+from repro.lp.standard import (
+    model_objective_value,
+    recover_values,
+    standardize,
+)
+from repro.utils.rationals import Numeric, as_fraction
+
+_ZERO = Fraction(0)
+
+#: Counters propagated from the live solver into IncrementalLP totals.
+_SOLVER_COUNTERS = (
+    "pivots", "phase1_pivots", "phase2_pivots", "dual_pivots",
+    "degenerate_pivots", "bland_pivots", "refactorizations",
+    "factorizations", "eta_pivots",
+)
+
+
+def exact_dual_feasible(solver: RevisedSimplex, costs: list) -> bool:
+    """True iff every nonbasic structural column prices out ``>= 0``.
+
+    Exact for ``Fraction`` solvers; float solvers use their pricing
+    tolerance.  A dual feasible basis is a valid dual-simplex start.
+    """
+    cb = [costs[b] for b in solver.basis]
+    y = solver._btran(cb)
+    threshold = -solver.dual_tol
+    for j in range(solver.n):
+        if solver.in_basis[j]:
+            continue
+        reduced = costs[j]
+        for i, a in solver.cols[j].items():
+            yi = y[i]
+            if yi:
+                reduced = reduced - yi * a
+        if reduced < threshold:
+            return False
+    return True
+
+
+def run_dual_simplex(solver: RevisedSimplex, costs: list) -> str:
+    """Re-optimize from a dual feasible basis; ``optimal`` or
+    ``infeasible`` (the dual is unbounded, with an exact Farkas row).
+
+    The caller is responsible for dual feasibility
+    (:func:`exact_dual_feasible`); artificial columns never enter, so
+    the solved program is always the original one.  Basic artificials
+    off zero — possible after an rhs patch on a basis that contains a
+    redundant-row artificial — are treated as violated in either
+    direction and driven back to zero.
+    """
+    solver.phase = 2
+    m, n = solver.m, solver.n
+    feas, ptol = solver.feas_tol, solver.pivot_tol
+    zero = solver.zero
+    bland = False
+    degenerate_run = 0
+    for _ in range(solver.max_iterations):
+        # Leaving row: most violated basic value (Bland: smallest basic
+        # index among the violated ones).  ``sign`` orients the row so
+        # the ratio test below always sees "basic value too low".
+        leaving, worst, sign = -1, None, 1
+        for i in range(m):
+            xi = solver.xb[i]
+            if solver.basis[i] >= n:
+                if xi > feas:
+                    violation, s = xi, -1
+                elif xi < -feas:
+                    violation, s = -xi, 1
+                else:
+                    continue
+            elif xi < -feas:
+                violation, s = -xi, 1
+            else:
+                continue
+            if bland:
+                if leaving < 0 or solver.basis[i] < solver.basis[leaving]:
+                    leaving, sign = i, s
+            elif (worst is None or violation > worst):
+                worst, leaving, sign = violation, i, s
+        if leaving < 0:
+            return OPTIMAL
+
+        rho = solver.fact.btran_unit(leaving)
+        if sign < 0:
+            rho = [-value for value in rho]
+        cb = [costs[b] for b in solver.basis]
+        y = solver._btran(cb)
+        # Dual ratio test: entering minimizes reduced_cost / -alpha over
+        # alpha < 0; smallest index on ties (required for termination
+        # under the Bland leaving rule, and deterministic).
+        best_j, best_ratio = -1, None
+        for j in range(n):
+            if solver.in_basis[j]:
+                continue
+            col = solver.cols[j]
+            alpha = zero
+            for i, a in col.items():
+                ri = rho[i]
+                if ri:
+                    alpha = alpha + ri * a
+            if alpha >= -ptol:
+                continue
+            reduced = costs[j]
+            for i, a in col.items():
+                yi = y[i]
+                if yi:
+                    reduced = reduced - yi * a
+            ratio = reduced / (-alpha)
+            if best_ratio is None or ratio < best_ratio:
+                best_j, best_ratio = j, ratio
+        if best_j < 0:
+            return INFEASIBLE
+
+        w = solver._ftran(solver.cols[best_j])
+        solver._pivot(leaving, best_j, w)
+        solver.stats["pivots"] += 1
+        solver.stats["dual_pivots"] += 1
+        if bland:
+            solver.stats["bland_pivots"] += 1
+        degenerate = (best_ratio <= ptol if solver.float_mode
+                      else not best_ratio)
+        if degenerate:
+            solver.stats["degenerate_pivots"] += 1
+            degenerate_run += 1
+            if degenerate_run >= solver.bland_trigger:
+                bland = True
+        else:
+            degenerate_run = 0
+            bland = False
+    raise LPError("dual simplex iteration limit exceeded")
+
+
+class IncrementalLP:
+    """Exact LP over one constraint system, re-solved many times.
+
+    Standardizes ``model`` once and keeps a live
+    :class:`~repro.lp.revised.RevisedSimplex` (LU + eta factorization)
+    across solves:
+
+    - :meth:`solve` with a new objective re-optimizes with primal
+      phase-2 pivots from the previous optimal basis — the basis stays
+      primal feasible when only costs change, so there is no phase 1
+      and no fresh factorization;
+    - :meth:`update_upper` patches the standard form's right-hand side
+      in place (the basis stays *dual* feasible when only ``b``
+      changes) and repairs primal feasibility with the dual simplex.
+
+    The first solve runs the ``exact-warm`` ladder of
+    :func:`repro.lp.certify.solve_form_exact` (float basis + exact
+    certification) unless ``float_assist=False``.  Every reported value
+    is a ``Fraction``; optima are bit-identical to cold solves of the
+    same model because the optimal objective value of an LP is unique.
+
+    Constraints (and therefore phase-1 feasibility) never change under
+    objective swaps, so one exact infeasibility proof is cached and
+    replayed until an rhs patch invalidates it.
+
+    ``bland_trigger`` defaults much higher than the cold solvers' 24:
+    a re-solve from the previous optimum mostly walks a degenerate
+    optimal face (every pivot has step 0 — the vertex is already
+    optimal, the basis is chasing dual feasibility), and switching to
+    Bland's crawl after 24 degenerate steps made that walk ~3x longer
+    on the Handelman refutation LPs.  Termination is unaffected —
+    Bland still engages after the trigger, so cycles cannot persist.
+    """
+
+    def __init__(self, model: LPModel, *, float_assist: bool = True,
+                 max_iterations: int = 200_000, bland_trigger: int = 192,
+                 eta_limit: int | None = None):
+        self.model = model
+        self.form = standardize(model)
+        self.float_assist = float_assist
+        self.max_iterations = max_iterations
+        self.bland_trigger = bland_trigger
+        # Re-solves keep longer eta files than one-shot solves: the
+        # refactorization they would trigger is exactly the exact LU
+        # this class amortizes.  Refactor when the eta file reaches the
+        # basis dimension — the point where replaying etas on every
+        # ftran/btran starts to rival a fresh LU of the m x m basis.
+        from repro.lp.basis import DEFAULT_ETA_LIMIT
+
+        self.eta_limit = (max(DEFAULT_ETA_LIMIT, self.form.num_rows)
+                          if eta_limit is None else eta_limit)
+        self.solver: RevisedSimplex | None = None
+        self._infeasible = False
+        #: (basis, eta length, refactorization count) of the anchor
+        #: basis re-solves start from — see :meth:`_rewind_to_anchor`.
+        self._anchor: tuple[list[int], int, int] | None = None
+        self._counted: dict[str, int] = {}
+        self.stats: dict[str, int] = {
+            "solves": 0, "cold_solves": 0, "resolves": 0,
+            "dual_resolves": 0, "max_eta": 0,
+        }
+        for key in _SOLVER_COUNTERS:
+            self.stats[key] = 0
+
+    # -- objectives --------------------------------------------------------
+
+    def solve(self, objective=None, *, maximize: bool = False) -> LPSolution:
+        """Optimize ``objective`` (an :class:`AffineExpr`; ``None``
+        keeps the model's current objective) over the fixed constraints.
+
+        The first call solves cold; later calls re-optimize from the
+        previous basis with primal phase-2 pivots only.
+        """
+        if objective is not None:
+            if maximize:
+                self.model.maximize(objective)
+            else:
+                self.model.minimize(objective)
+        costs = self._standard_costs()
+        self.stats["solves"] += 1
+        if self.form.num_rows == 0:
+            self.form.costs = costs
+            solution = _no_constraint_solution(self.model, self.form)
+            solution.stats = {"path": "no-constraints"}
+            return solution
+        if self._infeasible:
+            return LPSolution(
+                LPStatus.INFEASIBLE,
+                message="constraints unchanged since exact infeasibility "
+                        "proof",
+                stats={"path": "cached-infeasible"},
+            )
+        if self.solver is None:
+            return self._cold_solve(costs)
+        return self._resolve(costs)
+
+    def maximize(self, objective) -> LPSolution:
+        """Shorthand for ``solve(objective, maximize=True)``."""
+        return self.solve(objective, maximize=True)
+
+    # -- bound tweaks ------------------------------------------------------
+
+    def update_upper(self, name: str, upper: Numeric) -> LPSolution:
+        """Move ``name``'s upper bound and re-optimize the current
+        objective via the dual simplex (costs unchanged, so the
+        previous optimal basis stays dual feasible).
+
+        The variable must already carry a finite upper bound — the
+        tweak is an rhs patch, and a variable standardized without one
+        has no row/shift to patch (declare the bound, e.g. at its
+        loosest useful value, before constructing the ``IncrementalLP``).
+        """
+        upper = as_fraction(upper)
+        try:
+            lower, old_upper = self.model.bounds(name)
+        except KeyError:
+            raise LPError(f"unknown variable {name!r}") from None
+        if old_upper is None:
+            raise LPError(
+                f"variable {name!r} has no upper bound to tweak; declare "
+                "one before building the incremental LP"
+            )
+        if lower is not None and upper < lower:
+            raise LPError(
+                f"variable {name!r} would get empty bounds: "
+                f"lower {lower} > upper {upper}"
+            )
+
+        if lower is None:
+            # Reflected column (x = upper - x'): the shift moves, and
+            # every row containing the column absorbs the delta.  The
+            # same patch is applied to the form and to the live solver
+            # against their *own* column data — the solver may have
+            # sign-normalized rows after an earlier patch.
+            delta = upper - self.form.shifts[name]
+            (col, _factor), = self.form.recover[name]
+            if delta:
+                for i, a in self.form.cols[col].items():
+                    self.form.rhs[i] += a * delta
+                if self.solver is not None:
+                    for i, a in self.solver.cols[col].items():
+                        self.solver.b[i] = self.solver.b[i] + a * delta
+            self.form.shifts[name] = upper
+        else:
+            # Two-sided bounds own an `x + s = upper - lower` row.
+            row = self.form.bound_rows[name]
+            self.form.rhs[row] = upper - lower
+            if self.solver is not None:
+                (col, _factor), = self.form.recover[name]
+                orientation = self.solver.cols[col][row]
+                self.solver.b[row] = orientation * (upper - lower)
+        self.model.set_bounds(name, lower, upper)
+        self._infeasible = False
+
+        costs = self._standard_costs()
+        self.stats["solves"] += 1
+        if self.solver is None:
+            if self.form.num_rows == 0:  # pragma: no cover - bounds add rows
+                self.form.costs = costs
+                solution = _no_constraint_solution(self.model, self.form)
+                solution.stats = {"path": "no-constraints"}
+                return solution
+            return self._cold_solve(costs)
+
+        solver = self.solver
+        solver.xb = solver.fact.ftran_dense(solver.b)
+        if not exact_dual_feasible(solver, solver.phase2_costs()):
+            # E.g. the last re-solve ended unbounded: no dual feasible
+            # basis to repair from, so this one solve goes cold.
+            self.solver = None
+            return self._cold_solve(costs)
+        status = run_dual_simplex(solver, solver.phase2_costs())
+        self.stats["dual_resolves"] += 1
+        stats = self._collect(path="dual-resolve")
+        if status is INFEASIBLE:
+            self._infeasible = True
+            return LPSolution(
+                LPStatus.INFEASIBLE,
+                message="dual simplex certified infeasibility",
+                stats=stats,
+            )
+        # The rhs changed under the anchor: re-anchor at this optimum.
+        self._set_anchor()
+        return self._optimal_solution(stats)
+
+    # -- internals ---------------------------------------------------------
+
+    def _standard_costs(self) -> list[Fraction]:
+        costs = [_ZERO] * self.form.num_cols
+        objective = self.model.objective
+        if objective is None:
+            return costs
+        for name, coeff in objective.expr.coefficients():
+            parts = self.form.recover.get(name)
+            if parts is None:
+                raise LPError(
+                    f"objective variable {name!r} is not part of the "
+                    "incremental model's constraint system"
+                )
+            coeff = as_fraction(coeff)
+            for col, factor in parts:
+                costs[col] += coeff * factor
+        return costs
+
+    def _cold_solve(self, costs: list[Fraction]) -> LPSolution:
+        self.form.costs = costs
+        self.stats["cold_solves"] += 1
+        self._counted = {}
+        ladder_stats: dict = {}
+        if self.float_assist:
+            from repro.lp.certify import solve_form_exact
+
+            solver, status = solve_form_exact(
+                self.form, ladder_stats,
+                max_iterations=self.max_iterations,
+                bland_trigger=self.bland_trigger,
+                eta_limit=self.eta_limit,
+            )
+        else:
+            solver = RevisedSimplex(
+                self.form, max_iterations=self.max_iterations,
+                bland_trigger=self.bland_trigger,
+                eta_limit=self.eta_limit,
+            )
+            status = solver.solve_two_phase()
+            ladder_stats["path"] = "cold"
+        self.solver = solver
+        for key in ("float_pivots", "float_factorizations"):
+            if key in ladder_stats:
+                self.stats[key] = (
+                    self.stats.get(key, 0) + ladder_stats[key]
+                )
+        stats = self._collect(path=f"cold:{ladder_stats.get('path')}")
+        if status is INFEASIBLE:
+            self._infeasible = True
+            return LPSolution(LPStatus.INFEASIBLE,
+                              message="phase-1 optimum positive",
+                              stats=stats)
+        if status is UNBOUNDED:
+            return LPSolution(LPStatus.UNBOUNDED,
+                              message="phase-2 unbounded", stats=stats)
+        self._set_anchor()
+        return self._optimal_solution(stats)
+
+    #: Primal re-solve pivots allowed before trying a float-nominated
+    #: basis for the new objective instead.  Re-solves usually finish
+    #: well under this (the previous vertex stays optimal and only
+    #: dual feasibility is re-established); the budget is a safety
+    #: valve against pathological walks across a degenerate optimal
+    #: face, where a fresh float candidate installed on the same
+    #: solver beats pivoting onward.
+    RESOLVE_PIVOT_BUDGET = 512
+
+    def _set_anchor(self) -> None:
+        """Remember the current basis as the start point of future
+        re-solves (valid while no refactorization replaces the LU)."""
+        solver = self.solver
+        self._anchor = (list(solver.basis), len(solver.fact.etas),
+                        solver.stats["refactorizations"])
+
+    def _rewind_to_anchor(self) -> None:
+        """Restore the anchor basis in O(1) by truncating the eta file.
+
+        Chaining re-solves from the previous witness's basis lets the
+        walk drift ever further across the degenerate optimal face (and
+        the eta file grow without bound); every re-solve instead starts
+        from the float-certified first optimum, whose factorization is
+        the eta-file prefix.  A refactorization in between rebuilds the
+        LU for a *newer* basis — the old prefix is gone, so that newer
+        basis becomes the anchor.
+        """
+        solver = self.solver
+        if self._anchor is None:
+            return
+        basis, eta_length, refactorizations = self._anchor
+        if solver.stats["refactorizations"] != refactorizations:
+            self._set_anchor()
+            return
+        if len(solver.fact.etas) == eta_length:
+            return
+        del solver.fact.etas[eta_length:]
+        for j in solver.basis:
+            solver.in_basis[j] = False
+        solver.basis = list(basis)
+        for j in solver.basis:
+            solver.in_basis[j] = True
+        solver.xb = solver.fact.ftran_dense(solver.b)
+
+    def _resolve(self, costs: list[Fraction]) -> LPSolution:
+        solver = self.solver
+        solver.costs = costs
+        self.form.costs = costs
+        self._rewind_to_anchor()
+        status = solver._run_phase(solver.phase2_costs(), 2,
+                                   pivot_budget=self.RESOLVE_PIVOT_BUDGET)
+        path = "resolve"
+        if status is PIVOT_LIMIT:
+            status = self._resolve_with_float_candidate(solver)
+            path = "resolve-rescued"
+        self.stats["resolves"] += 1
+        stats = self._collect(path=path)
+        if status is UNBOUNDED:
+            return LPSolution(LPStatus.UNBOUNDED,
+                              message="phase-2 unbounded", stats=stats)
+        return self._optimal_solution(stats)
+
+    def _resolve_with_float_candidate(self, solver: RevisedSimplex) -> str:
+        """Finish a budget-exhausted re-solve: warm-start a float
+        candidate basis for the *current* costs on the live solver, or
+        resume the plateau walk un-budgeted when no candidate takes."""
+        if self.float_assist:
+            from repro.lp.certify import candidate_bases
+
+            # ``warm_start`` replaces the basis even on a failed
+            # verdict, so remember the (feasible) walk state in case
+            # every candidate is rejected.
+            resume_basis = list(solver.basis)
+            ladder_stats: dict = {}
+            installed = False
+            for _source, basis in candidate_bases(
+                    self.form, ladder_stats,
+                    max_iterations=self.max_iterations,
+                    bland_trigger=self.bland_trigger):
+                if solver.warm_start(basis) is WARM_READY:
+                    installed = True
+                    self.stats["resolve_rescues"] = (
+                        self.stats.get("resolve_rescues", 0) + 1
+                    )
+                    break
+            if not installed:
+                verdict = solver.warm_start(resume_basis)
+                assert verdict is WARM_READY, verdict
+            for key in ("float_pivots", "float_factorizations"):
+                if key in ladder_stats:
+                    self.stats[key] = (
+                        self.stats.get(key, 0) + ladder_stats[key]
+                    )
+        return solver._run_phase(solver.phase2_costs(), 2)
+
+    def _collect(self, path: str) -> dict:
+        """Fold the live solver's counter deltas into the cumulative
+        totals; returns this solve's own stats (deltas plus path)."""
+        delta: dict = {"path": path}
+        solver_stats = self.solver.stats
+        for key in _SOLVER_COUNTERS:
+            step = solver_stats.get(key, 0) - self._counted.get(key, 0)
+            self._counted[key] = solver_stats.get(key, 0)
+            if step:
+                delta[key] = step
+                self.stats[key] += step
+        if solver_stats.get("max_eta", 0) > self.stats["max_eta"]:
+            self.stats["max_eta"] = solver_stats["max_eta"]
+        return delta
+
+    def _optimal_solution(self, stats: dict) -> LPSolution:
+        values = recover_values(self.form, self.solver.assignment())
+        return LPSolution(
+            LPStatus.OPTIMAL, values=values,
+            objective_value=model_objective_value(self.model, values),
+            stats=stats,
+        )

@@ -89,6 +89,18 @@ class LPModel:
                 info.upper = up if info.upper is None else min(info.upper, up)
         return name
 
+    def set_bounds(self, name: str, lower: Numeric | None = None,
+                   upper: Numeric | None = None) -> None:
+        """Overwrite ``name``'s bounds (unlike :meth:`add_variable`,
+        which only tightens).  Used by incremental re-solves that tweak
+        a bound in place; the variable must already be declared."""
+        if name not in self._variables:
+            raise LPError(f"unknown variable {name!r}")
+        self._variables[name] = VariableInfo(
+            None if lower is None else as_fraction(lower),
+            None if upper is None else as_fraction(upper),
+        )
+
     def _register_expr_variables(self, expr: AffineExpr) -> None:
         for name, _ in expr.coefficients():
             if name not in self._variables:

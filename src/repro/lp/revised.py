@@ -1,12 +1,13 @@
 """Revised simplex over sparse columns, exact (``Fraction``) or float.
 
-The solver keeps the basis inverse explicitly (an ``m x m`` dense matrix
-updated by elementary row operations on each pivot) and works directly
-on the sparse columns of a :class:`~repro.lp.standard.SparseStandardForm`.
-Per iteration that costs ``O(m^2 + nnz(A))`` — far below the dense
-tableau's ``O(m * n)`` row sweeps when ``n >> m``, which is exactly the
-shape of Handelman encodings (a few dozen monomial identities over
-hundreds of product multipliers).
+The solver works directly on the sparse columns of a
+:class:`~repro.lp.standard.SparseStandardForm` and keeps the basis as a
+:class:`~repro.lp.basis.BasisFactorization` — a sparse LU factorization
+plus a product-form eta file, refactorized periodically.  A pivot costs
+``O(nnz)`` (one eta push) instead of the ``O(m^2)`` dense-inverse
+update the previous revision paid, and ftran/btran stay sparse
+triangular solves — exactly the QSopt_ex/SoPlex kernel shape, which
+matters doubly in exact mode where every dense entry is a ``Fraction``.
 
 Pricing is Dantzig (most negative reduced cost, lowest index on ties)
 with a Bland fallback: after :attr:`bland_trigger` consecutive
@@ -14,10 +15,16 @@ degenerate pivots the solver switches to Bland's smallest-index rule
 until the objective strictly improves again.  In exact arithmetic this
 guarantees termination — Bland's rule cannot cycle, and every return to
 Dantzig is preceded by a strict objective decrease, so no basis repeats.
+(Candidate-list partial pricing was tried and reverted: on the long
+degenerate plateaus of these LPs, entering columns picked from a stale
+bank more than doubled the pivot count — global Dantzig pays for
+itself here.)
 
 The same code runs over floats (``float_mode=True``) with small
 tolerances; the float run is never trusted for answers — it only
 produces candidate bases for :mod:`repro.lp.certify` to verify exactly.
+The dual simplex in :mod:`repro.lp.dual` drives the same basis object,
+so primal and dual pivots share one factorization and one eta file.
 """
 
 from __future__ import annotations
@@ -25,6 +32,11 @@ from __future__ import annotations
 from fractions import Fraction
 
 from repro.errors import LPError
+from repro.lp.basis import (
+    DEFAULT_ETA_BIT_LIMIT,
+    DEFAULT_ETA_LIMIT,
+    BasisFactorization,
+)
 from repro.lp.model import LPModel
 from repro.lp.solution import LPSolution, LPStatus
 from repro.lp.standard import (
@@ -37,6 +49,10 @@ from repro.lp.standard import (
 OPTIMAL = "optimal"
 INFEASIBLE = "infeasible"
 UNBOUNDED = "unbounded"
+#: `_run_phase` hit its optional pivot budget before terminating; the
+#: solver state is a consistent feasible basis and may be resumed (or
+#: warm-started elsewhere).  Only returned when a budget is passed.
+PIVOT_LIMIT = "pivot-limit"
 
 #: warm_start verdicts
 WARM_READY = "ready"
@@ -56,12 +72,12 @@ class RevisedSimplex:
 
     def __init__(self, form: SparseStandardForm, *, float_mode: bool = False,
                  max_iterations: int = 200_000, bland_trigger: int = 24,
-                 refactor_every: int = 120):
+                 eta_limit: int = DEFAULT_ETA_LIMIT,
+                 eta_bit_limit: int = DEFAULT_ETA_BIT_LIMIT):
         self.form = form
         self.float_mode = float_mode
         self.max_iterations = max_iterations
         self.bland_trigger = bland_trigger
-        self.refactor_every = refactor_every
         self.m = form.num_rows
         self.n = form.num_cols
 
@@ -81,55 +97,57 @@ class RevisedSimplex:
         self.cols: list[dict[int, object]] = [
             {i: convert(v) for i, v in col.items()} for col in form.cols
         ]
+        self.b = [convert(v) for v in form.rhs]
+        # Incremental rhs tweaks can leave negative entries; equality
+        # rows are sign-invariant, so renormalize for the phase-1
+        # artificial start (a no-op for freshly standardized forms).
+        negative = [i for i, value in enumerate(self.b) if value < 0]
+        if negative:
+            flip = set(negative)
+            for i in negative:
+                self.b[i] = -self.b[i]
+            for col in self.cols:
+                for i in col:
+                    if i in flip:
+                        col[i] = -col[i]
         for row in range(self.m):
             self.cols.append({row: self.one})  # artificial e_row
-        self.b = [convert(v) for v in form.rhs]
         self.costs = [convert(v) for v in form.costs]
 
-        # Phase-1 start: artificial identity basis, Binv = I, x_B = b.
-        self.basis: list[int] = list(range(self.n, self.n + self.m))
-        self.in_basis: list[bool] = (
-            [False] * self.n + [True] * self.m
-        )
-        self.binv: list[list[object]] = [
-            [self.one if i == j else self.zero for j in range(self.m)]
-            for i in range(self.m)
-        ]
-        self.xb: list[object] = list(self.b)
-        self.phase = 1
         self.stats: dict[str, int] = {
             "pivots": 0,
             "phase1_pivots": 0,
             "phase2_pivots": 0,
+            "dual_pivots": 0,
             "degenerate_pivots": 0,
             "bland_pivots": 0,
             "refactorizations": 0,
         }
+        #: LU + eta factors; shares the stats dict so factorization and
+        #: eta counters surface directly in solver stats.
+        self.fact = BasisFactorization(
+            self.m, float_mode=float_mode, eta_limit=eta_limit,
+            eta_bit_limit=eta_bit_limit, stats=self.stats,
+        )
+
+        # Phase-1 start: artificial identity basis, x_B = b.
+        self.basis: list[int] = list(range(self.n, self.n + self.m))
+        self.in_basis: list[bool] = (
+            [False] * self.n + [True] * self.m
+        )
+        self.fact.factorize([self.cols[j] for j in self.basis])
+        self.xb: list[object] = list(self.b)
+        self.phase = 1
 
     # -- linear algebra kernels ------------------------------------------
 
     def _ftran(self, col: dict[int, object]) -> list[object]:
-        """``w = Binv @ a`` for a sparse column ``a``."""
-        w = [self.zero] * self.m
-        binv = self.binv
-        for k, v in col.items():
-            for i in range(self.m):
-                p = binv[i][k]
-                if p:
-                    w[i] = w[i] + p * v
-        return w
+        """``w = B^{-1} a`` for a sparse column ``a``."""
+        return self.fact.ftran(col)
 
     def _btran(self, cb: list[object]) -> list[object]:
-        """``y = cb^T @ Binv`` for the basic cost vector ``cb``."""
-        y = [self.zero] * self.m
-        for i, ci in enumerate(cb):
-            if ci:
-                row = self.binv[i]
-                for j in range(self.m):
-                    rj = row[j]
-                    if rj:
-                        y[j] = y[j] + ci * rj
-        return y
+        """``y = B^{-T} cb`` for the basic cost vector ``cb``."""
+        return self.fact.btran(cb)
 
     def _price(self, costs: list[object], y: list[object],
                bland: bool) -> int:
@@ -184,98 +202,55 @@ class RevisedSimplex:
         return leaving
 
     def _pivot(self, row: int, entering: int, w: list[object]) -> object:
-        """Make ``entering`` basic in ``row``; returns the step length."""
-        inverse = self.one / w[row]
-        pivot_row = self.binv[row]
-        if inverse != 1:
-            pivot_row = [x * inverse if x else x for x in pivot_row]
-            self.binv[row] = pivot_row
-        theta = self.xb[row] * inverse
-        self.xb[row] = theta
-        for i in range(self.m):
-            if i == row:
-                continue
-            wi = w[i]
-            if wi:
-                other = self.binv[i]
-                for k in range(self.m):
-                    pk = pivot_row[k]
-                    if pk:
-                        other[k] = other[k] - wi * pk
-                if theta:
+        """Make ``entering`` basic in ``row``; returns the step length.
+
+        The basis change is an ``O(nnz(w))`` eta push; the factorization
+        is rebuilt only when the eta file crosses its refactor policy.
+        """
+        theta = self.xb[row] / w[row]
+        if theta:
+            for i in range(self.m):
+                if i == row:
+                    continue
+                wi = w[i]
+                if wi:
                     self.xb[i] = self.xb[i] - wi * theta
+        self.xb[row] = theta
         self.in_basis[self.basis[row]] = False
         self.in_basis[entering] = True
         self.basis[row] = entering
+        self.fact.push_eta(row, w)
+        if self.fact.needs_refactor():
+            if not self._refactorize():
+                raise LPError("basis became singular on refactorization")
         return theta
 
     def _refactorize(self) -> bool:
-        """Recompute ``Binv`` and ``x_B`` from the current basis by
-        Gauss-Jordan on ``[B | I]``; returns False iff B is singular."""
-        m = self.m
+        """Fresh LU of the current basis columns (drops the eta file)
+        and recompute ``x_B``; returns False iff B is singular."""
         self.stats["refactorizations"] += 1
-        mat = [[self.zero] * (2 * m) for _ in range(m)]
-        for pos, j in enumerate(self.basis):
-            for i, v in self.cols[j].items():
-                mat[i][pos] = v
-        for i in range(m):
-            mat[i][m + i] = self.one
-        for col in range(m):
-            pivot_row = -1
-            if self.float_mode:
-                best = 1e-10
-                for i in range(col, m):
-                    a = abs(mat[i][col])
-                    if a > best:
-                        best, pivot_row = a, i
-            else:
-                for i in range(col, m):
-                    if mat[i][col]:
-                        pivot_row = i
-                        break
-            if pivot_row < 0:
-                return False
-            mat[col], mat[pivot_row] = mat[pivot_row], mat[col]
-            prow = mat[col]
-            inverse = self.one / prow[col]
-            if inverse != 1:
-                prow = [x * inverse if x else x for x in prow]
-                mat[col] = prow
-            for i in range(m):
-                if i == col:
-                    continue
-                factor = mat[i][col]
-                if factor:
-                    row_i = mat[i]
-                    for k in range(2 * m):
-                        pk = prow[k]
-                        if pk:
-                            row_i[k] = row_i[k] - factor * pk
-        self.binv = [row[m:] for row in mat]
-        self.xb = self._ftran_dense(self.b)
+        if not self.fact.factorize([self.cols[j] for j in self.basis]):
+            return False
+        self.xb = self.fact.ftran_dense(self.b)
         return True
 
     def _ftran_dense(self, vec: list[object]) -> list[object]:
-        """``Binv @ v`` for a dense vector ``v``."""
-        out = [self.zero] * self.m
-        for i, row in enumerate(self.binv):
-            total = self.zero
-            for k, vk in enumerate(vec):
-                if vk:
-                    rk = row[k]
-                    if rk:
-                        total = total + rk * vk
-            out[i] = total
-        return out
+        """``B^{-1} v`` for a dense vector ``v``."""
+        return self.fact.ftran_dense(vec)
 
     # -- simplex driver ---------------------------------------------------
 
-    def _run_phase(self, costs: list[object], phase: int) -> str:
+    def _run_phase(self, costs: list[object], phase: int,
+                   pivot_budget: int | None = None) -> str:
+        """Pivot until optimal/unbounded, or until ``pivot_budget``
+        pivots were spent (``PIVOT_LIMIT``; state stays resumable)."""
         self.phase = phase
         bland = False
         degenerate_run = 0
-        since_refactor = 0
+        spent = 0
         for _ in range(self.max_iterations):
+            if pivot_budget is not None and spent >= pivot_budget:
+                return PIVOT_LIMIT
             cb = [costs[b] for b in self.basis]
             y = self._btran(cb)
             entering = self._price(costs, y, bland)
@@ -286,6 +261,7 @@ class RevisedSimplex:
             if leaving < 0:
                 return UNBOUNDED
             theta = self._pivot(leaving, entering, w)
+            spent += 1
             self.stats["pivots"] += 1
             self.stats[f"phase{phase}_pivots"] += 1
             if bland:
@@ -300,12 +276,6 @@ class RevisedSimplex:
             else:
                 degenerate_run = 0
                 bland = False
-            if self.float_mode:
-                since_refactor += 1
-                if since_refactor >= self.refactor_every:
-                    since_refactor = 0
-                    if not self._refactorize():
-                        raise LPError("float basis became singular")
         raise LPError("simplex iteration limit exceeded")
 
     def _drive_out_artificials(self) -> None:
@@ -315,7 +285,7 @@ class RevisedSimplex:
         for row in range(self.m):
             if self.basis[row] < self.n:
                 continue
-            binv_row = self.binv[row]
+            binv_row = self.fact.btran_unit(row)
             replacement = -1
             for j in range(self.n):
                 if self.in_basis[j]:

@@ -37,7 +37,8 @@ _ONE = Fraction(1)
 class SparseStandardForm:
     """``min c.x  s.t.  A x = b, x >= 0`` with sparse columns."""
 
-    __slots__ = ("col_names", "cols", "costs", "rhs", "recover", "shifts")
+    __slots__ = ("col_names", "cols", "costs", "rhs", "recover", "shifts",
+                 "bound_rows")
 
     def __init__(self):
         self.col_names: list[str] = []
@@ -48,6 +49,9 @@ class SparseStandardForm:
         #: original variable -> list of (column index, coefficient)
         self.recover: dict[str, list[tuple[int, Fraction]]] = {}
         self.shifts: dict[str, Fraction] = {}
+        #: two-sided-bounded variable -> row index of its
+        #: ``x + s = upper - lower`` row (for incremental bound tweaks).
+        self.bound_rows: dict[str, int] = {}
 
     @property
     def num_cols(self) -> int:
@@ -118,7 +122,7 @@ def standardize(model: LPModel) -> SparseStandardForm:
 
     # Column layout per original variable; bound rows are collected and
     # emitted first so row order matches the historical dense builder.
-    bound_rows: list[tuple[dict[int, Fraction], Fraction]] = []
+    bound_rows: list[tuple[str, dict[int, Fraction], Fraction]] = []
     for name in model.variable_names:
         lower, upper = model.bounds(name)
         cost = objective_coeff(name)
@@ -133,7 +137,8 @@ def standardize(model: LPModel) -> SparseStandardForm:
             form.shifts[name] = lower
             if upper is not None:
                 slack = form.new_column(f"{name}.ub", _ZERO)
-                bound_rows.append(({col: _ONE, slack: _ONE}, upper - lower))
+                bound_rows.append((name, {col: _ONE, slack: _ONE},
+                                   upper - lower))
         else:
             # Only an upper bound: x = upper - x', x' >= 0.
             col = form.new_column(name, -cost)
@@ -151,8 +156,8 @@ def standardize(model: LPModel) -> SparseStandardForm:
                 columns[col] = columns.get(col, _ZERO) + coeff * factor
         return columns, constant
 
-    for columns, rhs in bound_rows:
-        form.add_row(columns, rhs)
+    for name, columns, rhs in bound_rows:
+        form.bound_rows[name] = form.add_row(columns, rhs)
 
     for i, constraint in enumerate(model.constraints):
         columns, constant = expand_expr(constraint.expr)

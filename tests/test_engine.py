@@ -236,6 +236,52 @@ class TestPortfolio:
         assert portfolio.threshold == 10.0
         assert all(r.status == "ok" for r in portfolio.rungs)
 
+    def test_refutation_stage_certifies_tight_threshold(self):
+        # count's threshold 10 is exactly tight (n = 10 exhibits the
+        # full difference), so probing candidate 9 must refute.
+        portfolio = run_portfolio(
+            OLD, NEW, "count", ParallelExecutor(jobs=1), base=FAST,
+            mode="first", refute=True,
+        )
+        assert portfolio.succeeded
+        assert portfolio.refutation is not None
+        assert portfolio.refutation.kind == "refute"
+        assert portfolio.refutation.status == "ok"
+        assert portfolio.refutation.outcome == "refuted"
+        assert portfolio.tight is True
+        # The probe rides the winning rung's template shape with the
+        # exact backend, and its certified gap is exact.
+        assert portfolio.refutation.config_summary["lp_backend"] == (
+            "exact-warm"
+        )
+        assert portfolio.refutation.exact_threshold() == 10
+
+    def test_tight_property_reflects_probe_outcome(self):
+        from repro.engine.portfolio import PortfolioResult
+
+        def probe(status, outcome):
+            return JobResult(job_key="k", name="count[refute]",
+                             kind="refute", status=status,
+                             outcome=outcome)
+
+        portfolio = PortfolioResult(name="count", mode="first",
+                                    chosen=None, rungs=[])
+        assert portfolio.tight is None                     # no probe
+        portfolio.refutation = probe("ok", "refuted")
+        assert portfolio.tight is True                     # certified
+        portfolio.refutation = probe("ok", "unknown")
+        assert portfolio.tight is False                    # slack?
+        portfolio.refutation = probe("timeout", None)
+        assert portfolio.tight is None                     # no answer
+
+    def test_no_refutation_stage_by_default(self):
+        portfolio = run_portfolio(
+            OLD, NEW, "count", ParallelExecutor(jobs=1), base=FAST,
+            mode="first",
+        )
+        assert portfolio.refutation is None
+        assert portfolio.tight is None
+
     def test_escalation_statuses_match_across_jobs_with_warm_cache(
             self, tmp_path):
         # Warm every rung (best mode), then escalate with jobs=1 and

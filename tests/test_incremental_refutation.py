@@ -1,0 +1,171 @@
+"""Incremental-vs-cold equivalence for the refutation loop and the
+threshold search (the ``IncrementalLP`` consumers).
+
+The incremental path must be a pure performance change: bit-identical
+``Fraction`` gaps, the same best witness, valid certificates — with
+measurably fewer exact factorizations, asserted through the solver
+stats that ``BENCH_lp.json`` tracks.
+"""
+
+from dataclasses import replace
+from fractions import Fraction
+
+import pytest
+
+from repro import AnalysisConfig, load_program
+from repro.bench.suite import SUITE, load_pair
+from repro.core import DiffCostAnalyzer, analyze_diffcost, refute_threshold
+from repro.core.refutation import default_witnesses
+from repro.errors import AnalysisError
+from repro.invariants.polyhedron import Polyhedron
+
+
+@pytest.fixture(scope="module")
+def dis2_pair():
+    return load_pair("dis2")
+
+
+@pytest.fixture(scope="module")
+def dis2_config():
+    pair = next(p for p in SUITE if p.name == "dis2")
+    return pair.config("exact-warm")
+
+
+class TestIncrementalRefutationEquivalence:
+    @pytest.fixture(scope="class")
+    def both_runs(self, dis2_pair, dis2_config):
+        old, new = dis2_pair
+        incremental = refute_threshold(
+            old, new, 0, replace(dis2_config, lp_incremental=True)
+        )
+        cold = refute_threshold(
+            old, new, 0, replace(dis2_config, lp_incremental=False)
+        )
+        return incremental, cold
+
+    def test_gap_and_witness_bit_identical(self, both_runs):
+        incremental, cold = both_runs
+        assert incremental.status == cold.status
+        assert isinstance(incremental.guaranteed_difference, Fraction)
+        assert incremental.guaranteed_difference == cold.guaranteed_difference
+        assert incremental.witness_input == cold.witness_input
+
+    def test_certificates_certify_the_gap(self, both_runs):
+        # The two paths may stop at different vertices of the optimal
+        # face, so the certificates need not be syntactically equal —
+        # but both must certify exactly the reported gap at the chosen
+        # witness: chi(l0, w) - phi(l0, w) == gap.
+        for result in both_runs:
+            witness = result.witness_input
+            chi = result.anti_potential_new.initial_value(witness)
+            phi = result.potential_old.initial_value(witness)
+            assert chi - phi == result.guaranteed_difference
+
+    def test_incremental_does_fewer_factorizations(self, both_runs):
+        incremental, cold = both_runs
+        stats_inc, stats_cold = incremental.lp_stats, cold.lp_stats
+        assert stats_inc["incremental"] is True
+        assert stats_cold["incremental"] is False
+        assert stats_inc["solves"] == stats_cold["solves"] >= 3
+        # One cold start, every further witness a basis re-solve.
+        assert stats_inc["cold_solves"] == 1
+        assert stats_inc["resolves"] == stats_inc["solves"] - 1
+        # The headline: the eta-file re-solves amortize the exact
+        # factorizations the cold loop pays per witness.
+        assert 3 * stats_inc["factorizations"] <= stats_cold["factorizations"]
+
+    def test_scipy_backend_shares_the_single_encoding(self, dis2_pair):
+        # The one-encode loop is backend-independent: float backends
+        # share the encoding too (cold solves, swapped objectives) and
+        # must keep producing the same refutations as before.
+        old, new = dis2_pair
+        result = refute_threshold(
+            old, new, 0, AnalysisConfig(lp_backend="scipy")
+        )
+        assert result.is_refuted
+        assert result.lp_stats["incremental"] is True
+        assert result.lp_stats["solves"] >= 3
+        cold = refute_threshold(
+            old, new, 0,
+            AnalysisConfig(lp_backend="scipy", lp_incremental=False),
+        )
+        assert cold.is_refuted
+        assert cold.witness_input == result.witness_input
+
+
+class TestWitnessDeduplication:
+    def test_degenerate_box_yields_single_witness(self):
+        source = """
+        proc p(n) {
+          assume(3 <= n && n <= 3);
+          var i = 0;
+          while (i < n) { tick(1); i = i + 1; }
+        }
+        """
+        program = load_program(source, name="fixed")
+        analyzer = DiffCostAnalyzer(program, program)
+        theta0 = Polyhedron(analyzer.combined_theta0())
+        witnesses = default_witnesses(
+            analyzer.old_system, analyzer.new_system, theta0
+        )
+        # All corners and the center coincide on a point box: exactly
+        # one candidate may survive per distinct point.
+        keys = [tuple(sorted(w.items())) for w in witnesses]
+        assert len(keys) == len(set(keys))
+        distinct_n = {w["n"] for w in witnesses}
+        assert distinct_n == {3}
+
+    def test_partially_degenerate_box(self):
+        source = """
+        proc p(a, b) {
+          assume(2 <= a && a <= 2);
+          assume(0 <= b && b <= 4);
+          var i = 0;
+          while (i < b) { tick(a); i = i + 1; }
+        }
+        """
+        program = load_program(source, name="half")
+        analyzer = DiffCostAnalyzer(program, program)
+        theta0 = Polyhedron(analyzer.combined_theta0())
+        witnesses = default_witnesses(
+            analyzer.old_system, analyzer.new_system, theta0
+        )
+        keys = [tuple(sorted(w.items())) for w in witnesses]
+        assert len(keys) == len(set(keys))
+
+
+class TestThresholdSearch:
+    def test_probes_match_the_minimized_threshold(self, dis2_pair):
+        old, new = dis2_pair
+        analyzer = DiffCostAnalyzer(old, new, AnalysisConfig())
+        reference = analyze_diffcost(
+            old, new, AnalysisConfig(lp_backend="exact-warm")
+        )
+        assert reference.is_threshold
+        threshold = reference.threshold
+        search = analyzer.threshold_search(
+            [threshold + 50, threshold, threshold - 1]
+        )
+        assert search.threshold == threshold
+        assert search.feasible[Fraction(threshold) + 50] is True
+        assert search.feasible[Fraction(threshold)] is True
+        assert search.feasible[Fraction(threshold) - 1] is False
+        assert search.tightest_feasible() == threshold
+        # One encoding, one cold factorization; tighter caps ride the
+        # dual simplex.
+        assert search.lp_stats["cold_solves"] == 1
+        assert search.lp_stats["dual_resolves"] >= 1
+
+    def test_all_caps_below_threshold(self, dis2_pair):
+        old, new = dis2_pair
+        analyzer = DiffCostAnalyzer(old, new, AnalysisConfig())
+        search = analyzer.threshold_search([1, 0])
+        assert search.threshold is None
+        assert search.feasible == {Fraction(1): False, Fraction(0): False}
+        assert search.tightest_feasible() is None
+
+    def test_requires_candidates(self, dis2_pair):
+        old, new = dis2_pair
+        analyzer = DiffCostAnalyzer(old, new, AnalysisConfig())
+        with pytest.raises(AnalysisError, match="candidate"):
+            analyzer.threshold_search([])

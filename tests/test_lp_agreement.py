@@ -15,13 +15,16 @@ import pytest
 import repro.lp.certify as certify
 from repro.lp import (
     DenseSimplexBackend,
+    IncrementalLP,
     LPModel,
     LPStatus,
     RevisedSimplexBackend,
     ScipyBackend,
     WarmStartExactBackend,
 )
+from repro.lp.dual import exact_dual_feasible, run_dual_simplex
 from repro.lp.revised import (
+    OPTIMAL,
     WARM_INFEASIBLE,
     WARM_READY,
     WARM_SINGULAR,
@@ -231,6 +234,146 @@ class TestWarmStartPaths:
         solved = RevisedSimplex(form)
         assert solved.solve_two_phase() == "optimal"
         assert RevisedSimplex(form).warm_start(solved.basis) == WARM_READY
+
+
+def _random_objective(rng: random.Random) -> AffineExpr:
+    objective = AffineExpr.zero()
+    for name in ("v0", "v1", "v2", "v3"):
+        objective = objective + rng.randint(-2, 2) * AffineExpr.variable(name)
+    return objective
+
+
+class TestIncrementalAgainstColdOracles:
+    """The LU-basis / dual-simplex extension of the seeded agreement
+    suite: every incremental re-solve (objective swap through primal
+    phase 2, bound tweak through the dual simplex) must report the same
+    status and a bit-identical ``Fraction`` optimum as cold solves by
+    the ``exact`` and ``exact-dense`` oracles."""
+
+    def test_objective_swaps_match_cold_trio(self):
+        rng = random.Random(SEED + 2)
+        statuses_seen = set()
+        for trial in range(20):
+            model = make_random_lp(rng)
+            incremental = IncrementalLP(model)
+            for _ in range(3):
+                solution = incremental.solve(_random_objective(rng))
+                exact = RevisedSimplexBackend().solve(model)
+                dense = DenseSimplexBackend().solve(model)
+                assert solution.status == exact.status == dense.status, trial
+                statuses_seen.add(solution.status)
+                if solution.status is LPStatus.OPTIMAL:
+                    assert solution.objective_value == exact.objective_value
+                    assert solution.objective_value == dense.objective_value
+                    assert isinstance(solution.objective_value, Fraction)
+                    assert model.check_assignment(solution.values) == []
+            if incremental.solver is not None:
+                # One factorized system served every swap: at most the
+                # cold start's factorizations plus eta-driven refactors,
+                # never one per objective.
+                assert incremental.stats["cold_solves"] == 1
+        assert statuses_seen == {
+            LPStatus.OPTIMAL, LPStatus.INFEASIBLE, LPStatus.UNBOUNDED
+        }
+
+    def test_bound_tightening_matches_cold_trio(self):
+        rng = random.Random(SEED + 3)
+        dual_runs = 0
+        for trial in range(15):
+            model = make_random_lp(rng)
+            model.add_variable("v0", 0, 12)
+            model.minimize(_random_objective(rng))
+            incremental = IncrementalLP(model)
+            incremental.solve()
+            for upper in (9, 5, 2, 0):
+                solution = incremental.update_upper("v0", upper)
+                cold = RevisedSimplexBackend().solve(model)
+                dense = DenseSimplexBackend().solve(model)
+                assert solution.status == cold.status == dense.status, (
+                    trial, upper
+                )
+                if solution.status is LPStatus.OPTIMAL:
+                    assert solution.objective_value == cold.objective_value
+                    assert solution.objective_value == dense.objective_value
+                    assert model.check_assignment(solution.values) == []
+            dual_runs += incremental.stats["dual_resolves"]
+        # The tweaks must actually exercise the dual path, not fall
+        # back to cold solves every time.
+        assert dual_runs > 0
+
+    def test_dual_simplex_repairs_rhs_shift(self):
+        # Optimal basis, then a manual rhs patch that breaks primal
+        # feasibility: the dual simplex must repair it to the same
+        # optimum a cold solve of the patched program finds.
+        x, y = AffineExpr.variable("x"), AffineExpr.variable("y")
+
+        def patched_model(demand):
+            model = LPModel()
+            model.add_variable("x", 0)
+            model.add_variable("y", 0)
+            model.add_inequality(x + y - demand)      # x + y >= demand
+            model.add_inequality(6 - x)               # x <= 6
+            model.minimize(2 * x + 3 * y)
+            return model
+
+        form = standardize(patched_model(3))
+        solver = RevisedSimplex(form)
+        assert solver.solve_two_phase() == OPTIMAL
+        assert exact_dual_feasible(solver, solver.phase2_costs())
+        # Raise the demand row's rhs: the basis stays dual feasible
+        # (costs unchanged) but some basic value goes negative.
+        solver.b[0] = Fraction(8)
+        solver.xb = solver.fact.ftran_dense(solver.b)
+        assert any(value < 0 for value in solver.xb)
+        status = run_dual_simplex(solver, solver.phase2_costs())
+        assert status == OPTIMAL
+        assert solver.stats["dual_pivots"] > 0
+        # The standard-form objective at the repaired basis equals the
+        # cold optimum of the patched program (x, y have zero shifts).
+        objective = sum(
+            (cost * value for cost, value in
+             zip(solver.costs, solver.assignment())),
+            Fraction(0),
+        )
+        reference = RevisedSimplexBackend().solve(patched_model(8))
+        assert objective == reference.objective_value
+
+    def test_budget_exhausted_resolve_is_rescued(self, monkeypatch):
+        # A 1-pivot budget forces every re-solve through the rescue
+        # path (float candidate warm-started on the live solver); the
+        # optima must stay bit-identical to cold solves.
+        monkeypatch.setattr(IncrementalLP, "RESOLVE_PIVOT_BUDGET", 1)
+        rng = random.Random(SEED + 4)
+        rescued = 0
+        for trial in range(10):
+            model = make_random_lp(rng)
+            incremental = IncrementalLP(model)
+            for _ in range(3):
+                solution = incremental.solve(_random_objective(rng))
+                exact = RevisedSimplexBackend().solve(model)
+                assert solution.status == exact.status, trial
+                if solution.status is LPStatus.OPTIMAL:
+                    assert solution.objective_value == exact.objective_value
+            rescued += incremental.stats.get("resolve_rescues", 0)
+        assert rescued > 0
+
+    def test_dual_simplex_certifies_infeasibility(self):
+        x = AffineExpr.variable("x")
+        model = LPModel()
+        model.add_variable("x", 0, 5)
+        model.add_inequality(x - 2)   # x >= 2, consistent
+        model.minimize(x)
+        incremental = IncrementalLP(model)
+        assert incremental.solve().objective_value == 2
+        solution = incremental.update_upper("x", 1)  # x <= 1: empty
+        assert solution.status is LPStatus.INFEASIBLE
+        reference = RevisedSimplexBackend().solve(model)
+        assert reference.status is LPStatus.INFEASIBLE
+        # Re-widening repairs feasibility again (the cached proof must
+        # not outlive the rhs patch).
+        solution = incremental.update_upper("x", 4)
+        assert solution.status is LPStatus.OPTIMAL
+        assert solution.objective_value == 2
 
 
 class TestTable1ExactParity:
