@@ -14,7 +14,12 @@ from repro.bench.suite import (
     load_pair,
     pairs_in_group,
 )
-from repro.bench.runner import BenchmarkOutcome, run_pair, run_suite
+from repro.bench.runner import (
+    BenchmarkOutcome,
+    SuiteInterrupted,
+    run_pair,
+    run_suite,
+)
 from repro.bench.reporting import format_csv, format_markdown, format_table
 from repro.bench.perf import (
     DEFAULT_PERF_BACKENDS,
@@ -38,6 +43,7 @@ __all__ = [
     "load_pair",
     "pairs_in_group",
     "BenchmarkOutcome",
+    "SuiteInterrupted",
     "run_pair",
     "run_suite",
     "format_table",

@@ -19,6 +19,24 @@ from repro.core.diffcost import DiffCostAnalyzer
 from repro.core.results import AnalysisStatus, DiffCostResult
 
 
+class SuiteInterrupted(KeyboardInterrupt):
+    """A suite run was interrupted (SIGTERM / Ctrl-C) after some rows
+    completed.
+
+    Subclasses ``KeyboardInterrupt`` so callers that do not care still
+    see interrupt semantics; callers that do (the CLI) catch it and
+    flush :attr:`outcomes` — every row whose analysis finished before
+    the interrupt — as a clearly-marked partial table.
+    """
+
+    def __init__(self, outcomes: list["BenchmarkOutcome"], total: int):
+        super().__init__(
+            f"suite interrupted after {len(outcomes)}/{total} rows"
+        )
+        self.outcomes = outcomes
+        self.total = total
+
+
 @dataclass
 class BenchmarkOutcome:
     """One Table 1 row as measured by this reproduction."""
@@ -160,6 +178,10 @@ def run_suite(names: list[str] | None = None,
 
     ``jobs``, ``timeout`` and ``cache_dir`` configure the parallel
     executor; the defaults reproduce the sequential in-process run.
+
+    An interrupt (SIGTERM / Ctrl-C) does not discard finished rows: it
+    re-raises as :class:`SuiteInterrupted` carrying the outcomes of
+    every row that completed, so the caller can flush a partial table.
     """
     from repro.engine.cache import ResultCache
     from repro.engine.executor import ParallelExecutor
@@ -171,12 +193,23 @@ def run_suite(names: list[str] | None = None,
              or pair.group != "Fig. 1 running example")
     ]
     cache = ResultCache(cache_dir) if cache_dir else None
+    jobs_by_pair = [(pair, _suite_job(pair, lp_backend)) for pair in selected]
+    recorded: dict[str, object] = {}
     # Context-managed so the long-lived worker pool is torn down when
     # the suite finishes rather than lingering until garbage collection.
     with ParallelExecutor(jobs=jobs, timeout=timeout, cache=cache) as executor:
-        results = executor.run(
-            [_suite_job(pair, lp_backend) for pair in selected]
+        executor.on_result = (
+            lambda result: recorded.__setitem__(result.job_key, result)
         )
+        try:
+            results = executor.run([job for _pair, job in jobs_by_pair])
+        except KeyboardInterrupt:
+            outcomes = [
+                _outcome_from_job_result(pair, recorded[job.key])
+                for pair, job in jobs_by_pair
+                if job.key in recorded
+            ]
+            raise SuiteInterrupted(outcomes, len(selected)) from None
     return [
         _outcome_from_job_result(pair, job_result)
         for pair, job_result in zip(selected, results)

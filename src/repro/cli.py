@@ -9,17 +9,27 @@ Subcommands::
     repro-diffcost suite [--names a,b,c] [--jobs N]
     repro-diffcost batch DIR [--jobs N] [--portfolio] [--refute]
                              [--cache-dir D] [--max-inflight-pairs N]
+                             [--shard K/N]
+    repro-diffcost merge-shards SHARD.json... [-o merged.json]
+                                [--cache-dir D --source-caches A,B]
+    repro-diffcost serve [--port P] [--workers N] [--deadline S]
     repro-diffcost perf [--names a,b,c] [--backends exact,exact-warm]
                         [--output BENCH_lp.json] [--baseline SNAPSHOT]
     repro-diffcost show PROGRAM.imp [--dot]
+
+``batch`` and ``suite`` flush partial, clearly-marked reports on
+SIGTERM/Ctrl-C (exit code 130) instead of dying with nothing — a killed
+shard still leaves a mergeable slice.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import signal
 import sys
 
-from repro.config import AnalysisConfig, EngineConfig
+from repro.config import AnalysisConfig, EngineConfig, ServeConfig
 from repro.core import (
     analyze_diffcost,
     analyze_single_program,
@@ -58,6 +68,34 @@ def _config(args: argparse.Namespace) -> AnalysisConfig:
 def _load(path: str, name: str | None = None):
     with open(path) as handle:
         return load_program(handle.read(), name=name)
+
+
+#: Exit code of an interrupted-but-flushed run (SIGTERM / Ctrl-C), the
+#: conventional 128 + SIGINT.
+EXIT_INTERRUPTED = 130
+
+
+@contextlib.contextmanager
+def _sigterm_as_interrupt():
+    """Turn SIGTERM into ``KeyboardInterrupt`` for the enclosed run.
+
+    ``batch`` and ``suite`` flush partial reports on interrupt; without
+    this, a supervisor's polite SIGTERM (the normal way a sharded
+    worker gets evicted) would kill the process with nothing flushed
+    while Ctrl-C flushed everything.
+    """
+    def _raise(signum, frame):
+        raise KeyboardInterrupt()
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _raise)
+    except ValueError:  # pragma: no cover — non-main thread host app
+        previous = None
+    try:
+        yield
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
 
 
 def _command_diff(args: argparse.Namespace) -> int:
@@ -102,21 +140,39 @@ def _command_single(args: argparse.Namespace) -> int:
 
 
 def _command_suite(args: argparse.Namespace) -> int:
-    from repro.bench import format_csv, format_markdown, format_table, run_suite
+    from repro.bench import (
+        SuiteInterrupted,
+        format_csv,
+        format_markdown,
+        format_table,
+        run_suite,
+    )
 
     names = args.names.split(",") if args.names else None
-    outcomes = run_suite(
-        names=names,
-        lp_backend=args.backend,
-        jobs=args.jobs,
-        timeout=args.timeout,
-        cache_dir=None if args.no_cache else args.cache_dir,
-    )
     formatters = {
         "text": format_table,
         "markdown": format_markdown,
         "csv": format_csv,
     }
+    try:
+        with _sigterm_as_interrupt():
+            outcomes = run_suite(
+                names=names,
+                lp_backend=args.backend,
+                jobs=args.jobs,
+                timeout=args.timeout,
+                cache_dir=None if args.no_cache else args.cache_dir,
+            )
+    except SuiteInterrupted as interrupt:
+        # Flush what finished instead of dying with nothing: the rows
+        # are real, completed answers — only the run is incomplete.
+        print(formatters[args.format](interrupt.outcomes))
+        print(
+            f"PARTIAL: suite interrupted after "
+            f"{len(interrupt.outcomes)}/{interrupt.total} rows",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
     print(formatters[args.format](outcomes))
     # Mirror batch's `report.ok` gate: a row whose job never executed
     # (worker error/timeout) is an infrastructure failure and must fail
@@ -173,6 +229,7 @@ def _command_perf(args: argparse.Namespace) -> int:
 
 def _command_batch(args: argparse.Namespace) -> int:
     from repro.engine import batch_to_json, format_batch_table, run_batch
+    from repro.serve.shard import parse_shard_spec
 
     engine = EngineConfig(
         jobs=args.jobs,
@@ -187,13 +244,76 @@ def _command_batch(args: argparse.Namespace) -> int:
         max_inflight_pairs=args.max_inflight_pairs,
         refute=args.refute,
         refute_margin=args.refute_margin,
+        shard=parse_shard_spec(args.shard) if args.shard else None,
     )
-    report = run_batch(args.directory, config=_config(args), engine=engine)
+    with _sigterm_as_interrupt():
+        # run_batch absorbs the interrupt itself and returns a report
+        # marked partial, so even a mid-batch SIGTERM flushes every
+        # completed pair as a mergeable slice.
+        report = run_batch(args.directory, config=_config(args),
+                           engine=engine)
     if args.format == "json":
         print(batch_to_json(report))
     else:
         print(format_batch_table(report))
+    if report.partial:
+        return EXIT_INTERRUPTED
     return 0 if report.ok else 1
+
+
+def _command_merge_shards(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve.shard import (
+        canonical_json,
+        merge_caches,
+        merge_reports,
+        report_ok,
+    )
+
+    reports = []
+    for path in args.reports:
+        with open(path) as handle:
+            reports.append(json.load(handle))
+    merged = merge_reports(reports)
+    if args.cache_dir and args.source_caches:
+        copied = merge_caches(args.cache_dir, args.source_caches.split(","))
+        print(f"merged {copied} cache entries into {args.cache_dir}",
+              file=sys.stderr)
+    rendered = (canonical_json(merged) if args.canonical
+                else json.dumps(merged, indent=2, sort_keys=True))
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(rendered)
+    if not report_ok(merged):
+        return 1
+    return 2 if merged["partial"] else 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import serve_forever
+
+    serve_config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_concurrent=args.max_concurrent,
+        deadline=args.deadline,
+        job_timeout=args.timeout,
+        cache_dir=None if args.no_cache else args.cache_dir,
+    )
+
+    def _ready(server):
+        print(f"serving on http://{server.config.host}:{server.port} "
+              f"({server.config.workers} worker(s))", flush=True)
+
+    return asyncio.run(serve_forever(serve_config, _config(args),
+                                     ready=_ready))
 
 
 def _add_engine_arguments(parser: argparse.ArgumentParser,
@@ -313,11 +433,62 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="M",
                        help="tightness probe margin (default 1.0 — "
                             "exactly tight for integer-cost programs)")
+    batch.add_argument("--shard", default=None, metavar="K/N",
+                       help="run only the pairs the deterministic "
+                            "job-hash partition assigns to shard K of N "
+                            "(disjoint across K; merge the shards' "
+                            "reports/caches with merge-shards)")
     batch.add_argument("--format", choices=["text", "json"], default="text",
                        help="output format")
     _add_config_arguments(batch)
     _add_engine_arguments(batch, default_cache=".repro-cache")
     batch.set_defaults(handler=_command_batch)
+
+    merge = subparsers.add_parser(
+        "merge-shards",
+        help="fold batch --shard K/N JSON reports (and optionally their "
+             "caches) into one batch report",
+    )
+    merge.add_argument("reports", nargs="+",
+                       help="shard report files (batch --format json)")
+    merge.add_argument("-o", "--output", default=None,
+                       help="write the merged report here (default: stdout)")
+    merge.add_argument("--canonical", action="store_true",
+                       help="emit the canonical rendering (volatile "
+                            "timing/caching fields stripped) — two runs "
+                            "over the same pairs compare byte-for-byte")
+    merge.add_argument("--cache-dir", default=None,
+                       help="merge shard caches into this directory")
+    merge.add_argument("--source-caches", default=None, metavar="A,B",
+                       help="comma-separated shard cache directories "
+                            "(with --cache-dir)")
+    merge.set_defaults(handler=_command_merge_shards)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the async JSON-over-HTTP analysis server "
+             "(POST /analyze, GET /healthz)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="listen port (0 = ephemeral; the bound port "
+                            "is printed on startup)")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="analysis worker processes (default 2)")
+    serve.add_argument("--max-concurrent", type=int, default=16, metavar="N",
+                       help="max requests analyzed at once (default 16)")
+    serve.add_argument("--deadline", type=float, default=None, metavar="S",
+                       help="default per-request deadline in seconds; an "
+                            "expired request gets a structured timeout "
+                            "and its job is cancelled")
+    serve.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-job budget enforced inside workers")
+    serve.add_argument("--cache-dir", default=".repro-cache",
+                       help="persistent result cache directory")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache")
+    _add_config_arguments(serve)
+    serve.set_defaults(handler=_command_serve)
 
     perf = subparsers.add_parser(
         "perf",

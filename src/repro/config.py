@@ -124,6 +124,13 @@ class EngineConfig:
     refute_margin:
         Slack allowed by the tightness probe (default 1.0 — exactly
         tight for integer-cost programs).
+    shard:
+        ``(k, n)``: analyze only the pairs that the deterministic
+        job-hash partition assigns to shard ``k`` of ``n`` (see
+        :func:`repro.engine.batch.shard_pairs`).  ``None`` runs every
+        pair.  Disjoint shard runs merged with
+        :func:`repro.serve.shard.merge_reports` reproduce the
+        unsharded report.
     """
 
     jobs: int = 1
@@ -134,6 +141,7 @@ class EngineConfig:
     max_inflight_pairs: int | None = None
     refute: bool = False
     refute_margin: float = 1.0
+    shard: tuple[int, int] | None = None
 
     def __post_init__(self):
         if self.jobs < 1:
@@ -151,3 +159,59 @@ class EngineConfig:
             )
         if self.refute_margin <= 0:
             raise AnalysisError("refute_margin must be positive")
+        if self.shard is not None:
+            index, count = self.shard
+            if count < 1 or not 0 <= index < count:
+                raise AnalysisError(
+                    f"shard must be (k, n) with 0 <= k < n, got {self.shard}"
+                )
+
+
+@dataclass
+class ServeConfig:
+    """Configuration of the async serving front-end (:mod:`repro.serve`).
+
+    Attributes
+    ----------
+    host / port:
+        Listen address.  ``port=0`` binds an ephemeral port (the bound
+        port is reported by :attr:`~repro.serve.AnalysisServer.port`).
+    workers:
+        Worker processes of the server's long-lived analysis pool.
+    max_concurrent:
+        Cap on requests being analyzed at once; requests beyond it
+        queue on the server's admission semaphore.
+    deadline:
+        Default per-request wall-clock budget in seconds (``None`` =
+        unlimited; a request may override it).  An expired request gets
+        a structured ``"timeout"`` response and its job — unless other
+        requests still share it — is cancelled through the worker
+        pool's cancellation path, so the worker slot is reclaimed
+        immediately.
+    job_timeout:
+        Per-job budget enforced *inside* workers (the executor's
+        ``SIGALRM`` path), independent of request deadlines.
+    cache_dir:
+        Persistent result cache shared by all requests (``None``
+        disables caching).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8765
+    workers: int = 2
+    max_concurrent: int = 16
+    deadline: float | None = None
+    job_timeout: float | None = None
+    cache_dir: str | None = ".repro-cache"
+
+    def __post_init__(self):
+        if not 0 <= self.port <= 65535:
+            raise AnalysisError("port must be in [0, 65535]")
+        if self.workers < 1:
+            raise AnalysisError("workers must be at least 1")
+        if self.max_concurrent < 1:
+            raise AnalysisError("max_concurrent must be at least 1")
+        if self.deadline is not None and self.deadline <= 0:
+            raise AnalysisError("deadline must be positive (or None)")
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            raise AnalysisError("job_timeout must be positive (or None)")

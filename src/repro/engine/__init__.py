@@ -45,7 +45,9 @@ from repro.engine.batch import (
     batch_to_json,
     discover_pairs,
     format_batch_table,
+    pair_shard_index,
     run_batch,
+    shard_pairs,
 )
 
 __all__ = [
@@ -71,5 +73,7 @@ __all__ = [
     "batch_to_json",
     "discover_pairs",
     "format_batch_table",
+    "pair_shard_index",
     "run_batch",
+    "shard_pairs",
 ]

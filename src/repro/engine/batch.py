@@ -41,7 +41,14 @@ class ProgramPair:
     new_path: Path
 
     def sources(self) -> tuple[str, str]:
-        return self.old_path.read_text(), self.new_path.read_text()
+        """The pair's source texts, read once per pair object — shard
+        assignment, job building, refutation and partial-flush
+        reconstruction all ask for them."""
+        cached = getattr(self, "_sources", None)
+        if cached is None:
+            cached = (self.old_path.read_text(), self.new_path.read_text())
+            object.__setattr__(self, "_sources", cached)
+        return cached
 
 
 def discover_pairs(directory: str | Path) -> list[ProgramPair]:
@@ -67,15 +74,62 @@ def discover_pairs(directory: str | Path) -> list[ProgramPair]:
     ]
 
 
+def pair_shard_index(pair: ProgramPair, config: AnalysisConfig,
+                     shards: int) -> int:
+    """The shard a pair belongs to, out of ``shards``.
+
+    The partition is by *job hash*: the content-addressed key of the
+    pair's base ``diff`` job (sources + config; the display name is not
+    keyed, so renaming a file never moves its pair).  Any process that
+    agrees on the directory contents and base config computes the same
+    assignment — no coordination, no shared state — which is what lets
+    independent machines each run a disjoint slice of one batch.
+    """
+    old_source, new_source = pair.sources()
+    job = AnalysisJob(kind="diff", old_source=old_source,
+                      new_source=new_source, config=config, name=pair.name)
+    return int(job.key[:16], 16) % shards
+
+
+def shard_pairs(pairs: list[ProgramPair], config: AnalysisConfig,
+                shard: tuple[int, int]) -> list[ProgramPair]:
+    """The subset of ``pairs`` assigned to shard ``(k, n)``.
+
+    Deterministic and disjoint: over all ``k`` in ``range(n)`` the
+    subsets partition ``pairs`` exactly, so ``n`` shard runs merged
+    back together cover every pair exactly once.
+    """
+    index, count = shard
+    if count < 1 or not 0 <= index < count:
+        raise AnalysisError(
+            f"shard must be (k, n) with 0 <= k < n, got {shard!r}"
+        )
+    return [pair for pair in pairs
+            if pair_shard_index(pair, config, count) == index]
+
+
 @dataclass
 class BatchReport:
-    """Everything a batch run produced."""
+    """Everything a batch run produced.
+
+    ``shard`` records the ``"k/n"`` slice this run covered (``None``
+    for an unsharded run); ``pair_names`` the pairs this run was
+    responsible for and ``pairs_total`` how many the whole directory
+    holds, so a merge can prove the shards partition the batch.
+    ``partial`` marks a run that was interrupted (SIGTERM / Ctrl-C)
+    and flushed only its completed pairs — still mergeable, but
+    clearly not a full answer.
+    """
 
     directory: str
     results: list[JobResult]
     portfolios: list[PortfolioResult] = field(default_factory=list)
     stats: ExecutorStats = field(default_factory=ExecutorStats)
     seconds: float = 0.0
+    shard: str | None = None
+    partial: bool = False
+    pairs_total: int = 0
+    pair_names: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -105,6 +159,10 @@ class BatchReport:
         data = {
             "directory": self.directory,
             "seconds": round(self.seconds, 3),
+            "shard": self.shard,
+            "partial": self.partial,
+            "pairs_total": self.pairs_total,
+            "pair_names": list(self.pair_names),
             "stats": self.stats.as_dict(),
             "results": [result.to_dict() for result in self.results],
         }
@@ -125,99 +183,191 @@ class BatchReport:
         return data
 
 
-def run_batch(directory: str | Path,
-              config: AnalysisConfig | None = None,
-              engine: EngineConfig | None = None,
-              ladder: tuple[tuple[int, int, str], ...] = DEFAULT_LADDER,
-              ) -> BatchReport:
-    """Analyze every pair in ``directory`` through the engine."""
-    engine = engine or EngineConfig()
-    config = config or AnalysisConfig()
-    cache = ResultCache(engine.cache_dir) if engine.cache_dir else None
-    pairs = discover_pairs(directory)
-    start = time.perf_counter()
+def _pair_job(pair: ProgramPair, config: AnalysisConfig) -> AnalysisJob:
+    old_source, new_source = pair.sources()
+    return AnalysisJob(
+        kind="diff",
+        old_source=old_source,
+        new_source=new_source,
+        config=config,
+        name=pair.name,
+    )
 
-    # One executor — and therefore one long-lived worker pool — for the
-    # whole batch, however many pairs it has.
-    with ParallelExecutor(
-        jobs=engine.jobs, timeout=engine.timeout, cache=cache
-    ) as executor:
-        if engine.portfolio:
-            per_pair = [
-                portfolio_jobs(*pair.sources(), pair.name,
-                               base=config, ladder=ladder)
-                for pair in pairs
-            ]
-            if engine.portfolio_mode == "best":
-                # Every rung of every pair runs anyway in best mode, so
-                # submit them all to one pool and select winners per
-                # pair — cross-pair parallelism instead of one pair at
-                # a time.
-                flat = executor.run(
-                    [job for jobs in per_pair for job in jobs]
-                )
-                rungs_per_pair, offset = [], 0
-                for jobs in per_pair:
-                    rungs_per_pair.append(flat[offset:offset + len(jobs)])
-                    offset += len(jobs)
-            else:
-                # "first" overlaps the escalation ladders of many pairs
-                # on the shared pool; per-pair selection stays
-                # ladder-order deterministic (chosen rungs identical to
-                # --jobs 1).
-                rungs_per_pair = executor.run_escalating_many(
-                    per_pair, max_inflight=engine.max_inflight_pairs
-                )
-            portfolios = [
+
+def _with_name(result: JobResult, name: str) -> JobResult:
+    """A copy of ``result`` carrying ``name`` (recorded results may
+    carry another pair's display name when two pairs share content)."""
+    if result.name == name:
+        return result
+    clone = JobResult.from_dict(result.to_dict())
+    clone.name = name
+    return clone
+
+
+def _run_portfolio_pairs(executor: ParallelExecutor,
+                         pairs: list[ProgramPair],
+                         config: AnalysisConfig,
+                         engine: EngineConfig,
+                         ladder: tuple[tuple[int, int, str], ...],
+                         ) -> tuple[list[JobResult], list[PortfolioResult]]:
+    per_pair = [
+        portfolio_jobs(*pair.sources(), pair.name, base=config, ladder=ladder)
+        for pair in pairs
+    ]
+    if engine.portfolio_mode == "best":
+        # Every rung of every pair runs anyway in best mode, so submit
+        # them all to one pool and select winners per pair — cross-pair
+        # parallelism instead of one pair at a time.
+        flat = executor.run([job for jobs in per_pair for job in jobs])
+        rungs_per_pair, offset = [], 0
+        for jobs in per_pair:
+            rungs_per_pair.append(flat[offset:offset + len(jobs)])
+            offset += len(jobs)
+    else:
+        # "first" overlaps the escalation ladders of many pairs on the
+        # shared pool; per-pair selection stays ladder-order
+        # deterministic (chosen rungs identical to --jobs 1).
+        rungs_per_pair = executor.run_escalating_many(
+            per_pair, max_inflight=engine.max_inflight_pairs
+        )
+    portfolios = [
+        PortfolioResult(
+            name=pair.name,
+            mode=engine.portfolio_mode,
+            chosen=select_result(rungs, engine.portfolio_mode),
+            rungs=rungs,
+        )
+        for pair, rungs in zip(pairs, rungs_per_pair)
+    ]
+    if engine.refute:
+        attach_refutations(
+            portfolios,
+            {pair.name: pair.sources() for pair in pairs},
+            executor, base=config, margin=engine.refute_margin,
+        )
+    return [rung for p in portfolios for rung in p.rungs], portfolios
+
+
+def _completed_results(pairs: list[ProgramPair],
+                       config: AnalysisConfig,
+                       engine: EngineConfig,
+                       ladder: tuple[tuple[int, int, str], ...],
+                       recorded: dict[str, JobResult],
+                       ) -> tuple[list[JobResult], list[PortfolioResult]]:
+    """Rebuild the report rows of every pair that fully resolved before
+    an interrupt, from the executor's as-it-happened result record.
+
+    A portfolio pair counts as resolved only when every rung has a
+    recorded verdict (in ``first`` mode a decided pair records
+    ``cancelled`` markers for its abandoned rungs immediately, so
+    decided pairs qualify); a half-walked ladder is dropped rather than
+    reported with a premature selection.  The refutation stage is
+    omitted from partial reports — tightness probes of an interrupted
+    run are not worth reporting half of.
+    """
+    if engine.portfolio:
+        portfolios = []
+        for pair in pairs:
+            jobs = portfolio_jobs(*pair.sources(), pair.name,
+                                  base=config, ladder=ladder)
+            rungs = [recorded.get(job.key) for job in jobs]
+            if any(rung is None for rung in rungs):
+                continue
+            rungs = [_with_name(rung, job.name)
+                     for rung, job in zip(rungs, jobs)]
+            portfolios.append(
                 PortfolioResult(
                     name=pair.name,
                     mode=engine.portfolio_mode,
                     chosen=select_result(rungs, engine.portfolio_mode),
                     rungs=rungs,
                 )
-                for pair, rungs in zip(pairs, rungs_per_pair)
-            ]
-            if engine.refute:
-                attach_refutations(
-                    portfolios,
-                    {pair.name: pair.sources() for pair in pairs},
-                    executor, base=config, margin=engine.refute_margin,
-                )
-            results = [rung for p in portfolios for rung in p.rungs]
-            return BatchReport(
-                directory=str(directory),
-                results=results,
-                portfolios=portfolios,
-                stats=executor.stats,
-                seconds=time.perf_counter() - start,
             )
+        return [rung for p in portfolios for rung in p.rungs], portfolios
+    results = []
+    for pair in pairs:
+        job = _pair_job(pair, config)
+        result = recorded.get(job.key)
+        if result is not None:
+            results.append(_with_name(result, job.name))
+    return results, []
 
-        jobs = []
-        for pair in pairs:
-            old_source, new_source = pair.sources()
-            jobs.append(
-                AnalysisJob(
-                    kind="diff",
-                    old_source=old_source,
-                    new_source=new_source,
-                    config=config,
-                    name=pair.name,
-                )
-            )
-        results = executor.run(jobs)
-        return BatchReport(
-            directory=str(directory),
-            results=results,
-            stats=executor.stats,
-            seconds=time.perf_counter() - start,
+
+def run_batch(directory: str | Path,
+              config: AnalysisConfig | None = None,
+              engine: EngineConfig | None = None,
+              ladder: tuple[tuple[int, int, str], ...] = DEFAULT_LADDER,
+              shard: tuple[int, int] | None = None,
+              ) -> BatchReport:
+    """Analyze every pair in ``directory`` through the engine.
+
+    ``shard=(k, n)`` (or ``engine.shard``) restricts the run to the
+    pairs the deterministic job-hash partition assigns to slice ``k``
+    of ``n`` — see :func:`shard_pairs`.  A ``KeyboardInterrupt`` (which
+    the CLI also raises on SIGTERM) does not lose completed work: the
+    report comes back with every fully-resolved pair and
+    ``partial=True`` instead of propagating with nothing.
+    """
+    engine = engine or EngineConfig()
+    config = config or AnalysisConfig()
+    if shard is None:
+        shard = engine.shard
+    cache = ResultCache(engine.cache_dir) if engine.cache_dir else None
+    all_pairs = discover_pairs(directory)
+    pairs = (shard_pairs(all_pairs, config, shard) if shard is not None
+             else all_pairs)
+    start = time.perf_counter()
+    recorded: dict[str, JobResult] = {}
+    results: list[JobResult] = []
+    portfolios: list[PortfolioResult] = []
+    partial = False
+
+    # One executor — and therefore one long-lived worker pool — for the
+    # whole batch, however many pairs it has.
+    with ParallelExecutor(
+        jobs=engine.jobs, timeout=engine.timeout, cache=cache
+    ) as executor:
+        executor.on_result = (
+            lambda result: recorded.__setitem__(result.job_key, result)
         )
+        try:
+            if engine.portfolio:
+                results, portfolios = _run_portfolio_pairs(
+                    executor, pairs, config, engine, ladder
+                )
+            else:
+                results = executor.run(
+                    [_pair_job(pair, config) for pair in pairs]
+                )
+        except KeyboardInterrupt:
+            partial = True
+            results, portfolios = _completed_results(
+                pairs, config, engine, ladder, recorded
+            )
+        stats = executor.stats
+
+    return BatchReport(
+        directory=str(directory),
+        results=results,
+        portfolios=portfolios,
+        stats=stats,
+        seconds=time.perf_counter() - start,
+        shard=None if shard is None else f"{shard[0]}/{shard[1]}",
+        partial=partial,
+        pairs_total=len(all_pairs),
+        pair_names=[pair.name for pair in pairs],
+    )
 
 
 def format_batch_table(report: BatchReport) -> str:
     """Aligned text rendering of a batch report."""
     header = f"{'Pair':<24} {'Threshold':>10} {'Status':>9} {'Time(s)':>8}  Detail"
-    lines = [f"Batch analysis of {report.directory}", header,
-             "-" * len(header)]
+    title = f"Batch analysis of {report.directory}"
+    if report.shard is not None:
+        title += f" [shard {report.shard}]"
+    if report.partial:
+        title += " [PARTIAL — interrupted]"
+    lines = [title, header, "-" * len(header)]
     if report.portfolios:
         for portfolio in report.portfolios:
             chosen = portfolio.chosen
@@ -260,6 +410,14 @@ def format_batch_table(report: BatchReport) -> str:
         f"{stats.cancelled} cancelled; cache hits {stats.cache_hits}; "
         f"{report.seconds:.2f}s wall"
     )
+    if report.partial:
+        reported = (len(report.portfolios) if report.portfolios
+                    else len(report.results))
+        lines.append(
+            f"PARTIAL: interrupted with {reported}/{len(report.pair_names)} "
+            "pair(s) resolved; rerun (same cache) to finish, or merge as a "
+            "partial shard"
+        )
     return "\n".join(lines)
 
 

@@ -105,6 +105,54 @@ class ResultCache:
             return False
         return True
 
+    # -- merging -----------------------------------------------------------
+
+    def merge_from(self, source: str | os.PathLike,
+                   overwrite: bool = False) -> int:
+        """Fold another cache directory's entries into this one.
+
+        The shard-merge primitive: after ``batch --shard k/n`` runs on
+        disjoint cache directories, merging them all into one yields
+        the cache an unsharded run would have produced (keys are
+        content-addressed, so entries never conflict semantically — two
+        files with the same name differ only in recorded wall seconds).
+
+        Every copy is written via a temp file in *this* cache's
+        directory and published with an atomic ``os.replace``, so any
+        number of concurrent mergers and writers can target the same
+        destination without ever exposing a torn entry.  Existing
+        entries are kept unless ``overwrite`` (first writer wins — the
+        cheapest option, and any winner is equally valid).  In-flight
+        ``.tmp-*`` files and unreadable entries in ``source`` are
+        skipped.  Returns how many entries were copied.
+        """
+        source_dir = Path(source)
+        if source_dir.resolve() == self.directory.resolve():
+            return 0
+        copied = 0
+        for path in sorted(source_dir.glob("[!.]*.json")):
+            destination = self.directory / path.name
+            if not overwrite and destination.exists():
+                continue
+            try:
+                payload = path.read_bytes()
+            except OSError:
+                continue
+            fd, temp_path = tempfile.mkstemp(
+                dir=self.directory, prefix=".tmp-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(payload)
+                os.replace(temp_path, destination)
+                copied += 1
+            except OSError:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+        return copied
+
     # -- maintenance -------------------------------------------------------
 
     def clear(self) -> int:

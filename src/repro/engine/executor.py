@@ -35,7 +35,7 @@ from dataclasses import dataclass
 
 from repro.engine.cache import ResultCache
 from repro.engine.jobs import AnalysisJob, JobResult, run_job
-from repro.engine.scheduler import EscalationScheduler, WorkerPool
+from repro.engine.scheduler import EscalationScheduler, Task, WorkerPool
 from repro.errors import AnalysisError
 
 
@@ -129,17 +129,29 @@ class ParallelExecutor:
     """Runs batches of :class:`AnalysisJob` with caching and timeouts."""
 
     def __init__(self, jobs: int = 1, timeout: float | None = None,
-                 cache: ResultCache | None = None):
+                 cache: ResultCache | None = None,
+                 mp_context: str | None = None):
         if jobs < 1:
             raise AnalysisError("jobs must be at least 1")
         self.jobs = jobs
         self.timeout = timeout
         self.cache = cache
+        #: Multiprocessing start method for pool workers (``None`` =
+        #: platform default).  Workers scrub inherited descriptors on
+        #: startup either way; the knob exists for host applications
+        #: where forking a threaded process is itself unsafe.
+        self.mp_context = mp_context
         self.stats = ExecutorStats()
         self._pool: WorkerPool | None = None
         #: How many worker pools this executor ever built — one for a
         #: whole batch, however many pairs it has.
         self.pools_created = 0
+        #: Optional observer invoked with every accounted
+        #: :class:`JobResult` (completions, cache hits, cancellations,
+        #: failures) as it happens.  Batch runners use it to keep a
+        #: partial-progress record, so an interrupted run can still
+        #: flush everything that finished.
+        self.on_result = None
 
     # -- pool lifecycle ----------------------------------------------------
 
@@ -150,7 +162,7 @@ class ParallelExecutor:
 
     def _ensure_pool(self) -> WorkerPool:
         if self._pool is None or self._pool.closed:
-            self._pool = WorkerPool(self.jobs)
+            self._pool = WorkerPool(self.jobs, context=self.mp_context)
             self.pools_created += 1
         return self._pool
 
@@ -196,6 +208,8 @@ class ParallelExecutor:
             self.stats.cancelled += 1
         else:
             self.stats.completed += 1
+        if self.on_result is not None:
+            self.on_result(result)
         return result
 
     # -- execution ---------------------------------------------------------
@@ -253,6 +267,55 @@ class ParallelExecutor:
                 if entry is not None:
                     index, job = entry
                     results[index] = self._finish(job, task.result)
+
+    # -- asynchronous single-job submission --------------------------------
+
+    def submit_job(self, job: AnalysisJob, on_done,
+                   priority: tuple = ()) -> Task | None:
+        """Submit one job for callback-style completion (the serving
+        front-end's entry point).
+
+        A cache hit completes synchronously: ``on_done(result)`` is
+        called before this method returns and the return value is
+        ``None``.  Otherwise the job goes to the long-lived worker pool
+        and the returned :class:`~repro.engine.scheduler.Task` handle
+        completes through :meth:`poll` — ``on_done`` then fires on the
+        polling thread with the finished (cached + accounted) result.
+        The handle can be withdrawn with :meth:`cancel_task`.
+        """
+        self.stats.submitted += 1
+        hit = self._lookup(job)
+        if hit is not None:
+            on_done(self._use_hit(hit))
+            return None
+        pool = self._ensure_pool()
+
+        def _complete(task, job=job, on_done=on_done):
+            on_done(self._finish(job, task.result))
+
+        return pool.submit(job, timeout=self.timeout, priority=priority,
+                           on_done=_complete)
+
+    def poll(self, timeout: float | None = None) -> int:
+        """Drive the pool: wait up to ``timeout`` seconds for
+        completions (firing their :meth:`submit_job` callbacks) and
+        return how many tasks finished."""
+        if self._pool is None or self._pool.closed:
+            return 0
+        return len(self._pool.wait(timeout))
+
+    def cancel_task(self, task: Task) -> bool:
+        """Withdraw a :meth:`submit_job` handle.
+
+        ``True`` means the task will never produce a result (its
+        ``on_done`` never fires) and a cancellation was accounted.
+        ``False`` means the task completed in the race — its result was
+        drained and ``on_done`` has already fired.
+        """
+        if self._pool is None or not self._pool.cancel(task):
+            return False
+        self.stats.cancelled += 1
+        return True
 
     def run_escalating(self, jobs: list[AnalysisJob]) -> list[JobResult]:
         """Run one ordered ladder, stopping at the first success.

@@ -49,13 +49,21 @@ class Task:
     ``state`` transitions only inside the pool's (single-threaded)
     bookkeeping, so callers can read it without racing a worker: a task
     seen as ``DONE`` has its ``result`` populated.
+
+    ``on_done`` is the pool's async-safe completion hook: it fires with
+    the task exactly once, on every path that produces a result (a
+    normal completion, a worker death, or the drain inside a lost
+    cancel race) — never for a genuinely cancelled task — and always on
+    the thread driving the pool.  Callers bridging into an event loop
+    wrap it in ``loop.call_soon_threadsafe``.
     """
 
     __slots__ = ("id", "job", "timeout", "priority", "state", "result",
-                 "worker")
+                 "worker", "on_done")
 
     def __init__(self, task_id: int, job: AnalysisJob,
-                 timeout: float | None, priority: tuple):
+                 timeout: float | None, priority: tuple,
+                 on_done=None):
         self.id = task_id
         self.job = job
         self.timeout = timeout
@@ -63,6 +71,29 @@ class Task:
         self.state = PENDING
         self.result: JobResult | None = None
         self.worker: _Worker | None = None
+        self.on_done = on_done
+
+
+def _scrub_inherited_fds(keep: set[int]) -> None:
+    """Close every open descriptor except ``keep`` (best-effort).
+
+    Reads ``/proc/self/fd`` — the listing is materialized before any
+    close, so closing the listing's own transient fd mid-walk is
+    harmless.  On platforms without procfs the scrub is skipped; the
+    worker merely keeps its inherited descriptors, as it always did.
+    """
+    import os
+
+    try:
+        inherited = [int(name) for name in os.listdir("/proc/self/fd")]
+    except (OSError, ValueError):  # pragma: no cover — no procfs
+        return
+    for fd in inherited:
+        if fd not in keep:
+            try:
+                os.close(fd)
+            except OSError:
+                pass
 
 
 def _worker_main(conn) -> None:
@@ -73,8 +104,26 @@ def _worker_main(conn) -> None:
     enforced inside :func:`~repro.engine.executor.execute_job` with an
     interval timer; a ``None`` message (or a closed pipe) ends the
     worker.
+
+    The first act is closing every inherited descriptor except stdio
+    and the job pipe.  A forked worker inherits whatever the parent had
+    open — under the serving front-end that includes live client
+    sockets, and a long-lived worker holding a duplicate keeps a
+    connection the event loop already closed from ever delivering its
+    FIN (clients reading to EOF would hang forever).
     """
+    import signal
+
     from repro.engine.executor import execute_job
+
+    try:
+        # A parent event loop's wakeup fd (asyncio's self-pipe) is
+        # inherited as process-wide signal state; once the scrub closes
+        # the fd, every delivered signal would whine about it.
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):  # pragma: no cover — non-main thread
+        pass
+    _scrub_inherited_fds(keep={0, 1, 2, conn.fileno()})
 
     while True:
         try:
@@ -155,17 +204,21 @@ class WorkerPool:
     # -- submission and dispatch -------------------------------------------
 
     def submit(self, job: AnalysisJob, timeout: float | None = None,
-               priority: tuple = (), dispatch: bool = True) -> Task:
+               priority: tuple = (), dispatch: bool = True,
+               on_done=None) -> Task:
         """Queue ``job``; lower ``priority`` tuples dispatch first.
 
         ``dispatch=False`` only queues: a caller submitting a related
         batch (all rungs of several pairs) defers dispatch to one
         :meth:`flush` so priorities order the whole wave, not the
         submission interleaving.
+
+        ``on_done`` (optional) is invoked with the task when it
+        completes — see :class:`Task`.
         """
         if self.closed:
             raise AnalysisError("worker pool is closed")
-        task = Task(next(self._sequence), job, timeout, priority)
+        task = Task(next(self._sequence), job, timeout, priority, on_done)
         heapq.heappush(self._queue, (task.priority, task.id, task))
         if dispatch:
             self._dispatch()
@@ -265,6 +318,8 @@ class WorkerPool:
                 error_type="BrokenWorker",
                 message=f"worker died (exit code {exitcode})",
             )
+            if task.on_done is not None:
+                task.on_done(task)
             return True
         assert task is not None and task_id == task.id
         task.state = DONE
@@ -272,6 +327,8 @@ class WorkerPool:
         task.result = JobResult.from_dict(payload)
         worker.task = None
         self._idle.append(worker)
+        if task.on_done is not None:
+            task.on_done(task)
         return True
 
     # -- cancellation ------------------------------------------------------

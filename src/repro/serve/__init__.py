@@ -1,0 +1,39 @@
+"""Serving & sharding layer over the analysis engine.
+
+- :mod:`repro.serve.server` — the asyncio JSON-over-HTTP front-end
+  (:class:`AnalysisServer`): content-hash request dedupe against
+  in-flight work and the persistent result cache, a thread-bridge onto
+  the engine's long-lived worker pool, per-request deadlines riding the
+  scheduler's cancellation path;
+- :mod:`repro.serve.shard` — merging disjoint ``batch --shard k/n``
+  slices (reports and caches) back into one batch, with a canonical
+  byte-comparable report rendering backing the determinism guarantee.
+"""
+
+from repro.serve.server import (
+    AnalysisServer,
+    ServeError,
+    job_from_payload,
+    serve_forever,
+)
+from repro.serve.shard import (
+    canonical_json,
+    canonical_report,
+    merge_caches,
+    merge_reports,
+    parse_shard_spec,
+    report_ok,
+)
+
+__all__ = [
+    "AnalysisServer",
+    "ServeError",
+    "job_from_payload",
+    "serve_forever",
+    "canonical_json",
+    "canonical_report",
+    "merge_caches",
+    "merge_reports",
+    "parse_shard_spec",
+    "report_ok",
+]

@@ -1,0 +1,596 @@
+"""Async serving front-end over the engine's job model.
+
+One :class:`AnalysisServer` is a small JSON-over-HTTP service (stdlib
+``asyncio`` only) in front of the engine seam built in PRs 1–4:
+
+- every request becomes a content-addressed
+  :class:`~repro.engine.jobs.AnalysisJob`, so identical requests are
+  *deduplicated twice* — against the persistent
+  :class:`~repro.engine.cache.ResultCache` (a repeat of yesterday's
+  request replays in microseconds) and against in-flight work (two
+  concurrent identical requests run the analysis once and both get the
+  one result);
+- analysis runs on the engine's long-lived
+  :class:`~repro.engine.scheduler.WorkerPool`, driven by a dedicated
+  bridge thread.  The event loop and the pool meet only at a
+  thread-safe message queue and ``loop.call_soon_threadsafe`` — the
+  pool's bookkeeping stays single-threaded, exactly as the scheduler
+  requires;
+- a per-request deadline reuses the scheduler's cancellation path: when
+  the last request waiting on a job times out, the job's worker is
+  terminated through :meth:`WorkerPool.cancel` (the same cancel/done
+  race-safe path portfolio escalation uses) and the request gets a
+  structured ``"timeout"`` response;
+- ``"portfolio"`` requests race the escalating config ladder with
+  ladder-order selection — first success wins, the abandoned rungs are
+  released (and cancelled once no other request shares them).
+
+HTTP surface (all bodies JSON):
+
+- ``POST /analyze`` — run one job (or a portfolio); see
+  :func:`job_from_payload` for the request schema;
+- ``GET /healthz`` — liveness plus serving/engine counters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import queue
+import threading
+from dataclasses import fields as dataclass_fields
+from dataclasses import replace
+
+from repro.config import AnalysisConfig, ServeConfig
+from repro.engine.cache import ResultCache
+from repro.engine.executor import ParallelExecutor
+from repro.engine.jobs import JOB_KINDS, AnalysisJob, JobResult
+from repro.engine.portfolio import (
+    PORTFOLIO_MODES,
+    portfolio_jobs,
+    select_result,
+)
+from repro.errors import ReproError
+
+_CONFIG_FIELDS = frozenset(f.name for f in dataclass_fields(AnalysisConfig))
+
+
+class ServeError(ReproError):
+    """A malformed serving request (maps to HTTP 400)."""
+
+
+def job_from_payload(payload: dict, base: AnalysisConfig) -> AnalysisJob:
+    """Build the job a request payload describes.
+
+    Schema::
+
+        {"kind": "diff" | "bound" | "refute" | "single",
+         "old_source": "...imp source...",
+         "new_source": "...",              # absent for "single"
+         "config": {"degree": 2, ...},     # partial AnalysisConfig overrides
+         "name": "display-name",
+         "bound": "polynomial",            # "bound" jobs
+         "candidate": 9999.0}              # "refute" jobs
+
+    ``config`` overrides are applied over the server's base config;
+    unknown fields (and invalid values, via ``AnalysisConfig``'s own
+    validation) are rejected rather than ignored — a typo silently
+    falling back to defaults would serve the wrong analysis.
+    """
+    if not isinstance(payload, dict):
+        raise ServeError("request body must be a JSON object")
+    kind = payload.get("kind", "diff")
+    if kind not in JOB_KINDS:
+        raise ServeError(f"unknown job kind {kind!r} (use one of {JOB_KINDS})")
+    overrides = payload.get("config") or {}
+    if not isinstance(overrides, dict):
+        raise ServeError("config must be a JSON object of AnalysisConfig fields")
+    unknown = sorted(set(overrides) - _CONFIG_FIELDS)
+    if unknown:
+        raise ServeError(f"unknown config field(s): {', '.join(unknown)}")
+    config = replace(base, **overrides)
+
+    old_source = payload.get("old_source")
+    if not isinstance(old_source, str) or not old_source.strip():
+        raise ServeError("old_source must be non-empty imp source text")
+    new_source = payload.get("new_source")
+    if new_source is not None and not isinstance(new_source, str):
+        raise ServeError("new_source must be imp source text")
+    bound = payload.get("bound")
+    if bound is not None and not isinstance(bound, str):
+        raise ServeError("bound must be a polynomial string")
+    candidate = payload.get("candidate")
+    if candidate is not None and not isinstance(candidate, (int, float)):
+        raise ServeError("candidate must be a number")
+    name = payload.get("name", "")
+    if not isinstance(name, str):
+        raise ServeError("name must be a string")
+    # AnalysisJob.__post_init__ enforces the kind-specific requirements
+    # (new_source/bound/candidate presence) with its own AnalysisError.
+    return AnalysisJob(
+        kind=kind,
+        old_source=old_source,
+        new_source=new_source,
+        config=config,
+        name=name,
+        bound=bound,
+        candidate=None if candidate is None else float(candidate),
+    )
+
+
+class _EngineBridge(threading.Thread):
+    """The thread that owns the executor and drives the worker pool.
+
+    The pool is not thread-safe, so *every* interaction with it happens
+    here: the event loop posts ``submit`` / ``cancel`` messages into a
+    FIFO queue, and completion callbacks fire on this thread (callers
+    re-enter their loop with ``call_soon_threadsafe``).  FIFO ordering
+    is what makes cancellation sound without locks — a cancel enqueued
+    after its submit is always handled after the task exists.
+    """
+
+    #: Poll quantum while jobs are in flight: the loop alternates
+    #: draining the inbox and waiting on worker pipes, so this bounds
+    #: both submission latency and completion latency.
+    POLL = 0.05
+    #: Inbox wait while the pool is idle (nothing to poll for).
+    IDLE_WAIT = 0.5
+
+    def __init__(self, executor: ParallelExecutor):
+        super().__init__(name="repro-serve-engine", daemon=True)
+        self._executor = executor
+        self._inbox: queue.SimpleQueue = queue.SimpleQueue()
+        self._tasks: dict[str, object] = {}
+        self._running = 0
+        self._closed = False
+
+    # -- event-loop facing API (thread-safe: only enqueues) ----------------
+
+    def submit(self, job: AnalysisJob, on_done) -> None:
+        """Request execution of ``job``; ``on_done(result)`` will fire
+        exactly once on the bridge thread (synchronously for a cache
+        hit) unless the job is cancelled first."""
+        self._inbox.put(("submit", job, on_done))
+
+    def cancel(self, key: str) -> None:
+        """Withdraw the job under ``key`` if it is still running.  A
+        completion that races the cancel wins (its ``on_done`` has
+        fired); a genuinely cancelled job's worker is terminated."""
+        self._inbox.put(("cancel", key, None))
+
+    def shutdown(self) -> None:
+        self._inbox.put(("stop", None, None))
+
+    # -- bridge thread -----------------------------------------------------
+
+    def run(self) -> None:
+        while not self._closed:
+            wait = self.POLL if self._running else self.IDLE_WAIT
+            try:
+                message = self._inbox.get(timeout=wait)
+            except queue.Empty:
+                message = None
+            while message is not None:
+                self._handle(message)
+                try:
+                    message = self._inbox.get_nowait()
+                except queue.Empty:
+                    message = None
+            if not self._closed and self._running:
+                self._executor.poll(timeout=self.POLL)
+
+    def _handle(self, message) -> None:
+        kind, payload, extra = message
+        if kind == "stop":
+            self._closed = True
+        elif kind == "submit":
+            self._submit(payload, extra)
+        elif kind == "cancel":
+            self._cancel(payload)
+
+    def _submit(self, job: AnalysisJob, on_done) -> None:
+        key = job.key
+
+        def finished(result: JobResult) -> None:
+            if self._tasks.pop(key, None) is not None:
+                self._running -= 1
+            on_done(result)
+
+        task = self._executor.submit_job(job, finished)
+        if task is not None:
+            self._tasks[key] = task
+            self._running += 1
+
+    def _cancel(self, key: str) -> None:
+        task = self._tasks.get(key)
+        if task is None:
+            return  # already completed (or was a cache hit)
+        if self._executor.cancel_task(task):
+            self._tasks.pop(key, None)
+            self._running -= 1
+        # else: it completed inside the cancel race and `finished` has
+        # already run — nothing left to clean up.
+
+
+class _InFlight:
+    """One deduplicated unit of in-flight work on the event loop."""
+
+    __slots__ = ("key", "future", "waiters")
+
+    def __init__(self, key: str, future: asyncio.Future):
+        self.key = key
+        self.future = future
+        self.waiters = 1
+
+
+class AnalysisServer:
+    """The serving front-end; see the module docstring.
+
+    Usage::
+
+        server = AnalysisServer(ServeConfig(port=0))
+        await server.start()          # server.port is the bound port
+        ...
+        await server.stop()
+    """
+
+    def __init__(self, config: ServeConfig | None = None,
+                 analysis: AnalysisConfig | None = None):
+        self.config = config or ServeConfig()
+        self.analysis = analysis or AnalysisConfig()
+        self.port: int | None = None
+        self.executor: ParallelExecutor | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._bridge: _EngineBridge | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._inflight: dict[str, _InFlight] = {}
+        self._admission: asyncio.Semaphore | None = None
+        self.requests = 0
+        self.coalesced = 0
+        self.deadline_timeouts = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        cache = (ResultCache(self.config.cache_dir)
+                 if self.config.cache_dir else None)
+        self.executor = ParallelExecutor(
+            jobs=self.config.workers,
+            timeout=self.config.job_timeout,
+            cache=cache,
+        )
+        self._bridge = _EngineBridge(self.executor)
+        self._bridge.start()
+        self._admission = asyncio.Semaphore(self.config.max_concurrent)
+        self._server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._bridge is not None:
+            self._bridge.shutdown()
+            await asyncio.get_running_loop().run_in_executor(
+                None, lambda: self._bridge.join(timeout=5.0)
+            )
+            self._bridge = None
+        if self.executor is not None:
+            self.executor.close()
+            self.executor = None
+
+    # -- dedupe / in-flight bookkeeping (event-loop thread only) -----------
+
+    def _acquire(self, job: AnalysisJob) -> tuple[_InFlight, bool]:
+        entry = self._inflight.get(job.key)
+        if entry is not None:
+            entry.waiters += 1
+            self.coalesced += 1
+            return entry, False
+        entry = _InFlight(job.key, self._loop.create_future())
+        self._inflight[job.key] = entry
+        self._bridge.submit(
+            job,
+            lambda result, key=job.key: self._loop.call_soon_threadsafe(
+                self._resolve, key, result
+            ),
+        )
+        return entry, True
+
+    def _resolve(self, key: str, result: JobResult) -> None:
+        entry = self._inflight.pop(key, None)
+        if entry is not None and not entry.future.done():
+            entry.future.set_result(result)
+
+    def _release(self, entry: _InFlight) -> None:
+        """One waiter stopped caring.  When the last waiter of an
+        unfinished job lets go, the job is withdrawn through the pool's
+        cancellation path — nobody is left to read the answer."""
+        entry.waiters -= 1
+        if entry.waiters > 0 or entry.future.done():
+            return
+        self._inflight.pop(entry.key, None)
+        self._bridge.cancel(entry.key)
+        entry.future.cancel()
+
+    # -- request handling --------------------------------------------------
+
+    def _deadline_of(self, payload: dict) -> float | None:
+        deadline = payload.get("deadline", self.config.deadline)
+        if deadline is None:
+            return None
+        if not isinstance(deadline, (int, float)) or deadline <= 0:
+            raise ServeError("deadline must be a positive number of seconds")
+        return float(deadline)
+
+    def _timeout_result(self, job: AnalysisJob, deadline: float) -> JobResult:
+        self.deadline_timeouts += 1
+        return JobResult(
+            job_key=job.key,
+            name=job.name,
+            kind=job.kind,
+            status="timeout",
+            error_type="DeadlineExceeded",
+            message=f"request exceeded its {deadline:g}s deadline",
+            seconds=deadline,
+        )
+
+    def _cancelled_result(self, job: AnalysisJob, message: str) -> JobResult:
+        return JobResult(
+            job_key=job.key,
+            name=job.name,
+            kind=job.kind,
+            status="cancelled",
+            message=message,
+        )
+
+    async def _analyze(self, payload: dict) -> dict:
+        job = job_from_payload(payload, self.analysis)
+        deadline = self._deadline_of(payload)
+        entry, created = self._acquire(job)
+        try:
+            result = await asyncio.wait_for(
+                asyncio.shield(entry.future), deadline
+            )
+        except asyncio.TimeoutError:
+            result = self._timeout_result(job, deadline)
+        finally:
+            self._release(entry)
+        return {
+            "job_key": job.key,
+            "deduped": not created,
+            "result": result.to_dict(),
+        }
+
+    async def _analyze_portfolio(self, payload: dict, mode) -> dict:
+        if mode is True:
+            mode = "first"
+        if mode not in PORTFOLIO_MODES:
+            raise ServeError(
+                f"portfolio must be one of {PORTFOLIO_MODES} (or true)"
+            )
+        base = job_from_payload(dict(payload, kind="diff"), self.analysis)
+        deadline = self._deadline_of(payload)
+        jobs = portfolio_jobs(base.old_source, base.new_source,
+                              base.name or "request", base=base.config)
+        started = self._loop.time()
+        entries = [self._acquire(job) for job in jobs]
+        results: list[JobResult | None] = [None] * len(jobs)
+        timed_out = False
+        try:
+            if mode == "best":
+                try:
+                    await asyncio.wait_for(
+                        asyncio.gather(*(
+                            asyncio.shield(entry.future)
+                            for entry, _created in entries
+                        )),
+                        deadline,
+                    )
+                except asyncio.TimeoutError:
+                    timed_out = True
+                # Harvest every rung that did resolve — on a timeout,
+                # finished rungs (a succeeded one included) are still
+                # real answers; only the stragglers are abandoned.
+                for index, (entry, _created) in enumerate(entries):
+                    if entry.future.done() and not entry.future.cancelled():
+                        results[index] = entry.future.result()
+            else:
+                # Ladder-order walk: identical selection to the batch
+                # scheduler — rung i is only judged once every rung
+                # before it has a verdict, so the chosen rung matches a
+                # sequential run no matter how completions interleave.
+                for index, (entry, _created) in enumerate(entries):
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - (self._loop.time() - started)
+                        if remaining <= 0:
+                            timed_out = True
+                            break
+                    try:
+                        results[index] = await asyncio.wait_for(
+                            asyncio.shield(entry.future), remaining
+                        )
+                    except asyncio.TimeoutError:
+                        timed_out = True
+                        break
+                    if results[index].succeeded:
+                        break
+        finally:
+            for entry, _created in entries:
+                self._release(entry)
+
+        for index, (job, result) in enumerate(zip(jobs, results)):
+            if result is not None:
+                continue
+            results[index] = self._cancelled_result(
+                job,
+                "request deadline expired before this rung resolved"
+                if timed_out else
+                "a lower portfolio rung already succeeded",
+            )
+        chosen = select_result(results, mode)
+        data = {
+            "portfolio": mode,
+            "name": base.name,
+            "status": "timeout" if timed_out and chosen is None else "ok",
+            "deduped": any(not created for _entry, created in entries),
+            "chosen_rung": None if chosen is None else results.index(chosen),
+            "threshold": None if chosen is None else chosen.threshold,
+            "rungs": [result.to_dict() for result in results],
+        }
+        if timed_out and chosen is None:
+            self.deadline_timeouts += 1
+            data["message"] = (
+                f"request exceeded its {deadline:g}s deadline before any "
+                "rung succeeded"
+            )
+        return data
+
+    def _healthz(self) -> dict:
+        executor = self.executor
+        return {
+            "status": "ok",
+            "inflight": len(self._inflight),
+            "requests": self.requests,
+            "coalesced": self.coalesced,
+            "deadline_timeouts": self.deadline_timeouts,
+            "workers": self.config.workers,
+            "engine": executor.stats.as_dict() if executor else {},
+            "cache": (executor.cache.stats()
+                      if executor and executor.cache else None),
+        }
+
+    # -- HTTP plumbing -----------------------------------------------------
+
+    async def _route(self, method: str, path: str, body: bytes
+                     ) -> tuple[int, dict]:
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "use GET for /healthz"}
+            return 200, self._healthz()
+        if path == "/analyze":
+            if method != "POST":
+                return 405, {"error": "use POST for /analyze"}
+            try:
+                payload = json.loads(body or b"null")
+            except json.JSONDecodeError as error:
+                return 400, {"error": f"invalid JSON body: {error}"}
+            self.requests += 1
+            try:
+                async with self._admission:
+                    mode = payload.get("portfolio") \
+                        if isinstance(payload, dict) else None
+                    if mode:
+                        return 200, await self._analyze_portfolio(
+                            payload, mode
+                        )
+                    return 200, await self._analyze(payload)
+            except ReproError as error:
+                return 400, {"error": str(error)}
+        return 404, {"error": f"unknown path {path!r}"}
+
+    async def _read_request(self, reader: asyncio.StreamReader
+                            ) -> tuple[str, str, bytes] | None:
+        request_line = await reader.readline()
+        if not request_line.strip():
+            return None
+        try:
+            method, target, _version = request_line.decode().split(None, 2)
+        except ValueError:
+            raise ServeError("malformed request line") from None
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _sep, value = line.decode(errors="replace").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise ServeError("malformed Content-Length") from None
+        body = (await reader.readexactly(content_length)
+                if content_length else b"")
+        return method.upper(), target.split("?", 1)[0], body
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        status: int | None = 400
+        payload = {"error": "bad request"}
+        try:
+            request = await asyncio.wait_for(
+                self._read_request(reader), timeout=60
+            )
+            if request is None:
+                status = None  # connect-and-leave probe: say nothing
+            else:
+                status, payload = await self._route(*request)
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError):
+            status, payload = 400, {"error": "incomplete request"}
+        except ServeError as error:
+            status, payload = 400, {"error": str(error)}
+        except (asyncio.LimitOverrunError, ValueError):
+            # e.g. a request/header line past the StreamReader's 64KB
+            # limit — readline() surfaces that as a ValueError.
+            status, payload = 400, {"error": "oversized or malformed request"}
+        except ConnectionError:
+            status = None
+        finally:
+            if status is not None:
+                try:
+                    data = json.dumps(payload).encode()
+                    reason = {200: "OK", 400: "Bad Request",
+                              404: "Not Found",
+                              405: "Method Not Allowed"}.get(status, "Error")
+                    writer.write(
+                        f"HTTP/1.1 {status} {reason}\r\n"
+                        f"Content-Type: application/json\r\n"
+                        f"Content-Length: {len(data)}\r\n"
+                        f"Connection: close\r\n\r\n".encode() + data
+                    )
+                    await writer.drain()
+                except (ConnectionError, RuntimeError):
+                    pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+
+async def serve_forever(config: ServeConfig | None = None,
+                        analysis: AnalysisConfig | None = None,
+                        ready=None) -> int:
+    """Run a server until SIGINT/SIGTERM (the CLI entry point's core).
+
+    ``ready`` (optional callable) receives the started server — used by
+    the CLI to print the bound address and by tests to capture the
+    ephemeral port.
+    """
+    import signal as signal_module
+
+    server = AnalysisServer(config, analysis)
+    await server.start()
+    if ready is not None:
+        ready(server)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed = []
+    for signum in (signal_module.SIGINT, signal_module.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+            installed.append(signum)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+    try:
+        await stop.wait()
+    finally:
+        for signum in installed:
+            loop.remove_signal_handler(signum)
+        await server.stop()
+    return 0

@@ -1,0 +1,641 @@
+"""End-to-end tests of the serving front-end and the shard workflow.
+
+Everything here runs against a *live* server on an ephemeral port (no
+internal shortcuts for the request path) and asserts the layer's three
+contracts: dedupe (cache replay + in-flight coalescing), structured
+deadline timeouts riding the pool's cancellation path, and shard/merge
+determinism (``--shard 0/2`` + ``--shard 1/2`` + merge byte-identical
+to one unsharded ``--jobs 1`` run).
+
+Every async entry point is wrapped in an outer ``asyncio.wait_for`` so
+a regression hangs a test for at most ``TEST_DEADLINE`` seconds, not
+forever (CI adds pytest-timeout on top).
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.config import AnalysisConfig, EngineConfig, ServeConfig
+from repro.engine import ResultCache, run_batch, shard_pairs, discover_pairs
+from repro.engine.batch import batch_to_json
+from repro.serve import (
+    AnalysisServer,
+    ServeError,
+    canonical_json,
+    job_from_payload,
+    merge_caches,
+    merge_reports,
+    parse_shard_spec,
+    report_ok,
+)
+
+#: Outer safety net per async test body.
+TEST_DEADLINE = 180
+
+QUICK_OLD = """
+proc count(n) {
+  assume(1 <= n && n <= 10);
+  var i = 0;
+  while (i < n) { tick(1); i = i + 1; }
+}
+"""
+QUICK_NEW = QUICK_OLD.replace("tick(1)", "tick(2)")
+
+#: Takes ~1.5s to analyze at degree 2 — slow enough that a 0.25s
+#: deadline reliably expires and that two back-to-back requests
+#: reliably overlap once the first is confirmed in flight.
+SLOW_OLD = """
+proc nested(n, m) {
+  assume(1 <= n && n <= 100 && 1 <= m && m <= 100);
+  var i = 0;
+  while (i < n) {
+    var j = 0;
+    while (j < m) { tick(1); j = j + 1; }
+    i = i + 1;
+  }
+}
+"""
+SLOW_NEW = SLOW_OLD.replace("tick(1)", "tick(3)")
+
+
+def run_async(coroutine):
+    return asyncio.run(asyncio.wait_for(coroutine, timeout=TEST_DEADLINE))
+
+
+async def http_json(port, method, path, payload=None):
+    """Minimal HTTP/1.1 client: one request, read to EOF, parse JSON."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    body = b"" if payload is None else json.dumps(payload).encode()
+    writer.write(
+        (
+            f"{method} {path} HTTP/1.1\r\nHost: localhost\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Content-Type: application/json\r\nConnection: close\r\n\r\n"
+        ).encode() + body
+    )
+    await writer.drain()
+    data = await reader.read()
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except ConnectionError:
+        pass
+    head, _, rest = data.partition(b"\r\n\r\n")
+    return int(head.split()[1]), json.loads(rest)
+
+
+async def started_server(tmp_path, **overrides) -> AnalysisServer:
+    settings = {"port": 0, "workers": 1,
+                "cache_dir": str(tmp_path / "serve-cache")}
+    settings.update(overrides)
+    server = AnalysisServer(ServeConfig(**settings))
+    await server.start()
+    return server
+
+
+class TestRoundTrip:
+    def test_analyze_round_trip_and_cache_replay(self, tmp_path):
+        async def scenario():
+            server = await started_server(tmp_path)
+            try:
+                payload = {"kind": "diff", "old_source": QUICK_OLD,
+                           "new_source": QUICK_NEW, "name": "count"}
+                status, first = await http_json(
+                    server.port, "POST", "/analyze", payload)
+                assert status == 200
+                assert first["deduped"] is False
+                assert first["result"]["status"] == "ok"
+                assert first["result"]["outcome"] == "threshold"
+                assert first["result"]["threshold"] == pytest.approx(10.0)
+                assert not first["result"]["cached"]
+
+                # The same request again replays from the persistent
+                # cache: no new analysis, flagged as cached.
+                status, second = await http_json(
+                    server.port, "POST", "/analyze", payload)
+                assert status == 200
+                assert second["result"]["cached"] is True
+                assert second["job_key"] == first["job_key"]
+
+                status, health = await http_json(
+                    server.port, "GET", "/healthz")
+                assert status == 200
+                assert health["status"] == "ok"
+                assert health["engine"]["cache_hits"] == 1
+                assert health["engine"]["completed"] >= 1
+            finally:
+                await server.stop()
+
+        run_async(scenario())
+
+    def test_config_overrides_change_the_job(self, tmp_path):
+        async def scenario():
+            server = await started_server(tmp_path)
+            try:
+                base = {"kind": "diff", "old_source": QUICK_OLD,
+                        "new_source": QUICK_NEW, "name": "count"}
+                _status, default = await http_json(
+                    server.port, "POST", "/analyze", base)
+                _status, exact = await http_json(
+                    server.port, "POST", "/analyze",
+                    dict(base, config={"lp_backend": "exact"}))
+                # Different config → different content hash → its own
+                # cache entry, but the same exact threshold.
+                assert exact["job_key"] != default["job_key"]
+                assert exact["result"]["threshold_str"] == "10"
+            finally:
+                await server.stop()
+
+        run_async(scenario())
+
+    def test_malformed_requests_are_structured_400s(self, tmp_path):
+        async def scenario():
+            server = await started_server(tmp_path)
+            try:
+                for payload in (
+                    {"kind": "nope", "old_source": QUICK_OLD},
+                    {"kind": "diff", "old_source": ""},
+                    {"kind": "diff", "old_source": QUICK_OLD,
+                     "new_source": QUICK_NEW, "config": {"typo_field": 1}},
+                    {"kind": "diff", "old_source": QUICK_OLD,
+                     "new_source": QUICK_NEW, "deadline": -1},
+                ):
+                    status, body = await http_json(
+                        server.port, "POST", "/analyze", payload)
+                    assert status == 400, payload
+                    assert "error" in body
+                status, body = await http_json(server.port, "GET", "/nope")
+                assert status == 404
+                # The server survives all of it.
+                status, _health = await http_json(
+                    server.port, "GET", "/healthz")
+                assert status == 200
+            finally:
+                await server.stop()
+
+        run_async(scenario())
+
+
+class TestCoalescing:
+    def test_duplicate_request_runs_one_job_two_responses(self, tmp_path):
+        async def scenario():
+            server = await started_server(tmp_path)
+            try:
+                payload = {"kind": "diff", "old_source": SLOW_OLD,
+                           "new_source": SLOW_NEW, "name": "nested"}
+                first = asyncio.create_task(
+                    http_json(server.port, "POST", "/analyze", payload))
+                # Deterministic overlap: wait until the server reports
+                # the job in flight before firing the duplicate.
+                for _ in range(600):
+                    _status, health = await http_json(
+                        server.port, "GET", "/healthz")
+                    if health["inflight"] >= 1:
+                        break
+                    await asyncio.sleep(0.05)
+                else:
+                    pytest.fail("job never showed up as in-flight")
+                second = asyncio.create_task(
+                    http_json(server.port, "POST", "/analyze", payload))
+                (status1, body1), (status2, body2) = await asyncio.gather(
+                    first, second)
+                assert status1 == status2 == 200
+                assert body1["result"]["threshold"] == pytest.approx(20000.0)
+                assert body2["result"]["threshold"] == pytest.approx(20000.0)
+                # One of the two was coalesced onto the other's run.
+                assert body2["deduped"] or body1["deduped"]
+
+                _status, health = await http_json(
+                    server.port, "GET", "/healthz")
+                assert health["coalesced"] == 1
+                # One job submitted to the engine, zero cache hits: the
+                # second response came from the same single run.
+                assert health["engine"]["submitted"] == 1
+                assert health["engine"]["cache_hits"] == 0
+            finally:
+                await server.stop()
+
+        run_async(scenario())
+
+
+class TestDeadline:
+    def test_deadline_returns_structured_timeout_and_cancels(self, tmp_path):
+        async def scenario():
+            server = await started_server(tmp_path)
+            try:
+                status, body = await http_json(
+                    server.port, "POST", "/analyze",
+                    {"kind": "diff", "old_source": SLOW_OLD,
+                     "new_source": SLOW_NEW, "name": "nested",
+                     "deadline": 0.25})
+                assert status == 200
+                result = body["result"]
+                assert result["status"] == "timeout"
+                assert result["error_type"] == "DeadlineExceeded"
+                assert "0.25" in result["message"]
+
+                # The abandoned job went through the pool's cancel path
+                # and the server still serves fresh work afterwards.
+                _status, health = await http_json(
+                    server.port, "GET", "/healthz")
+                assert health["deadline_timeouts"] == 1
+                assert health["inflight"] == 0
+                status, quick = await http_json(
+                    server.port, "POST", "/analyze",
+                    {"kind": "diff", "old_source": QUICK_OLD,
+                     "new_source": QUICK_NEW, "name": "count"})
+                assert status == 200
+                assert quick["result"]["status"] == "ok"
+            finally:
+                await server.stop()
+
+        run_async(scenario())
+
+    def test_waiter_deadline_does_not_kill_shared_job(self, tmp_path):
+        """A timed-out waiter only withdraws *itself*: the job keeps
+        running for the patient waiter, which still gets the answer."""
+        async def scenario():
+            server = await started_server(tmp_path)
+            try:
+                payload = {"kind": "diff", "old_source": SLOW_OLD,
+                           "new_source": SLOW_NEW, "name": "nested"}
+                patient = asyncio.create_task(
+                    http_json(server.port, "POST", "/analyze", payload))
+                for _ in range(600):
+                    _status, health = await http_json(
+                        server.port, "GET", "/healthz")
+                    if health["inflight"] >= 1:
+                        break
+                    await asyncio.sleep(0.05)
+                status, hasty = await http_json(
+                    server.port, "POST", "/analyze",
+                    dict(payload, deadline=0.1))
+                assert hasty["result"]["status"] == "timeout"
+                status, body = await patient
+                assert status == 200
+                assert body["result"]["status"] == "ok"
+                assert body["result"]["threshold"] == pytest.approx(20000.0)
+            finally:
+                await server.stop()
+
+        run_async(scenario())
+
+
+class TestPortfolioRequests:
+    def test_best_mode_deadline_harvests_finished_rungs(self, tmp_path):
+        """A best-mode deadline only abandons the *stragglers*: rungs
+        that resolved before the deadline (here: cache-hit scipy rungs)
+        still yield a chosen threshold instead of a blanket timeout."""
+        async def scenario():
+            server = await started_server(tmp_path)
+            try:
+                # Prime the ladder's scipy rungs into the persistent
+                # cache (identical configs to the portfolio's rungs).
+                for degree, products in ((1, 1), (2, 2), (3, 2)):
+                    status, _body = await http_json(
+                        server.port, "POST", "/analyze",
+                        {"old_source": SLOW_OLD, "new_source": SLOW_NEW,
+                         "name": "nested",
+                         "config": {"degree": degree,
+                                    "max_products": products,
+                                    "lp_backend": "scipy"}})
+                    assert status == 200
+                # The uncached exact-warm rung takes ~3s; the cached
+                # rungs resolve in milliseconds.
+                status, body = await http_json(
+                    server.port, "POST", "/analyze",
+                    {"old_source": SLOW_OLD, "new_source": SLOW_NEW,
+                     "name": "nested", "portfolio": "best",
+                     "deadline": 1.2})
+                assert status == 200
+                assert body["status"] == "ok"
+                assert body["chosen_rung"] is not None
+                assert body["threshold"] == pytest.approx(20000.0)
+                resolved = [r for r in body["rungs"]
+                            if r["status"] == "ok"]
+                assert len(resolved) >= 2
+                assert body["rungs"][3]["status"] == "cancelled"
+            finally:
+                await server.stop()
+
+        run_async(scenario())
+
+    def test_portfolio_first_mode_selection(self, tmp_path):
+        async def scenario():
+            server = await started_server(tmp_path)
+            try:
+                status, body = await http_json(
+                    server.port, "POST", "/analyze",
+                    {"old_source": QUICK_OLD, "new_source": QUICK_NEW,
+                     "name": "count", "portfolio": True})
+                assert status == 200
+                assert body["status"] == "ok"
+                assert body["chosen_rung"] == 0  # d1K1 suffices here
+                assert body["threshold"] == pytest.approx(10.0)
+                assert len(body["rungs"]) == 4
+                # Selection is ladder-order: rungs past the winner are
+                # never reported as winners.
+                for rung in body["rungs"][1:]:
+                    assert rung["status"] in ("cancelled", "ok")
+            finally:
+                await server.stop()
+
+        run_async(scenario())
+
+
+def _write_pairs(directory, pairs):
+    directory.mkdir(parents=True, exist_ok=True)
+    for name, bound in pairs:
+        old = QUICK_OLD.replace("n <= 10", f"n <= {bound}")
+        new = old.replace("tick(1)", "tick(2)")
+        (directory / f"{name}_old.imp").write_text(old)
+        (directory / f"{name}_new.imp").write_text(new)
+
+
+PAIRS = [("alpha", 4), ("beta", 6), ("gamma", 8), ("delta", 10)]
+
+
+class TestShardMerge:
+    def test_shard_partition_is_deterministic_and_disjoint(self, tmp_path):
+        _write_pairs(tmp_path / "batch", PAIRS)
+        pairs = discover_pairs(tmp_path / "batch")
+        config = AnalysisConfig()
+        shard0 = shard_pairs(pairs, config, (0, 2))
+        shard1 = shard_pairs(pairs, config, (1, 2))
+        names0 = {pair.name for pair in shard0}
+        names1 = {pair.name for pair in shard1}
+        assert names0 | names1 == {name for name, _bound in PAIRS}
+        assert not names0 & names1
+        # Stable across calls (and, by construction, across machines).
+        assert [p.name for p in shard_pairs(pairs, config, (0, 2))] \
+            == [p.name for p in shard0]
+
+    def test_sharded_merge_matches_unsharded_byte_for_byte(self, tmp_path):
+        _write_pairs(tmp_path / "batch", PAIRS)
+        config = AnalysisConfig()
+
+        whole_cache = tmp_path / "cache-whole"
+        whole = run_batch(
+            tmp_path / "batch", config=config,
+            engine=EngineConfig(jobs=1, cache_dir=str(whole_cache)),
+        )
+        assert whole.ok and not whole.partial
+
+        shard_reports, shard_caches = [], []
+        for index in (0, 1):
+            cache_dir = tmp_path / f"cache-{index}"
+            shard_caches.append(cache_dir)
+            report = run_batch(
+                tmp_path / "batch", config=config,
+                engine=EngineConfig(jobs=1, cache_dir=str(cache_dir)),
+                shard=(index, 2),
+            )
+            assert report.shard == f"{index}/2"
+            shard_reports.append(json.loads(batch_to_json(report)))
+
+        merged = merge_reports(shard_reports)
+        assert report_ok(merged)
+        assert not merged["partial"]
+        # The determinism guarantee, byte for byte.
+        assert canonical_json(merged) \
+            == canonical_json(json.loads(batch_to_json(whole)))
+
+        # Cache contents match too: same entry set, same payloads up to
+        # the volatile recorded seconds.
+        merged_cache = tmp_path / "cache-merged"
+        copied = merge_caches(str(merged_cache),
+                              [str(path) for path in shard_caches])
+        assert copied == len(ResultCache(whole_cache))
+        names = {p.name for p in merged_cache.glob("*.json")}
+        assert names == {p.name for p in whole_cache.glob("*.json")}
+        for path in sorted(merged_cache.glob("*.json")):
+            ours = json.loads(path.read_text())
+            theirs = json.loads((whole_cache / path.name).read_text())
+            for entry in (ours, theirs):
+                entry["result"].pop("seconds")
+                entry["result"].pop("timings")
+            assert ours == theirs, path.name
+
+    def test_sharded_portfolio_merge_matches_unsharded(self, tmp_path):
+        _write_pairs(tmp_path / "batch", PAIRS[:3])
+        config = AnalysisConfig()
+        engine = dict(jobs=1, cache_dir=None, portfolio=True)
+        whole = run_batch(tmp_path / "batch", config=config,
+                          engine=EngineConfig(**engine))
+        shard_reports = [
+            json.loads(batch_to_json(run_batch(
+                tmp_path / "batch", config=config,
+                engine=EngineConfig(**engine), shard=(index, 2),
+            )))
+            for index in (0, 1)
+        ]
+        merged = merge_reports(shard_reports)
+        assert canonical_json(merged) \
+            == canonical_json(json.loads(batch_to_json(whole)))
+
+    def test_merge_rejects_inconsistent_shards(self, tmp_path):
+        _write_pairs(tmp_path / "batch", PAIRS[:2])
+        config = AnalysisConfig()
+        report = json.loads(batch_to_json(run_batch(
+            tmp_path / "batch", config=config,
+            engine=EngineConfig(jobs=1, cache_dir=None), shard=(0, 2),
+        )))
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError, match="twice"):
+            merge_reports([report, report])
+        unsharded = json.loads(batch_to_json(run_batch(
+            tmp_path / "batch", config=config,
+            engine=EngineConfig(jobs=1, cache_dir=None),
+        )))
+        with pytest.raises(AnalysisError, match="no shard marker"):
+            merge_reports([unsharded])
+
+    def test_merge_rejects_mixed_portfolio_and_plain_shards(self, tmp_path):
+        """A shard run without --portfolio cannot silently vanish into
+        a portfolio merge — the mode mismatch is a hard error."""
+        from repro.errors import AnalysisError
+
+        _write_pairs(tmp_path / "plain", PAIRS[:1])
+        _write_pairs(tmp_path / "port", PAIRS[1:2])
+        plain = json.loads(batch_to_json(run_batch(
+            tmp_path / "plain", config=AnalysisConfig(),
+            engine=EngineConfig(jobs=1, cache_dir=None),
+        )))
+        portfolio = json.loads(batch_to_json(run_batch(
+            tmp_path / "port", config=AnalysisConfig(),
+            engine=EngineConfig(jobs=1, cache_dir=None, portfolio=True),
+        )))
+        plain["shard"], portfolio["shard"] = "0/2", "1/2"
+        with pytest.raises(AnalysisError, match="non-portfolio"):
+            merge_reports([plain, portfolio])
+
+    def test_merge_marks_missing_shards_partial(self, tmp_path):
+        _write_pairs(tmp_path / "batch", PAIRS)
+        config = AnalysisConfig()
+        report = json.loads(batch_to_json(run_batch(
+            tmp_path / "batch", config=config,
+            engine=EngineConfig(jobs=1, cache_dir=None), shard=(0, 2),
+        )))
+        merged = merge_reports([report])
+        assert merged["partial"] is True
+        assert merged["missing_shards"] == [1]
+
+    def test_parse_shard_spec(self):
+        from repro.errors import AnalysisError
+
+        assert parse_shard_spec("0/2") == (0, 2)
+        assert parse_shard_spec("3/4") == (3, 4)
+        for bad in ("2/2", "-1/2", "x/2", "1", "1/0"):
+            with pytest.raises(AnalysisError):
+                parse_shard_spec(bad)
+
+
+class TestPartialFlush:
+    def test_interrupted_batch_flushes_completed_pairs(self, tmp_path,
+                                                       monkeypatch):
+        _write_pairs(tmp_path / "batch", PAIRS[:3])
+        import repro.engine.executor as executor_module
+
+        real_execute = executor_module.execute_job
+        calls = {"n": 0}
+
+        def interrupting(job, timeout=None):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                raise KeyboardInterrupt()
+            return real_execute(job, timeout)
+
+        monkeypatch.setattr(executor_module, "execute_job", interrupting)
+        report = run_batch(
+            tmp_path / "batch", config=AnalysisConfig(),
+            engine=EngineConfig(jobs=1, cache_dir=None),
+        )
+        assert report.partial is True
+        assert len(report.results) == 2
+        assert all(r.status == "ok" for r in report.results)
+        # The flushed slice is mergeable: it reads back like any shard
+        # report (modulo the shard marker).
+        data = json.loads(batch_to_json(report))
+        assert data["partial"] is True
+        assert len(data["results"]) == 2
+
+    def test_interrupted_batch_cli_exits_130(self, tmp_path, monkeypatch,
+                                             capsys):
+        from repro.cli import main
+        _write_pairs(tmp_path / "batch", PAIRS[:2])
+        import repro.engine.executor as executor_module
+
+        monkeypatch.setattr(
+            executor_module, "execute_job",
+            lambda job, timeout=None: (_ for _ in ()).throw(
+                KeyboardInterrupt()),
+        )
+        code = main(["batch", str(tmp_path / "batch"), "--no-cache",
+                     "--format", "json"])
+        assert code == 130
+        data = json.loads(capsys.readouterr().out)
+        assert data["partial"] is True
+        assert data["results"] == []
+
+    def test_interrupted_suite_flushes_partial_table(self, monkeypatch,
+                                                     capsys):
+        from repro.cli import main
+        import repro.engine.executor as executor_module
+
+        real_execute = executor_module.execute_job
+        calls = {"n": 0}
+
+        def interrupting(job, timeout=None):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise KeyboardInterrupt()
+            return real_execute(job, timeout)
+
+        monkeypatch.setattr(executor_module, "execute_job", interrupting)
+        code = main(["suite", "--names", "join,ex2", "--no-cache"])
+        assert code == 130
+        captured = capsys.readouterr()
+        assert "PARTIAL" in captured.err
+        assert "1/2" in captured.err
+
+    def test_sigterm_maps_to_keyboard_interrupt(self):
+        import os
+        import signal as signal_module
+
+        from repro.cli import _sigterm_as_interrupt
+
+        with _sigterm_as_interrupt():
+            with pytest.raises(KeyboardInterrupt):
+                os.kill(os.getpid(), signal_module.SIGTERM)
+        # Restored afterwards: the handler is no longer ours.
+        assert signal_module.getsignal(signal_module.SIGTERM) \
+            is signal_module.SIG_DFL
+
+
+class TestCliShardCommands:
+    def test_batch_shard_and_merge_shards_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        _write_pairs(tmp_path / "batch", PAIRS)
+        outputs = []
+        for index in (0, 1):
+            code = main([
+                "batch", str(tmp_path / "batch"), "--shard", f"{index}/2",
+                "--cache-dir", str(tmp_path / f"cache-{index}"),
+                "--format", "json",
+            ])
+            assert code == 0
+            payload = capsys.readouterr().out
+            path = tmp_path / f"shard{index}.json"
+            path.write_text(payload)
+            outputs.append(path)
+        code = main([
+            "merge-shards", str(outputs[0]), str(outputs[1]),
+            "-o", str(tmp_path / "merged.json"), "--canonical",
+            "--cache-dir", str(tmp_path / "cache-merged"),
+            "--source-caches",
+            f"{tmp_path / 'cache-0'},{tmp_path / 'cache-1'}",
+        ])
+        assert code == 0
+        merged = json.loads((tmp_path / "merged.json").read_text())
+        assert merged["pair_names"] == sorted(n for n, _b in PAIRS)
+        assert len(merged["results"]) == len(PAIRS)
+        assert len(ResultCache(tmp_path / "cache-merged")) == len(PAIRS)
+
+    def test_bad_shard_spec_is_a_cli_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        _write_pairs(tmp_path / "batch", PAIRS[:1])
+        code = main(["batch", str(tmp_path / "batch"), "--shard", "2/2"])
+        assert code == 2
+        assert "shard" in capsys.readouterr().err
+
+
+class TestJobFromPayload:
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ServeError, match="typo"):
+            job_from_payload(
+                {"old_source": QUICK_OLD, "new_source": QUICK_NEW,
+                 "config": {"typo": 1}},
+                AnalysisConfig(),
+            )
+
+    def test_defaults_inherited_from_base(self):
+        base = AnalysisConfig(degree=3)
+        job = job_from_payload(
+            {"old_source": QUICK_OLD, "new_source": QUICK_NEW},
+            base,
+        )
+        assert job.config.degree == 3
+        assert job.kind == "diff"
+
+    def test_refute_payload(self):
+        job = job_from_payload(
+            {"kind": "refute", "old_source": QUICK_OLD,
+             "new_source": QUICK_NEW, "candidate": 9},
+            AnalysisConfig(),
+        )
+        assert job.candidate == 9.0
