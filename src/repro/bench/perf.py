@@ -51,7 +51,7 @@ from repro.lp.solution import LPStatus
 from repro.poly.linexpr import AffineExpr
 from repro.poly.template import TemplatePolynomial
 
-BENCH_SCHEMA_VERSION = 2
+BENCH_SCHEMA_VERSION = 3
 
 #: Default backend set: the dense seed baseline first (speedups are
 #: reported relative to it), then the sparse exact solvers, then float.
@@ -166,6 +166,69 @@ def _check_agreement(row: dict[str, Any], backends: Sequence[str],
     return failures
 
 
+def _fold_phase_times(target: dict[str, float], stats: dict[str, Any]) -> None:
+    """Accumulate a stats dict's ``time_*`` entries into ``target``
+    (keyed by phase name, ``time_`` prefix stripped)."""
+    for key, value in stats.items():
+        if key.startswith("time_") and isinstance(value, (int, float)):
+            phase = key[len("time_"):]
+            target[phase] = target.get(phase, 0.0) + float(value)
+
+
+def build_profile(report: dict[str, Any]) -> dict[str, Any]:
+    """The ``profile`` section: exact-solve wall time attributed to
+    named solver phases (pricing, ratio test, basis update, ftran/btran,
+    eta pushes, refactorization, rational certification, float
+    warm-start stage), aggregated per backend across all rows, plus the
+    two refutation-batch variants.
+
+    ``accounted_fraction`` divides the phase sum by the tracked wall
+    seconds of the same unit.  Phase regions are disjoint by
+    construction, so the fraction is ≤ 1 up to timer overhead and the
+    untimed residue (model intake, Fraction conversions, solution
+    extraction); with ``repeats > 1`` the tracked time is best-of while
+    phases come from the last repeat, so treat the fraction as
+    approximate there (CI runs ``repeats=1``).
+    """
+    phases: dict[str, dict[str, float]] = {}
+    tracked: dict[str, float] = {}
+    for row in report.get("rows", []):
+        for name, entry in row.get("backends", {}).items():
+            stats = entry.get("stats", {})
+            if not any(key.startswith("time_") for key in stats):
+                continue  # backend without phase timers (dense, scipy)
+            _fold_phase_times(phases.setdefault(name, {}), stats)
+            tracked[name] = tracked.get(name, 0.0) + entry["seconds"]
+    refutation = report.get("refutation")
+    if refutation:
+        for row in refutation.get("rows", []):
+            for variant in ("incremental", "cold"):
+                entry = row.get(variant)
+                if not entry or not any(
+                        key.startswith("time_") for key in entry):
+                    continue
+                unit = f"refutation:{variant}"
+                _fold_phase_times(phases.setdefault(unit, {}), entry)
+                tracked[unit] = tracked.get(unit, 0.0) + entry["seconds"]
+    profile: dict[str, Any] = {
+        "phases": {
+            unit: {phase: round(value, 6)
+                   for phase, value in sorted(unit_phases.items())}
+            for unit, unit_phases in sorted(phases.items())
+        },
+        "tracked_seconds": {
+            unit: round(seconds, 6) for unit, seconds in sorted(
+                tracked.items())
+        },
+        "accounted_fraction": {
+            unit: round(sum(phases[unit].values()) / tracked[unit], 3)
+            for unit in sorted(phases)
+            if tracked.get(unit, 0.0) > 0
+        },
+    }
+    return profile
+
+
 #: Per-variant counters surfaced in each refutation-batch row.
 _REFUTE_STAT_KEYS = (
     "solves", "factorizations", "refactorizations", "pivots",
@@ -185,6 +248,9 @@ def _refute_variant(old, new, config) -> dict[str, Any]:
         value = result.lp_stats.get(key)
         if value:
             entry[key] = value
+    for key, value in result.lp_stats.items():
+        if key.startswith("time_") and isinstance(value, float) and value > 0:
+            entry[key] = round(value, 6)
     entry["_result"] = result  # stripped before serialization
     return entry
 
@@ -336,6 +402,7 @@ def run_lp_perf(names: Sequence[str] | None = None,
         # A gap/witness divergence between the incremental and cold
         # loops is a solver bug exactly like a backend disagreement.
         summary["disagreements"] += section["summary"]["disagreements"]
+    report["profile"] = build_profile(report)
     return report
 
 
@@ -449,5 +516,16 @@ def format_perf_table(report: dict[str, Any]) -> str:
             + (f"; {rsum['speedup']}x wall speedup"
                if "speedup" in rsum else "")
         )
+    profile = report.get("profile")
+    if profile and profile["phases"]:
+        lines.append("")
+        lines.append("phase profile (seconds; fraction of tracked wall):")
+        for unit, unit_phases in profile["phases"].items():
+            fraction = profile["accounted_fraction"].get(unit)
+            ranked = sorted(unit_phases.items(), key=lambda kv: -kv[1])
+            detail = ", ".join(f"{phase}={value:.4f}"
+                               for phase, value in ranked)
+            suffix = f" ({fraction:.0%} accounted)" if fraction else ""
+            lines.append(f"  {unit}: {detail}{suffix}")
     lines.append(f"disagreements: {summary['disagreements']}")
     return "\n".join(lines)

@@ -9,7 +9,7 @@ Subcommands::
     repro-diffcost suite [--names a,b,c] [--jobs N]
     repro-diffcost batch DIR [--jobs N] [--portfolio] [--refute]
                              [--cache-dir D] [--max-inflight-pairs N]
-                             [--shard K/N]
+                             [--shard K/N] [--trace T.jsonl] [--log-level L]
     repro-diffcost merge-shards SHARD.json... [-o merged.json]
                                 [--cache-dir D --source-caches A,B]
     repro-diffcost serve [--port P] [--workers N] [--deadline S]
@@ -29,7 +29,7 @@ import contextlib
 import signal
 import sys
 
-from repro.config import AnalysisConfig, EngineConfig, ServeConfig
+from repro.config import AnalysisConfig, EngineConfig, ObsConfig, ServeConfig
 from repro.core import (
     analyze_diffcost,
     analyze_single_program,
@@ -63,6 +63,21 @@ def _config(args: argparse.Namespace) -> AnalysisConfig:
         lp_backend=args.backend,
         lp_incremental=not args.cold_lp,
     )
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="append Chrome trace_event JSONL spans here "
+                             "(load in Perfetto); workers inherit via "
+                             "the REPRO_TRACE environment variable")
+    parser.add_argument("--log-level", default=None, metavar="LEVEL",
+                        help="log level of the repro logger tree (debug, "
+                             "info, warning, ...); default: the "
+                             "REPRO_LOG environment variable, else silent")
+
+
+def _activate_obs(args: argparse.Namespace) -> None:
+    ObsConfig(trace_file=args.trace, log_level=args.log_level).activate()
 
 
 def _load(path: str, name: str | None = None):
@@ -148,6 +163,7 @@ def _command_suite(args: argparse.Namespace) -> int:
         run_suite,
     )
 
+    _activate_obs(args)
     names = args.names.split(",") if args.names else None
     formatters = {
         "text": format_table,
@@ -231,6 +247,7 @@ def _command_batch(args: argparse.Namespace) -> int:
     from repro.engine import batch_to_json, format_batch_table, run_batch
     from repro.serve.shard import parse_shard_spec
 
+    _activate_obs(args)
     engine = EngineConfig(
         jobs=args.jobs,
         timeout=args.timeout,
@@ -298,6 +315,7 @@ def _command_serve(args: argparse.Namespace) -> int:
 
     from repro.serve import serve_forever
 
+    _activate_obs(args)
     serve_config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -402,6 +420,7 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--format", choices=["text", "markdown", "csv"],
                        default="text", help="output format")
     _add_engine_arguments(suite, default_cache=None)
+    _add_obs_arguments(suite)
     suite.set_defaults(handler=_command_suite)
 
     batch = subparsers.add_parser(
@@ -442,6 +461,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="output format")
     _add_config_arguments(batch)
     _add_engine_arguments(batch, default_cache=".repro-cache")
+    _add_obs_arguments(batch)
     batch.set_defaults(handler=_command_batch)
 
     merge = subparsers.add_parser(
@@ -467,7 +487,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve = subparsers.add_parser(
         "serve",
         help="run the async JSON-over-HTTP analysis server "
-             "(POST /analyze, GET /healthz)",
+             "(POST /analyze, GET /healthz, GET /metrics)",
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8765,
@@ -488,6 +508,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-cache", action="store_true",
                        help="disable the result cache")
     _add_config_arguments(serve)
+    _add_obs_arguments(serve)
     serve.set_defaults(handler=_command_serve)
 
     perf = subparsers.add_parser(

@@ -215,3 +215,56 @@ class ServeConfig:
             raise AnalysisError("deadline must be positive (or None)")
         if self.job_timeout is not None and self.job_timeout <= 0:
             raise AnalysisError("job_timeout must be positive (or None)")
+
+
+@dataclass
+class ObsConfig:
+    """Observability switches (:mod:`repro.obs`).
+
+    Deliberately **not** part of :class:`AnalysisConfig`: observability
+    must never perturb analysis results, so its knobs stay out of the
+    content-addressed job hash — turning tracing on cannot invalidate a
+    cache entry or change a report byte.
+
+    Attributes
+    ----------
+    trace_file:
+        Write Chrome ``trace_event`` JSONL spans here (one complete
+        event per line; load in Perfetto / ``chrome://tracing``).
+        ``None`` disables tracing.
+    log_level:
+        Stdlib logging level name for the ``repro`` logger tree
+        (``"debug"``, ``"info"``, ...).  ``None`` leaves logging
+        unconfigured (silent) unless ``REPRO_LOG`` is set.
+    """
+
+    trace_file: str | None = None
+    log_level: str | None = None
+
+    def __post_init__(self):
+        if self.log_level is not None:
+            from repro.obs.log import parse_level
+
+            try:
+                parse_level(self.log_level)
+            except ValueError as error:
+                raise AnalysisError(str(error)) from None
+
+    def activate(self) -> None:
+        """Export the switches to this process *and* its future worker
+        processes (both ride on environment variables, which fork/spawn
+        children inherit)."""
+        from repro.obs import setup_logging, trace_enable
+        from repro.obs.log import LOG_ENV
+
+        if self.trace_file is not None:
+            trace_enable(self.trace_file)
+        if self.log_level is not None:
+            import os
+
+            os.environ[LOG_ENV] = self.log_level
+            setup_logging(self.log_level)
+        else:
+            from repro.obs import setup_from_env
+
+            setup_from_env()

@@ -183,9 +183,15 @@ class DiffCostAnalyzer:
 
     def solve(self, model: LPModel) -> LPSolution:
         """Step 4: LP solve with the configured backend."""
+        from repro.obs import span
+
         with self.stopwatch.phase("lp"):
             backend = get_backend(self.config.lp_backend)
-            return backend.solve(model)
+            with span("lp-solve", cat="lp",
+                      args={"backend": self.config.lp_backend,
+                            "variables": model.num_variables,
+                            "constraints": model.num_constraints}):
+                return backend.solve(model)
 
     # -- main entry point -------------------------------------------------------
 

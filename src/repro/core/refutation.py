@@ -117,6 +117,9 @@ def _accumulate_lp_stats(total: dict, stats: dict) -> None:
         value = stats.get(key)
         if value:
             total[key] = total.get(key, 0) + value
+    for key, value in stats.items():
+        if key.startswith("time_") and isinstance(value, float) and value > 0:
+            total[key] = total.get(key, 0.0) + value
     max_eta = stats.get("max_eta", 0)
     if max_eta > total.get("max_eta", 0):
         total["max_eta"] = max_eta

@@ -23,10 +23,14 @@ from repro.engine.portfolio import (
     PortfolioResult,
     attach_refutations,
     portfolio_jobs,
+    record_portfolio_metrics,
     select_result,
 )
 from repro.errors import AnalysisError
+from repro.obs import get_logger, span
 from repro.utils.rationals import format_threshold as _fmt_threshold
+
+_LOG = get_logger("engine.batch")
 
 OLD_SUFFIX = "_old.imp"
 NEW_SUFFIX = "_new.imp"
@@ -245,6 +249,7 @@ def _run_portfolio_pairs(executor: ParallelExecutor,
             {pair.name: pair.sources() for pair in pairs},
             executor, base=config, margin=engine.refute_margin,
         )
+    record_portfolio_metrics(portfolios)
     return [rung for p in portfolios for rung in p.rungs], portfolios
 
 
@@ -322,6 +327,11 @@ def run_batch(directory: str | Path,
     portfolios: list[PortfolioResult] = []
     partial = False
 
+    _LOG.info("batch over %s: %d pair(s)%s, jobs=%d%s", directory,
+              len(pairs),
+              "" if shard is None else f" (shard {shard[0]}/{shard[1]})",
+              engine.jobs,
+              ", portfolio" if engine.portfolio else "")
     # One executor — and therefore one long-lived worker pool — for the
     # whole batch, however many pairs it has.
     with ParallelExecutor(
@@ -331,20 +341,29 @@ def run_batch(directory: str | Path,
             lambda result: recorded.__setitem__(result.job_key, result)
         )
         try:
-            if engine.portfolio:
-                results, portfolios = _run_portfolio_pairs(
-                    executor, pairs, config, engine, ladder
-                )
-            else:
-                results = executor.run(
-                    [_pair_job(pair, config) for pair in pairs]
-                )
+            with span("batch", cat="engine",
+                      args={"directory": str(directory),
+                            "pairs": len(pairs)}):
+                if engine.portfolio:
+                    results, portfolios = _run_portfolio_pairs(
+                        executor, pairs, config, engine, ladder
+                    )
+                else:
+                    results = executor.run(
+                        [_pair_job(pair, config) for pair in pairs]
+                    )
         except KeyboardInterrupt:
             partial = True
             results, portfolios = _completed_results(
                 pairs, config, engine, ladder, recorded
             )
+            _LOG.warning("batch interrupted: flushing %d resolved pair(s)",
+                         len(portfolios) if engine.portfolio else len(results))
         stats = executor.stats
+    _LOG.info("batch done in %.2fs: %d completed, %d error(s), "
+              "%d timeout(s), %d cache hit(s)",
+              time.perf_counter() - start, stats.completed, stats.errors,
+              stats.timeouts, stats.cache_hits)
 
     return BatchReport(
         directory=str(directory),

@@ -17,23 +17,43 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Any
 
 from repro.engine.jobs import JOB_SCHEMA_VERSION, AnalysisJob, JobResult
+from repro.obs import get_logger, get_registry
+
+_LOG = get_logger("engine.cache")
 
 #: Results from failed executions are never cached (a timeout on a busy
 #: machine says nothing about the next run); sound analysis answers are,
 #: including the paper's ✗ ("unknown": the LP was infeasible).
 CACHEABLE_STATUSES = ("ok",)
 
+#: Entries older than this (seconds since last write) count as eviction
+#: candidates in :meth:`ResultCache.stats` — a capacity-planning signal
+#: only; nothing is evicted automatically.
+DEFAULT_EVICTION_AGE_S = 7 * 24 * 3600.0
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
 
 class ResultCache:
     """JSON-on-disk cache of :class:`JobResult` payloads."""
 
-    def __init__(self, directory: str | os.PathLike):
+    def __init__(self, directory: str | os.PathLike,
+                 eviction_age_s: float = DEFAULT_EVICTION_AGE_S):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.eviction_age_s = eviction_age_s
         self.hits = 0
         self.misses = 0
 
@@ -50,24 +70,35 @@ class ResultCache:
             with open(path) as handle:
                 entry = json.load(handle)
         except (OSError, json.JSONDecodeError):
-            self.misses += 1
+            self._miss()
             return None
         if entry.get("version") != JOB_SCHEMA_VERSION:
-            self.misses += 1
+            self._miss()
             return None
         try:
             result = JobResult.from_dict(entry["result"])
         except (KeyError, TypeError):
-            self.misses += 1
+            self._miss()
             return None
         self.hits += 1
+        get_registry().counter(
+            "repro_cache_hits_total", "Result-cache lookups that hit.",
+        ).inc()
         result.cached = True
         # The entry keeps the original run's duration on disk, but the
         # replayed result cost this run nothing — reporting historical
         # seconds as measured time would inflate every consumer's
-        # timing column.
+        # timing column.  The stored metrics delta was the *original*
+        # run's work; replaying it would double-count those increments.
         result.seconds = 0.0
+        result.metrics = {}
         return result
+
+    def _miss(self) -> None:
+        self.misses += 1
+        get_registry().counter(
+            "repro_cache_misses_total", "Result-cache lookups that missed.",
+        ).inc()
 
     # -- store -------------------------------------------------------------
 
@@ -103,6 +134,9 @@ class ResultCache:
             except OSError:
                 pass
             return False
+        get_registry().counter(
+            "repro_cache_stores_total", "Result-cache entries written.",
+        ).inc()
         return True
 
     # -- merging -----------------------------------------------------------
@@ -151,6 +185,9 @@ class ResultCache:
                     os.unlink(temp_path)
                 except OSError:
                     pass
+        if copied:
+            _LOG.debug("merged %d entr%s from %s", copied,
+                       "y" if copied == 1 else "ies", source_dir)
         return copied
 
     # -- maintenance -------------------------------------------------------
@@ -174,6 +211,54 @@ class ResultCache:
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("[!.]*.json"))
 
-    def stats(self) -> dict[str, Any]:
-        """Hit/miss counters of this cache handle."""
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self)}
+    @staticmethod
+    def empty_stats() -> dict[str, Any]:
+        """The :meth:`stats` schema with every value zeroed.
+
+        Served by ``/healthz`` before the engine (and therefore the
+        cache handle) exists, so scrapers see one stable shape instead
+        of special-casing ``null``.
+        """
+        return {
+            "hits": 0,
+            "misses": 0,
+            "entries": 0,
+            "total_bytes": 0,
+            "oldest_age_s": 0.0,
+            "newest_age_s": 0.0,
+            "age_p50_s": 0.0,
+            "age_p90_s": 0.0,
+            "eviction_candidates": 0,
+        }
+
+    def stats(self, now: float | None = None) -> dict[str, Any]:
+        """Hit/miss counters of this handle plus on-disk shape: entry
+        count, total bytes, and entry-age spread (seconds since last
+        write: oldest/newest and p50/p90 percentiles) — the
+        capacity-planning view.  ``eviction_candidates`` counts entries
+        older than :attr:`eviction_age_s`; nothing is deleted here."""
+        data = self.empty_stats()
+        data["hits"], data["misses"] = self.hits, self.misses
+        if now is None:
+            now = time.time()
+        ages: list[float] = []
+        total_bytes = 0
+        for path in self.directory.glob("[!.]*.json"):
+            try:
+                meta = path.stat()
+            except OSError:  # deleted/renamed mid-scan by another writer
+                continue
+            total_bytes += meta.st_size
+            ages.append(max(0.0, now - meta.st_mtime))
+        ages.sort()
+        data["entries"] = len(ages)
+        data["total_bytes"] = total_bytes
+        if ages:
+            data["oldest_age_s"] = round(ages[-1], 3)
+            data["newest_age_s"] = round(ages[0], 3)
+            data["age_p50_s"] = round(_percentile(ages, 0.5), 3)
+            data["age_p90_s"] = round(_percentile(ages, 0.9), 3)
+            data["eviction_candidates"] = sum(
+                1 for age in ages if age > self.eviction_age_s
+            )
+        return data

@@ -37,6 +37,9 @@ from repro.engine.cache import ResultCache
 from repro.engine.jobs import AnalysisJob, JobResult, run_job
 from repro.engine.scheduler import EscalationScheduler, Task, WorkerPool
 from repro.errors import AnalysisError
+from repro.obs import get_logger, get_registry
+
+_LOG = get_logger("engine.executor")
 
 
 class JobTimeoutError(Exception):
@@ -65,10 +68,11 @@ def execute_job(job: AnalysisJob, timeout: float | None = None) -> JobResult:
     start = time.perf_counter()
     try:
         if timeout is not None:
-            return _run_with_alarm(job, timeout)
-        return run_job(job)
+            result = _run_with_alarm(job, timeout)
+        else:
+            result = run_job(job)
     except JobTimeoutError:
-        return JobResult(
+        result = JobResult(
             job_key=job.key,
             name=job.name,
             kind=job.kind,
@@ -77,8 +81,10 @@ def execute_job(job: AnalysisJob, timeout: float | None = None) -> JobResult:
             message=f"job exceeded its {timeout:g}s budget",
             seconds=time.perf_counter() - start,
         )
+        _LOG.warning("job %s (%s) timed out after %.3fs",
+                     job.name or job.key[:12], job.kind, result.seconds)
     except Exception as error:  # noqa: BLE001 — structured capture is the point
-        return JobResult(
+        result = JobResult(
             job_key=job.key,
             name=job.name,
             kind=job.kind,
@@ -88,6 +94,19 @@ def execute_job(job: AnalysisJob, timeout: float | None = None) -> JobResult:
             traceback=traceback_module.format_exc(limit=20),
             seconds=time.perf_counter() - start,
         )
+        _LOG.warning("job %s (%s) failed: %s: %s",
+                     job.name or job.key[:12], job.kind,
+                     result.error_type, result.message)
+    registry = get_registry()
+    registry.counter(
+        "repro_jobs_total", "Analysis jobs executed, by kind and status.",
+        ("kind", "status"),
+    ).inc(kind=job.kind, status=result.status)
+    registry.histogram(
+        "repro_job_seconds", "Wall-clock seconds per executed job.",
+        ("kind",),
+    ).observe(result.seconds, kind=job.kind)
+    return result
 
 
 def _run_with_alarm(job: AnalysisJob, timeout: float) -> JobResult:
@@ -200,6 +219,11 @@ class ParallelExecutor:
             self.cache.put(job, result)
 
     def _account(self, result: JobResult) -> JobResult:
+        if result.metrics:
+            # The worker's metrics-snapshot delta rides home on the
+            # result; fold it into this process's registry exactly once.
+            get_registry().merge(result.metrics)
+            result.metrics = {}
         if result.status == "error":
             self.stats.errors += 1
         elif result.status == "timeout":
@@ -255,6 +279,8 @@ class ParallelExecutor:
                 # Nothing running and nothing dispatchable: the pool
                 # stalled (it should be impossible with size >= 1, but
                 # an infinite wait would be worse than a hard error).
+                _LOG.error("worker pool stalled with %d task(s) "
+                           "outstanding", len(waiting))
                 for index, job in waiting.values():
                     results[index] = self._finish(job, JobResult(
                         job_key=job.key, name=job.name, kind=job.kind,

@@ -160,6 +160,11 @@ class JobResult:
     timings: dict[str, float] = field(default_factory=dict)
     config_summary: dict[str, Any] = field(default_factory=dict)
     cached: bool = False
+    #: Metrics-snapshot delta from the worker process that ran the job
+    #: (:meth:`repro.obs.metrics.MetricsRegistry.diff`).  Merged into
+    #: the parent registry by the executor and cleared afterwards; a
+    #: volatile side channel, stripped from canonical reports.
+    metrics: dict[str, Any] = field(default_factory=dict)
     #: The full in-process analysis result object (e.g.
     #: :class:`~repro.core.results.DiffCostResult`).  Only populated on
     #: the inline execution path; never serialized.
@@ -202,6 +207,7 @@ class JobResult:
             "timings": dict(self.timings),
             "config_summary": dict(self.config_summary),
             "cached": self.cached,
+            "metrics": dict(self.metrics),
         }
 
     @staticmethod
@@ -232,6 +238,7 @@ def run_job(job: AnalysisJob) -> JobResult:
         refute_threshold,
     )
     from repro.lang import load_program
+    from repro.obs import span
     from repro.poly import parse_polynomial
 
     start = time.perf_counter()
@@ -244,22 +251,27 @@ def run_job(job: AnalysisJob) -> JobResult:
         config_summary=_config_summary(job.config),
     )
 
-    if job.kind == "single":
-        analysis = analyze_single_program(old, job.config)
-        threshold = analysis.precision
-    else:
-        new = load_program(job.new_source, name=f"{job.name or 'job'}_new")
-        if job.kind == "diff":
-            analysis = analyze_diffcost(old, new, job.config)
-            threshold = analysis.threshold
-        elif job.kind == "bound":
-            analysis = prove_symbolic_bound(
-                old, new, parse_polynomial(job.bound), job.config
-            )
-            threshold = None
-        else:  # refute
-            analysis = refute_threshold(old, new, job.candidate, job.config)
-            threshold = analysis.guaranteed_difference
+    with span(f"job:{job.kind}", cat="engine",
+              args={"job_key": job.key, "name": job.name,
+                    "degree": job.config.degree}):
+        if job.kind == "single":
+            analysis = analyze_single_program(old, job.config)
+            threshold = analysis.precision
+        else:
+            new = load_program(job.new_source,
+                               name=f"{job.name or 'job'}_new")
+            if job.kind == "diff":
+                analysis = analyze_diffcost(old, new, job.config)
+                threshold = analysis.threshold
+            elif job.kind == "bound":
+                analysis = prove_symbolic_bound(
+                    old, new, parse_polynomial(job.bound), job.config
+                )
+                threshold = None
+            else:  # refute
+                analysis = refute_threshold(old, new, job.candidate,
+                                            job.config)
+                threshold = analysis.guaranteed_difference
 
     result.outcome = analysis.status.value
     result.message = analysis.message

@@ -36,6 +36,9 @@ from repro.config import AnalysisConfig
 from repro.engine.executor import ParallelExecutor
 from repro.engine.jobs import AnalysisJob, JobResult
 from repro.errors import AnalysisError
+from repro.obs import get_logger, get_registry
+
+_LOG = get_logger("engine.portfolio")
 
 #: The escalation ladder as (degree, max_products, lp_backend) triples.
 #: The exact rung uses the warm-started certified backend: identical
@@ -109,6 +112,24 @@ class PortfolioResult:
         if self.chosen is None:
             return None
         return self.rungs.index(self.chosen)
+
+
+def record_portfolio_metrics(portfolios: list["PortfolioResult"]) -> None:
+    """Count decided portfolios by outcome (observability only: called
+    after selection, so it cannot influence which rung was chosen)."""
+    counter = get_registry().counter(
+        "repro_portfolio_pairs_total",
+        "Portfolio pairs decided, by outcome.",
+        ("outcome",),
+    )
+    for portfolio in portfolios:
+        if portfolio.succeeded:
+            outcome = "chosen"
+        elif any(rung.failed for rung in portfolio.rungs):
+            outcome = "failed"
+        else:
+            outcome = "unknown"
+        counter.inc(outcome=outcome)
 
 
 def select_result(results: list[JobResult], mode: str) -> JobResult | None:
@@ -223,6 +244,7 @@ def attach_refutations(portfolios: list[PortfolioResult],
             owners.append(portfolio)
     if not jobs:
         return
+    _LOG.debug("refutation stage: probing %d pair(s)", len(jobs))
     for portfolio, result in zip(owners, executor.run(jobs)):
         portfolio.refutation = result
 
@@ -250,4 +272,5 @@ def run_portfolio(old_source: str, new_source: str, name: str,
             [portfolio], {name: (old_source, new_source)}, executor,
             base, refute_margin,
         )
+    record_portfolio_metrics([portfolio])
     return portfolio

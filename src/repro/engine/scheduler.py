@@ -34,6 +34,9 @@ from multiprocessing.connection import wait as _wait_ready
 
 from repro.engine.jobs import AnalysisJob, JobResult
 from repro.errors import AnalysisError
+from repro.obs import get_logger, get_registry, setup_from_env
+
+_LOG = get_logger("engine.scheduler")
 
 #: Task lifecycle: PENDING (queued) → RUNNING (on a worker) → DONE
 #: (result available) or DROPPED (cancelled before a result existed).
@@ -124,6 +127,10 @@ def _worker_main(conn) -> None:
     except (ValueError, OSError):  # pragma: no cover — non-main thread
         pass
     _scrub_inherited_fds(keep={0, 1, 2, conn.fileno()})
+    # Observability travels by environment: REPRO_LOG configures this
+    # process's handler, REPRO_TRACE is read lazily by span().
+    setup_from_env()
+    registry = get_registry()
 
     while True:
         try:
@@ -133,7 +140,12 @@ def _worker_main(conn) -> None:
         if message is None:
             return
         task_id, payload, timeout = message
+        before = registry.snapshot()
         result = execute_job(AnalysisJob.from_dict(payload), timeout)
+        # Ship this job's metric increments home as a snapshot delta;
+        # the parent folds them into its registry when it accounts the
+        # result, so fleet totals match a single-process run.
+        result.metrics = registry.diff(before)
         try:
             conn.send((task_id, result.to_dict()))
         except (BrokenPipeError, OSError):
@@ -266,6 +278,12 @@ class WorkerPool:
             worker = _Worker(self._context)
             self._workers.append(worker)
             self.spawned += 1
+            get_registry().counter(
+                "repro_pool_workers_spawned_total",
+                "Worker processes ever started by a pool.",
+            ).inc()
+            _LOG.debug("spawned worker pid=%d (%d/%d)",
+                       worker.process.pid, len(self._workers), self.size)
             return worker
         return None
 
@@ -305,6 +323,10 @@ class WorkerPool:
             task_id, payload = worker.conn.recv()
         except (EOFError, OSError):
             exitcode = worker.process.exitcode
+            _LOG.warning("worker pid=%s died (exit code %s)%s",
+                         worker.process.pid, exitcode,
+                         "" if task is None
+                         else f" while running {task.job.name or 'a job'}")
             self._retire(worker)
             if task is None:
                 return False
@@ -367,6 +389,12 @@ class WorkerPool:
         if worker.process.is_alive():
             worker.process.terminate()
             self.terminated += 1
+            get_registry().counter(
+                "repro_pool_workers_terminated_total",
+                "Workers killed to cancel an abandoned task.",
+            ).inc()
+            _LOG.debug("terminated worker pid=%d (cancelled task)",
+                       worker.process.pid)
             worker.process.join(0.5)
 
     def _retire(self, worker: _Worker) -> None:
@@ -392,6 +420,9 @@ class WorkerPool:
         if self.closed:
             return
         self.closed = True
+        _LOG.debug("shutting down pool (%d worker(s), %d spawned, "
+                   "%d terminated)", len(self._workers), self.spawned,
+                   self.terminated)
         self._finalizer.detach()
         for worker in list(self._workers):
             if worker.task is None:

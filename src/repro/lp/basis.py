@@ -34,6 +34,7 @@ The same code runs over ``Fraction`` and ``float``; callers share one
 from __future__ import annotations
 
 from fractions import Fraction
+from time import perf_counter
 
 #: Eta file length that triggers a refactorization.  Empirically the
 #: crossover where replaying the eta file costs as much as a fresh LU on
@@ -81,6 +82,12 @@ class BasisFactorization:
         self.stats = stats if stats is not None else {}
         for key in ("factorizations", "eta_pivots", "max_eta"):
             self.stats.setdefault(key, 0)
+        # Phase timers (seconds): the linear-algebra kernels this object
+        # owns.  Written into the shared dict so they surface in solver
+        # stats and, from there, in the perf harness profile section.
+        for key in ("time_refactor", "time_ftran", "time_btran",
+                    "time_eta"):
+            self.stats.setdefault(key, 0.0)
         #: position k -> original row index of U's row k (``P``).
         self.perm: list[int] = []
         #: elimination ops ``v[i] -= factor * v[p]`` in application order.
@@ -98,6 +105,13 @@ class BasisFactorization:
 
         Resets the eta file: the factors describe exactly this basis.
         """
+        start = perf_counter()
+        try:
+            return self._factorize(columns)
+        finally:
+            self.stats["time_refactor"] += perf_counter() - start
+
+    def _factorize(self, columns: list[dict[int, object]]) -> bool:
         m = self.m
         self.stats["factorizations"] += 1
         self.etas = []
@@ -162,14 +176,22 @@ class BasisFactorization:
 
     def ftran(self, col: dict[int, object]) -> list:
         """``B^{-1} a`` for a sparse column ``a`` ({row: value})."""
+        start = perf_counter()
         v = [self.zero] * self.m
         for i, value in col.items():
             v[i] = value
-        return self._ftran_vector(v)
+        try:
+            return self._ftran_vector(v)
+        finally:
+            self.stats["time_ftran"] += perf_counter() - start
 
     def ftran_dense(self, vec: list) -> list:
         """``B^{-1} v`` for a dense vector (input is not modified)."""
-        return self._ftran_vector(list(vec))
+        start = perf_counter()
+        try:
+            return self._ftran_vector(list(vec))
+        finally:
+            self.stats["time_ftran"] += perf_counter() - start
 
     def _ftran_vector(self, v: list) -> list:
         for i, p, factor in self.l_ops:
@@ -199,6 +221,13 @@ class BasisFactorization:
         """``B^{-T} c``: simplex multipliers for basic costs ``c``
         (indexed by basis position); also row extraction via a unit
         vector.  Input is not modified."""
+        start = perf_counter()
+        try:
+            return self._btran_vector(vec)
+        finally:
+            self.stats["time_btran"] += perf_counter() - start
+
+    def _btran_vector(self, vec: list) -> list:
         v = list(vec)
         for r, off, wr in reversed(self.etas):
             total = v[r]
@@ -237,6 +266,7 @@ class BasisFactorization:
     def push_eta(self, position: int, w: list) -> None:
         """Record the basis change replacing ``position`` by a column
         whose basis coordinates are ``w`` (dense, ``w[position] != 0``)."""
+        start = perf_counter()
         off: dict[int, object] = {}
         bits = 0 if self.float_mode else _bit_size(w[position])
         for i, wi in enumerate(w):
@@ -252,6 +282,7 @@ class BasisFactorization:
             self.stats["max_eta"] = len(self.etas)
         if bits > self.eta_bit_limit:
             self._blown = True
+        self.stats["time_eta"] += perf_counter() - start
 
     @property
     def eta_count(self) -> int:

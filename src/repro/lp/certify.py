@@ -37,6 +37,7 @@ re-solves on.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterator
 
 from repro.errors import LPError
@@ -135,6 +136,16 @@ def scipy_candidate_basis(form: SparseStandardForm,
     modules = _scipy_modules()
     if modules is None:
         return None
+    start = perf_counter()
+    try:
+        return _scipy_candidate_basis(form, stats, modules)
+    finally:
+        stats["time_float"] = (stats.get("time_float", 0.0)
+                               + perf_counter() - start)
+
+
+def _scipy_candidate_basis(form: SparseStandardForm, stats: dict,
+                           modules) -> list[int] | None:
     numpy, linprog, csc_matrix = modules
     m, n = form.num_rows, form.num_cols
     data, indices, indptr = [], [], [0]
@@ -165,6 +176,7 @@ def float_simplex_candidate_basis(form: SparseStandardForm, stats: dict, *,
                                   bland_trigger: int = 24,
                                   ) -> list[int] | None:
     """Optimal basis of the float revised simplex; None on failure."""
+    start = perf_counter()
     solver = RevisedSimplex(
         form, float_mode=True, max_iterations=max_iterations,
         bland_trigger=bland_trigger,
@@ -174,6 +186,9 @@ def float_simplex_candidate_basis(form: SparseStandardForm, stats: dict, *,
     except LPError as error:
         stats["float_simplex_status"] = f"error: {error}"
         return None
+    finally:
+        stats["time_float"] = (stats.get("time_float", 0.0)
+                               + perf_counter() - start)
     stats["float_simplex_status"] = status
     stats["float_pivots"] = solver.stats["pivots"]
     stats["float_factorizations"] = solver.stats["factorizations"]

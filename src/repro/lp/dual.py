@@ -33,6 +33,7 @@ never re-encoding, and refactorizing only when the eta file says so.
 from __future__ import annotations
 
 from fractions import Fraction
+from time import perf_counter
 
 from repro.errors import LPError
 from repro.lp.model import LPModel
@@ -62,6 +63,13 @@ _SOLVER_COUNTERS = (
     "factorizations", "eta_pivots",
 )
 
+#: Phase timers (seconds) propagated the same way; float-valued, so
+#: they fold with a float delta loop rather than the int counter one.
+_SOLVER_TIMERS = (
+    "time_pricing", "time_ratio", "time_update", "time_certify",
+    "time_refactor", "time_ftran", "time_btran", "time_eta",
+)
+
 
 def exact_dual_feasible(solver: RevisedSimplex, costs: list) -> bool:
     """True iff every nonbasic structural column prices out ``>= 0``.
@@ -71,18 +79,26 @@ def exact_dual_feasible(solver: RevisedSimplex, costs: list) -> bool:
     """
     cb = [costs[b] for b in solver.basis]
     y = solver._btran(cb)
-    threshold = -solver.dual_tol
-    for j in range(solver.n):
-        if solver.in_basis[j]:
-            continue
-        reduced = costs[j]
-        for i, a in solver.cols[j].items():
-            yi = y[i]
-            if yi:
-                reduced = reduced - yi * a
-        if reduced < threshold:
-            return False
-    return True
+    # The reduced-cost sweep is the rational certification step proper
+    # (the btran above is accounted to time_btran by the kernel).
+    start = perf_counter()
+    try:
+        threshold = -solver.dual_tol
+        for j in range(solver.n):
+            if solver.in_basis[j]:
+                continue
+            reduced = costs[j]
+            for i, a in solver.cols[j].items():
+                yi = y[i]
+                if yi:
+                    reduced = reduced - yi * a
+            if reduced < threshold:
+                return False
+        return True
+    finally:
+        solver.stats["time_certify"] = (
+            solver.stats.get("time_certify", 0.0) + perf_counter() - start
+        )
 
 
 def run_dual_simplex(solver: RevisedSimplex, costs: list) -> str:
@@ -106,6 +122,7 @@ def run_dual_simplex(solver: RevisedSimplex, costs: list) -> str:
         # Leaving row: most violated basic value (Bland: smallest basic
         # index among the violated ones).  ``sign`` orients the row so
         # the ratio test below always sees "basic value too low".
+        start = perf_counter()
         leaving, worst, sign = -1, None, 1
         for i in range(m):
             xi = solver.xb[i]
@@ -125,6 +142,7 @@ def run_dual_simplex(solver: RevisedSimplex, costs: list) -> str:
                     leaving, sign = i, s
             elif (worst is None or violation > worst):
                 worst, leaving, sign = violation, i, s
+        solver.stats["time_pricing"] += perf_counter() - start
         if leaving < 0:
             return OPTIMAL
 
@@ -136,6 +154,7 @@ def run_dual_simplex(solver: RevisedSimplex, costs: list) -> str:
         # Dual ratio test: entering minimizes reduced_cost / -alpha over
         # alpha < 0; smallest index on ties (required for termination
         # under the Bland leaving rule, and deterministic).
+        start = perf_counter()
         best_j, best_ratio = -1, None
         for j in range(n):
             if solver.in_basis[j]:
@@ -156,6 +175,7 @@ def run_dual_simplex(solver: RevisedSimplex, costs: list) -> str:
             ratio = reduced / (-alpha)
             if best_ratio is None or ratio < best_ratio:
                 best_j, best_ratio = j, ratio
+        solver.stats["time_pricing"] += perf_counter() - start
         if best_j < 0:
             return INFEASIBLE
 
@@ -234,13 +254,15 @@ class IncrementalLP:
         #: (basis, eta length, refactorization count) of the anchor
         #: basis re-solves start from — see :meth:`_rewind_to_anchor`.
         self._anchor: tuple[list[int], int, int] | None = None
-        self._counted: dict[str, int] = {}
-        self.stats: dict[str, int] = {
+        self._counted: dict[str, float] = {}
+        self.stats: dict[str, object] = {
             "solves": 0, "cold_solves": 0, "resolves": 0,
             "dual_resolves": 0, "max_eta": 0,
         }
         for key in _SOLVER_COUNTERS:
             self.stats[key] = 0
+        for key in _SOLVER_TIMERS:
+            self.stats[key] = 0.0
 
     # -- objectives --------------------------------------------------------
 
@@ -405,7 +427,7 @@ class IncrementalLP:
             status = solver.solve_two_phase()
             ladder_stats["path"] = "cold"
         self.solver = solver
-        for key in ("float_pivots", "float_factorizations"):
+        for key in ("float_pivots", "float_factorizations", "time_float"):
             if key in ladder_stats:
                 self.stats[key] = (
                     self.stats.get(key, 0) + ladder_stats[key]
@@ -510,7 +532,8 @@ class IncrementalLP:
             if not installed:
                 verdict = solver.warm_start(resume_basis)
                 assert verdict is WARM_READY, verdict
-            for key in ("float_pivots", "float_factorizations"):
+            for key in ("float_pivots", "float_factorizations",
+                        "time_float"):
                 if key in ladder_stats:
                     self.stats[key] = (
                         self.stats.get(key, 0) + ladder_stats[key]
@@ -526,6 +549,12 @@ class IncrementalLP:
             step = solver_stats.get(key, 0) - self._counted.get(key, 0)
             self._counted[key] = solver_stats.get(key, 0)
             if step:
+                delta[key] = step
+                self.stats[key] += step
+        for key in _SOLVER_TIMERS:
+            step = solver_stats.get(key, 0.0) - self._counted.get(key, 0.0)
+            self._counted[key] = solver_stats.get(key, 0.0)
+            if step > 0:
                 delta[key] = step
                 self.stats[key] += step
         if solver_stats.get("max_eta", 0) > self.stats["max_eta"]:

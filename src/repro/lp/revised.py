@@ -30,6 +30,7 @@ so primal and dual pivots share one factorization and one eta file.
 from __future__ import annotations
 
 from fractions import Fraction
+from time import perf_counter
 
 from repro.errors import LPError
 from repro.lp.basis import (
@@ -114,7 +115,7 @@ class RevisedSimplex:
             self.cols.append({row: self.one})  # artificial e_row
         self.costs = [convert(v) for v in form.costs]
 
-        self.stats: dict[str, int] = {
+        self.stats: dict[str, object] = {
             "pivots": 0,
             "phase1_pivots": 0,
             "phase2_pivots": 0,
@@ -122,6 +123,15 @@ class RevisedSimplex:
             "degenerate_pivots": 0,
             "bland_pivots": 0,
             "refactorizations": 0,
+            # Phase timers (seconds).  Together with the kernel timers
+            # the BasisFactorization adds below (time_refactor/ftran/
+            # btran/eta) these cover disjoint code regions, so their sum
+            # is a lower bound on — and in practice most of — the solve
+            # wall time.
+            "time_pricing": 0.0,
+            "time_ratio": 0.0,
+            "time_update": 0.0,
+            "time_certify": 0.0,
         }
         #: LU + eta factors; shares the stats dict so factorization and
         #: eta counters surface directly in solver stats.
@@ -152,24 +162,28 @@ class RevisedSimplex:
     def _price(self, costs: list[object], y: list[object],
                bland: bool) -> int:
         """Entering column (structural only), or -1 if dual feasible."""
-        best_j = -1
-        best_reduced = None
-        in_basis = self.in_basis
-        threshold = -self.dual_tol
-        for j in range(self.n):
-            if in_basis[j]:
-                continue
-            reduced = costs[j]
-            for i, a in self.cols[j].items():
-                yi = y[i]
-                if yi:
-                    reduced = reduced - yi * a
-            if reduced < threshold:
-                if bland:
-                    return j  # smallest improving index
-                if best_reduced is None or reduced < best_reduced:
-                    best_j, best_reduced = j, reduced
-        return best_j
+        start = perf_counter()
+        try:
+            best_j = -1
+            best_reduced = None
+            in_basis = self.in_basis
+            threshold = -self.dual_tol
+            for j in range(self.n):
+                if in_basis[j]:
+                    continue
+                reduced = costs[j]
+                for i, a in self.cols[j].items():
+                    yi = y[i]
+                    if yi:
+                        reduced = reduced - yi * a
+                if reduced < threshold:
+                    if bland:
+                        return j  # smallest improving index
+                    if best_reduced is None or reduced < best_reduced:
+                        best_j, best_reduced = j, reduced
+            return best_j
+        finally:
+            self.stats["time_pricing"] += perf_counter() - start
 
     def _ratio_test(self, w: list[object]) -> int:
         """Leaving row for the entering direction ``w``; -1 = unbounded.
@@ -180,6 +194,7 @@ class RevisedSimplex:
         row — either sign — binds with step 0, so artificials can leave
         but never move off zero.
         """
+        start = perf_counter()
         leaving = -1
         best = None
         xb, basis = self.xb, self.basis
@@ -199,6 +214,7 @@ class RevisedSimplex:
             if (best is None or ratio < best
                     or (ratio == best and basis[i] < basis[leaving])):
                 best, leaving = ratio, i
+        self.stats["time_ratio"] += perf_counter() - start
         return leaving
 
     def _pivot(self, row: int, entering: int, w: list[object]) -> object:
@@ -207,6 +223,7 @@ class RevisedSimplex:
         The basis change is an ``O(nnz(w))`` eta push; the factorization
         is rebuilt only when the eta file crosses its refactor policy.
         """
+        start = perf_counter()
         theta = self.xb[row] / w[row]
         if theta:
             for i in range(self.m):
@@ -219,6 +236,7 @@ class RevisedSimplex:
         self.in_basis[self.basis[row]] = False
         self.in_basis[entering] = True
         self.basis[row] = entering
+        self.stats["time_update"] += perf_counter() - start
         self.fact.push_eta(row, w)
         if self.fact.needs_refactor():
             if not self._refactorize():
@@ -286,6 +304,7 @@ class RevisedSimplex:
             if self.basis[row] < self.n:
                 continue
             binv_row = self.fact.btran_unit(row)
+            start = perf_counter()
             replacement = -1
             for j in range(self.n):
                 if self.in_basis[j]:
@@ -298,6 +317,7 @@ class RevisedSimplex:
                 if value > self.pivot_tol or value < -self.pivot_tol:
                     replacement = j
                     break
+            self.stats["time_pricing"] += perf_counter() - start
             if replacement >= 0:
                 self._pivot(row, replacement, self._ftran(self.cols[replacement]))
 

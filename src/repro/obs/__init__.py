@@ -1,0 +1,50 @@
+"""Observability layer: metrics, span tracing, structured logging.
+
+Everything in this package is dependency-free, deliberately cheap when
+disabled, and — the hard invariant — *never* feeds back into analysis
+results: metric counters, trace spans, and log records are side
+channels, stripped by :func:`repro.serve.shard.canonical_report` and
+excluded from content-addressed job hashes, so canonical reports and
+chosen rungs are byte-identical with observability on or off.
+
+- :mod:`repro.obs.metrics` — in-process registry of counters, gauges
+  and histograms with labeled series.  Snapshots are plain
+  JSON-serializable dicts; workers attach a snapshot *delta* to each
+  :class:`~repro.engine.jobs.JobResult` and the parent executor merges
+  them, so one registry per process adds up to fleet-wide totals.
+  Rendered as Prometheus text exposition by ``GET /metrics``.
+- :mod:`repro.obs.trace` — span recorder emitting Chrome
+  ``trace_event`` JSONL (load the file in Perfetto / chrome://tracing).
+  Activated by ``--trace FILE`` (propagated to workers through the
+  ``REPRO_TRACE`` environment variable); a disabled span is a no-op.
+- :mod:`repro.obs.log` — stdlib-logging setup under the ``repro.*``
+  namespace, driven by ``REPRO_LOG`` / ``--log-level``; silent unless
+  asked, worker-safe (each process configures its own handler).
+"""
+
+from repro.obs.log import get_logger, setup_from_env, setup_logging
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.trace import span, trace_active, trace_disable, trace_enable
+
+__all__ = [
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_logger",
+    "get_registry",
+    "setup_from_env",
+    "setup_logging",
+    "span",
+    "trace_active",
+    "trace_disable",
+    "trace_enable",
+]

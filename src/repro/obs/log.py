@@ -1,0 +1,88 @@
+"""Structured stdlib logging for the ``repro.*`` component tree.
+
+The stack stays silent by default — analyses print their reports, not
+a log stream — and turns on diagnostics only when asked, either via
+``REPRO_LOG=DEBUG`` in the environment or ``--log-level debug`` on the
+CLI (which exports the env var so pool workers inherit it; each worker
+process calls :func:`setup_from_env` and configures its own handler).
+
+Components get loggers under one namespace root::
+
+    log = get_logger("engine.scheduler")   # logging.Logger "repro.engine.scheduler"
+
+so a single ``repro`` root handler (stderr, pid-tagged format) covers
+everything, and ``logging``'s usual per-logger level machinery still
+works for anyone embedding the library.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import IO
+
+#: Environment variable carrying the log level name; the propagation
+#: mechanism for worker processes, exactly like ``REPRO_TRACE``.
+LOG_ENV = "REPRO_LOG"
+
+#: Root of the component namespace.
+ROOT = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s [%(process)d] %(name)s: %(message)s"
+
+#: Marker attribute identifying the handler this module installed, so
+#: repeated setup calls (parent, then fork-inherited worker) reconfigure
+#: instead of stacking duplicate handlers.
+_HANDLER_TAG = "_repro_obs_handler"
+
+_LEVELS = ("DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL")
+
+
+def get_logger(component: str) -> logging.Logger:
+    """Logger for one component, e.g. ``get_logger("serve.server")``."""
+    return logging.getLogger(f"{ROOT}.{component}" if component else ROOT)
+
+
+def parse_level(level: str | int) -> int:
+    """A level name (any case) or numeric level to its numeric value."""
+    if isinstance(level, int):
+        return level
+    name = str(level).upper()
+    if name not in _LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r} (expected one of "
+            f"{', '.join(l.lower() for l in _LEVELS)})"
+        )
+    return getattr(logging, name)
+
+
+def setup_logging(level: str | int | None = None,
+                  stream: IO[str] | None = None) -> bool:
+    """Configure the ``repro`` root logger; returns True if enabled.
+
+    ``level`` falls back to ``REPRO_LOG``; with neither set this is a
+    no-op returning False, which keeps library users' logging alone.
+    Idempotent: the single stderr handler is replaced, never stacked.
+    """
+    if level is None:
+        level = os.environ.get(LOG_ENV) or None
+    if level is None:
+        return False
+    numeric = parse_level(level)
+    root = logging.getLogger(ROOT)
+    root.setLevel(numeric)
+    root.propagate = False
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_TAG, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    setattr(handler, _HANDLER_TAG, True)
+    root.addHandler(handler)
+    return True
+
+
+def setup_from_env() -> bool:
+    """Worker-side entry point: honor ``REPRO_LOG`` if present."""
+    return setup_logging(None)

@@ -1,0 +1,367 @@
+"""In-process metrics: counters, gauges, histograms; mergeable snapshots.
+
+No third-party client library: the whole model is a registry of named
+metrics, each holding labeled series keyed by a tuple of label values.
+Three primitives cover the stack's needs:
+
+- :class:`Counter` — monotone float/int totals (jobs run, cache hits);
+- :class:`Gauge` — point-in-time values (cache bytes, in-flight
+  requests), refreshed by the owner right before a scrape;
+- :class:`Histogram` — fixed-bucket latency distributions.
+
+The multi-process story is *snapshot merging*, not shared memory: a
+worker process snapshots its registry before a job, runs the job,
+and attaches :meth:`MetricsRegistry.diff` (counter/histogram deltas)
+to the :class:`~repro.engine.jobs.JobResult` it sends back; the parent
+executor folds each delta into its own registry with
+:meth:`MetricsRegistry.merge`.  Deltas compose under addition, so
+totals in the parent equal what a single-process run would count —
+the property the soak test asserts.
+
+Rendering follows the Prometheus text exposition format (version
+0.0.4): ``# HELP`` / ``# TYPE`` headers, ``name{label="value"} 1``
+sample lines, histograms as cumulative ``_bucket`` / ``_sum`` /
+``_count`` series.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable
+
+#: Schema tag carried by every snapshot so a future layout change can
+#: be detected instead of silently mis-merged.
+SNAPSHOT_VERSION = 1
+
+#: Default histogram bucket upper bounds (seconds-flavoured, matching
+#: the job/request latencies this stack observes).  The implicit
+#: ``+Inf`` bucket is always appended.
+DEFAULT_BUCKETS = (0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+                   1.0, 2.5, 5.0, 10.0, 30.0, 60.0)
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class _Metric:
+    """Base: one named metric holding labeled series under a lock."""
+
+    type_name = "untyped"
+
+    def __init__(self, name: str, help_text: str,
+                 labelnames: tuple[str, ...], lock: threading.Lock):
+        self.name = name
+        self.help_text = help_text
+        self.labelnames = labelnames
+        self._lock = lock
+        self._series: dict[tuple[str, ...], Any] = {}
+
+    def _key(self, labels: dict[str, Any]) -> tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _zero(self):
+        return 0.0
+
+    def series(self) -> dict[tuple[str, ...], Any]:
+        with self._lock:
+            return dict(self._series)
+
+
+class Counter(_Metric):
+    type_name = "counter"
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._series.get(key, 0.0)
+
+
+class Gauge(_Metric):
+    type_name = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = float(value)
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._series.get(key, 0.0)
+
+
+class Histogram(_Metric):
+    type_name = "histogram"
+
+    def __init__(self, name: str, help_text: str,
+                 labelnames: tuple[str, ...], lock: threading.Lock,
+                 buckets: Iterable[float] = DEFAULT_BUCKETS):
+        super().__init__(name, help_text, labelnames, lock)
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"histogram {self.name!r} needs buckets")
+        self.bounds: tuple[float, ...] = tuple(bounds)
+
+    def _zero(self) -> dict[str, Any]:
+        return {"buckets": [0] * (len(self.bounds) + 1),
+                "sum": 0.0, "count": 0}
+
+    def observe(self, value: float, **labels) -> None:
+        key = self._key(labels)
+        with self._lock:
+            cell = self._series.get(key)
+            if cell is None:
+                cell = self._series[key] = self._zero()
+            index = len(self.bounds)
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    index = i
+                    break
+            cell["buckets"][index] += 1
+            cell["sum"] += value
+            cell["count"] += 1
+
+    def value(self, **labels) -> dict[str, Any]:
+        key = self._key(labels)
+        with self._lock:
+            cell = self._series.get(key)
+            return dict(cell) if cell else self._zero()
+
+    def series(self) -> dict[tuple[str, ...], Any]:
+        with self._lock:
+            return {key: {"buckets": list(cell["buckets"]),
+                          "sum": cell["sum"], "count": cell["count"]}
+                    for key, cell in self._series.items()}
+
+
+_METRIC_TYPES = {cls.type_name: cls for cls in (Counter, Gauge, Histogram)}
+
+
+class MetricsRegistry:
+    """A process-local family of named metrics.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create and
+    idempotent, so call sites just ask for the metric they need; a
+    name reused with a different type or label set is a programming
+    error and raises.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help_text: str,
+                       labelnames: tuple[str, ...], **extra):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help_text, tuple(labelnames),
+                             self._lock, **extra)
+                self._metrics[name] = metric
+                return metric
+        if not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{metric.type_name}, not {cls.type_name}"
+            )
+        if metric.labelnames != tuple(labelnames):
+            raise ValueError(
+                f"metric {name!r} already registered with labels "
+                f"{metric.labelnames}, not {tuple(labelnames)}"
+            )
+        return metric
+
+    def counter(self, name: str, help_text: str = "",
+                labelnames: Iterable[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help_text,
+                                   tuple(labelnames))
+
+    def gauge(self, name: str, help_text: str = "",
+              labelnames: Iterable[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help_text,
+                                   tuple(labelnames))
+
+    def histogram(self, name: str, help_text: str = "",
+                  labelnames: Iterable[str] = (),
+                  buckets: Iterable[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help_text,
+                                   tuple(labelnames), buckets=buckets)
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-serializable copy of every series (label keys become
+        lists so the snapshot survives a round-trip through JSON)."""
+        metrics: dict[str, Any] = {}
+        with self._lock:
+            items = list(self._metrics.items())
+        for name, metric in items:
+            entry: dict[str, Any] = {
+                "type": metric.type_name,
+                "help": metric.help_text,
+                "labelnames": list(metric.labelnames),
+                "series": [[list(key), value]
+                           for key, value in sorted(metric.series().items())],
+            }
+            if isinstance(metric, Histogram):
+                entry["bounds"] = list(metric.bounds)
+            metrics[name] = entry
+        return {"version": SNAPSHOT_VERSION, "metrics": metrics}
+
+    def diff(self, before: dict[str, Any]) -> dict[str, Any]:
+        """Delta snapshot: counters/histograms minus ``before``, gauges
+        at their current value.  Empty series are dropped, so a worker
+        that did nothing attaches ``{"metrics": {}}``-shaped noise-free
+        deltas."""
+        current = self.snapshot()
+        base = {name: {tuple(k): v for k, v in entry.get("series", [])}
+                for name, entry in before.get("metrics", {}).items()}
+        out: dict[str, Any] = {}
+        for name, entry in current["metrics"].items():
+            prior = base.get(name, {})
+            series = []
+            for key_list, value in entry["series"]:
+                key = tuple(key_list)
+                if entry["type"] == "counter":
+                    delta = value - prior.get(key, 0.0)
+                    if delta:
+                        series.append([key_list, delta])
+                elif entry["type"] == "histogram":
+                    zero = {"buckets": [0] * len(value["buckets"]),
+                            "sum": 0.0, "count": 0}
+                    prev = prior.get(key, zero)
+                    buckets = [a - b for a, b in
+                               zip(value["buckets"], prev["buckets"])]
+                    count = value["count"] - prev["count"]
+                    if count:
+                        series.append([key_list, {
+                            "buckets": buckets,
+                            "sum": value["sum"] - prev["sum"],
+                            "count": count,
+                        }])
+                else:  # gauge: last write wins, only if ever written
+                    series.append([key_list, value])
+            if series:
+                slim = dict(entry)
+                slim["series"] = series
+                out[name] = slim
+        return {"version": SNAPSHOT_VERSION, "metrics": out}
+
+    def merge(self, snapshot: dict[str, Any]) -> None:
+        """Fold a snapshot (or delta) into this registry: counters and
+        histograms add, gauges take the snapshot's value."""
+        version = snapshot.get("version", SNAPSHOT_VERSION)
+        if version != SNAPSHOT_VERSION:
+            raise ValueError(f"unknown metrics snapshot version {version!r}")
+        for name, entry in snapshot.get("metrics", {}).items():
+            cls = _METRIC_TYPES.get(entry.get("type"))
+            if cls is None:
+                continue
+            labelnames = tuple(entry.get("labelnames", ()))
+            if cls is Histogram:
+                metric = self.histogram(name, entry.get("help", ""),
+                                        labelnames,
+                                        buckets=entry.get("bounds",
+                                                          DEFAULT_BUCKETS))
+            elif cls is Gauge:
+                metric = self.gauge(name, entry.get("help", ""), labelnames)
+            else:
+                metric = self.counter(name, entry.get("help", ""), labelnames)
+            for key_list, value in entry.get("series", []):
+                labels = dict(zip(labelnames, key_list))
+                if cls is Counter:
+                    metric.inc(value, **labels)
+                elif cls is Gauge:
+                    metric.set(value, **labels)
+                else:
+                    key = metric._key(labels)
+                    with self._lock:
+                        cell = metric._series.get(key)
+                        if cell is None:
+                            cell = metric._series[key] = metric._zero()
+                        for i, n in enumerate(value["buckets"]):
+                            cell["buckets"][i] += n
+                        cell["sum"] += value["sum"]
+                        cell["count"] += value["count"]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+    # -- exposition --------------------------------------------------------
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition (version 0.0.4) of every series."""
+        lines: list[str] = []
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        for name, metric in metrics:
+            if metric.help_text:
+                lines.append(f"# HELP {name} {metric.help_text}")
+            lines.append(f"# TYPE {name} {metric.type_name}")
+            series = sorted(metric.series().items())
+            if not series and not isinstance(metric, Histogram):
+                continue
+            for key, value in series:
+                labels = ",".join(
+                    f'{label}="{_escape_label(text)}"'
+                    for label, text in zip(metric.labelnames, key)
+                )
+                if isinstance(metric, Histogram):
+                    cumulative = 0
+                    for bound, count in zip(
+                            tuple(metric.bounds) + (float("inf"),),
+                            value["buckets"]):
+                        cumulative += count
+                        le = f'le="{_format_value(bound)}"'
+                        tags = f"{labels},{le}" if labels else le
+                        lines.append(
+                            f"{name}_bucket{{{tags}}} {cumulative}")
+                    suffix = f"{{{labels}}}" if labels else ""
+                    lines.append(f"{name}_sum{suffix} "
+                                 f"{_format_value(value['sum'])}")
+                    lines.append(f"{name}_count{suffix} {value['count']}")
+                else:
+                    suffix = f"{{{labels}}}" if labels else ""
+                    lines.append(f"{name}{suffix} {_format_value(value)}")
+        return "\n".join(lines) + "\n"
+
+
+#: The process-wide registry every component records into.  Workers get
+#: their own copy (fresh on spawn, inherited-then-diffed on fork — the
+#: delta protocol is correct either way).
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return REGISTRY

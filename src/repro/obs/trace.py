@@ -1,0 +1,142 @@
+"""Span tracing to Chrome ``trace_event`` JSONL.
+
+Each completed span becomes one JSON line — a complete event
+(``"ph": "X"``) with microsecond wall-clock timestamp and duration —
+appended to the trace file named by the ``REPRO_TRACE`` environment
+variable.  A JSONL stream of such events is directly loadable in
+Perfetto (ui.perfetto.dev) or chrome://tracing, which group spans by
+``pid``/``tid`` into per-process / per-thread tracks.
+
+Design constraints, in order:
+
+- **zero cost when off**: :func:`span` checks one environment lookup
+  and yields; nothing is imported lazily, no file is touched.
+- **worker-safe**: activation travels through the environment, so
+  spawned/forked pool workers inherit it; each process opens its own
+  append-mode handle (guarded by pid, so a handle never crosses a
+  fork) and writes whole lines, which the OS appends atomically enough
+  for well-formed JSONL in practice.
+- **never perturbs results**: spans only *read* job metadata (the
+  content-addressed job key, rung names) and write to the side file.
+
+Spans are keyed to content-addressed job hashes: the batch span wraps
+discovery + execution, each pair/rung job span carries its
+``job_key``, and the LP-solve span nests inside whichever job ran it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+#: Environment variable naming the trace output file.  Set by
+#: ``--trace FILE`` (CLI) or :func:`trace_enable`; inherited by pool
+#: worker processes, which is the whole propagation mechanism.
+TRACE_ENV = "REPRO_TRACE"
+
+_lock = threading.Lock()
+_handle = None
+_handle_path: str | None = None
+_handle_pid: int | None = None
+
+
+def trace_enable(path: str) -> None:
+    """Turn tracing on for this process and its future children."""
+    os.environ[TRACE_ENV] = str(path)
+
+
+def trace_disable() -> None:
+    """Turn tracing off and drop any open handle."""
+    global _handle, _handle_path, _handle_pid
+    os.environ.pop(TRACE_ENV, None)
+    with _lock:
+        if _handle is not None:
+            try:
+                _handle.close()
+            except OSError:
+                pass
+        _handle = None
+        _handle_path = None
+        _handle_pid = None
+
+
+def trace_active() -> bool:
+    return bool(os.environ.get(TRACE_ENV))
+
+
+def _emit(event: dict[str, Any]) -> None:
+    global _handle, _handle_path, _handle_pid
+    path = os.environ.get(TRACE_ENV)
+    if not path:
+        return
+    line = json.dumps(event, separators=(",", ":")) + "\n"
+    pid = os.getpid()
+    with _lock:
+        if _handle is None or _handle_path != path or _handle_pid != pid:
+            if _handle is not None:
+                try:
+                    _handle.close()
+                except OSError:
+                    pass
+            try:
+                _handle = open(path, "a", encoding="utf-8")
+            except OSError:
+                _handle = None
+                return
+            _handle_path, _handle_pid = path, pid
+        try:
+            _handle.write(line)
+            _handle.flush()
+        except (OSError, ValueError):
+            _handle = None
+
+
+@contextmanager
+def span(name: str, cat: str = "repro",
+         args: dict[str, Any] | None = None) -> Iterator[None]:
+    """Record the wrapped block as one complete trace event.
+
+    No-op (one env lookup) when tracing is off.  The event is written
+    when the block exits, including on exception — a failing job still
+    shows up in the trace with its true duration.
+    """
+    if not os.environ.get(TRACE_ENV):
+        yield
+        return
+    start_wall = time.time()
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        duration = time.perf_counter() - start
+        _emit({
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "ts": int(start_wall * 1_000_000),
+            "dur": max(1, int(duration * 1_000_000)),
+            "pid": os.getpid(),
+            "tid": threading.get_ident() & 0xFFFFFFFF,
+            "args": args or {},
+        })
+
+
+def instant(name: str, cat: str = "repro",
+            args: dict[str, Any] | None = None) -> None:
+    """Record a zero-duration marker (worker kill, cancellation...)."""
+    if not os.environ.get(TRACE_ENV):
+        return
+    _emit({
+        "name": name,
+        "cat": cat,
+        "ph": "i",
+        "s": "p",
+        "ts": int(time.time() * 1_000_000),
+        "pid": os.getpid(),
+        "tid": threading.get_ident() & 0xFFFFFFFF,
+        "args": args or {},
+    })

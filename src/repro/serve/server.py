@@ -29,7 +29,11 @@ HTTP surface (all bodies JSON):
 
 - ``POST /analyze`` — run one job (or a portfolio); see
   :func:`job_from_payload` for the request schema;
-- ``GET /healthz`` — liveness plus serving/engine counters.
+- ``GET /healthz`` — liveness plus serving/engine counters (zeroed but
+  schema-complete before the engine warms up);
+- ``GET /metrics`` — Prometheus text exposition of the process
+  registry (request/job/cache counters, latency histograms, plus
+  point-in-time gauges refreshed at scrape time).
 """
 
 from __future__ import annotations
@@ -38,12 +42,13 @@ import asyncio
 import json
 import queue
 import threading
+import time
 from dataclasses import fields as dataclass_fields
 from dataclasses import replace
 
 from repro.config import AnalysisConfig, ServeConfig
 from repro.engine.cache import ResultCache
-from repro.engine.executor import ParallelExecutor
+from repro.engine.executor import ExecutorStats, ParallelExecutor
 from repro.engine.jobs import JOB_KINDS, AnalysisJob, JobResult
 from repro.engine.portfolio import (
     PORTFOLIO_MODES,
@@ -51,8 +56,15 @@ from repro.engine.portfolio import (
     select_result,
 )
 from repro.errors import ReproError
+from repro.obs import get_logger, get_registry
+
+_LOG = get_logger("serve.server")
 
 _CONFIG_FIELDS = frozenset(f.name for f in dataclass_fields(AnalysisConfig))
+
+#: Paths worth a per-path label on the request counter; anything else is
+#: folded into ``"other"`` so scanners cannot blow up series cardinality.
+_KNOWN_PATHS = ("/analyze", "/healthz", "/metrics")
 
 
 class ServeError(ReproError):
@@ -267,8 +279,12 @@ class AnalysisServer:
             self._handle_client, self.config.host, self.config.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        _LOG.info("serving on %s:%d (workers=%d, cache=%s)",
+                  self.config.host, self.port, self.config.workers,
+                  self.config.cache_dir or "off")
 
     async def stop(self) -> None:
+        _LOG.debug("stopping server on port %s", self.port)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -290,6 +306,10 @@ class AnalysisServer:
         if entry is not None:
             entry.waiters += 1
             self.coalesced += 1
+            get_registry().counter(
+                "repro_server_coalesced_total",
+                "Requests served by piggybacking on in-flight work.",
+            ).inc()
             return entry, False
         entry = _InFlight(job.key, self._loop.create_future())
         self._inflight[job.key] = entry
@@ -329,6 +349,11 @@ class AnalysisServer:
 
     def _timeout_result(self, job: AnalysisJob, deadline: float) -> JobResult:
         self.deadline_timeouts += 1
+        get_registry().counter(
+            "repro_server_deadline_timeouts_total",
+            "Requests that exceeded their deadline.",
+        ).inc()
+        _LOG.warning("deadline (%gs) expired for job %s", deadline, job.key)
         return JobResult(
             job_key=job.key,
             name=job.name,
@@ -445,6 +470,10 @@ class AnalysisServer:
         }
         if timed_out and chosen is None:
             self.deadline_timeouts += 1
+            get_registry().counter(
+                "repro_server_deadline_timeouts_total",
+                "Requests that exceeded their deadline.",
+            ).inc()
             data["message"] = (
                 f"request exceeded its {deadline:g}s deadline before any "
                 "rung succeeded"
@@ -453,6 +482,8 @@ class AnalysisServer:
 
     def _healthz(self) -> dict:
         executor = self.executor
+        # Both nested blocks keep their schema before warm-up (zeroed
+        # rather than null/empty) so scrapers never special-case boot.
         return {
             "status": "ok",
             "inflight": len(self._inflight),
@@ -460,19 +491,58 @@ class AnalysisServer:
             "coalesced": self.coalesced,
             "deadline_timeouts": self.deadline_timeouts,
             "workers": self.config.workers,
-            "engine": executor.stats.as_dict() if executor else {},
+            "engine": (executor.stats.as_dict() if executor
+                       else ExecutorStats().as_dict()),
             "cache": (executor.cache.stats()
-                      if executor and executor.cache else None),
+                      if executor and executor.cache
+                      else ResultCache.empty_stats()),
         }
+
+    def _metrics_text(self) -> str:
+        """Prometheus exposition; point-in-time gauges (in-flight count,
+        engine counters, on-disk cache shape) are refreshed here so the
+        scrape always reflects the current state."""
+        registry = get_registry()
+        registry.gauge(
+            "repro_server_inflight", "Deduplicated jobs in flight.",
+        ).set(len(self._inflight))
+        registry.gauge(
+            "repro_server_workers", "Configured worker processes.",
+        ).set(self.config.workers)
+        engine = (self.executor.stats.as_dict() if self.executor
+                  else ExecutorStats().as_dict())
+        for key, value in engine.items():
+            registry.gauge(
+                f"repro_engine_{key}",
+                f"Executor stat {key!r}, mirrored at scrape time.",
+            ).set(value)
+        cache_stats = (self.executor.cache.stats()
+                       if self.executor and self.executor.cache
+                       else ResultCache.empty_stats())
+        for key, value in cache_stats.items():
+            registry.gauge(
+                f"repro_cache_{key}",
+                f"Result-cache stat {key!r}, mirrored at scrape time.",
+            ).set(value)
+        return registry.render_prometheus()
 
     # -- HTTP plumbing -----------------------------------------------------
 
     async def _route(self, method: str, path: str, body: bytes
-                     ) -> tuple[int, dict]:
+                     ) -> tuple[int, dict | str]:
+        registry = get_registry()
+        registry.counter(
+            "repro_http_requests_total", "HTTP requests received, by path.",
+            ("path",),
+        ).inc(path=path if path in _KNOWN_PATHS else "other")
         if path == "/healthz":
             if method != "GET":
                 return 405, {"error": "use GET for /healthz"}
             return 200, self._healthz()
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"error": "use GET for /metrics"}
+            return 200, self._metrics_text()
         if path == "/analyze":
             if method != "POST":
                 return 405, {"error": "use POST for /analyze"}
@@ -481,6 +551,7 @@ class AnalysisServer:
             except json.JSONDecodeError as error:
                 return 400, {"error": f"invalid JSON body: {error}"}
             self.requests += 1
+            started = time.perf_counter()
             try:
                 async with self._admission:
                     mode = payload.get("portfolio") \
@@ -491,7 +562,13 @@ class AnalysisServer:
                         )
                     return 200, await self._analyze(payload)
             except ReproError as error:
+                _LOG.warning("rejected analyze request: %s", error)
                 return 400, {"error": str(error)}
+            finally:
+                registry.histogram(
+                    "repro_http_request_seconds",
+                    "Wall-clock latency of /analyze requests.",
+                ).observe(time.perf_counter() - started)
         return 404, {"error": f"unknown path {path!r}"}
 
     async def _read_request(self, reader: asyncio.StreamReader
@@ -521,7 +598,7 @@ class AnalysisServer:
     async def _handle_client(self, reader: asyncio.StreamReader,
                              writer: asyncio.StreamWriter) -> None:
         status: int | None = 400
-        payload = {"error": "bad request"}
+        payload: dict | str = {"error": "bad request"}
         try:
             request = await asyncio.wait_for(
                 self._read_request(reader), timeout=60
@@ -543,13 +620,19 @@ class AnalysisServer:
         finally:
             if status is not None:
                 try:
-                    data = json.dumps(payload).encode()
+                    if isinstance(payload, str):  # /metrics exposition
+                        data = payload.encode()
+                        content_type = ("text/plain; version=0.0.4; "
+                                        "charset=utf-8")
+                    else:
+                        data = json.dumps(payload).encode()
+                        content_type = "application/json"
                     reason = {200: "OK", 400: "Bad Request",
                               404: "Not Found",
                               405: "Method Not Allowed"}.get(status, "Error")
                     writer.write(
                         f"HTTP/1.1 {status} {reason}\r\n"
-                        f"Content-Type: application/json\r\n"
+                        f"Content-Type: {content_type}\r\n"
                         f"Content-Length: {len(data)}\r\n"
                         f"Connection: close\r\n\r\n".encode() + data
                     )

@@ -32,8 +32,10 @@ from repro.engine.cache import ResultCache
 from repro.errors import AnalysisError
 
 #: Result fields that legitimately differ between two runs of the same
-#: job (wall-clock measurements, machine-local tracebacks, cache state).
-_VOLATILE_RESULT_FIELDS = ("seconds", "timings", "traceback", "cached")
+#: job (wall-clock measurements, machine-local tracebacks, cache state,
+#: worker metrics-snapshot deltas).
+_VOLATILE_RESULT_FIELDS = ("seconds", "timings", "traceback", "cached",
+                           "metrics")
 
 #: Stats counters that depend on cache state / wall clock rather than on
 #: what was analyzed.

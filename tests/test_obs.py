@@ -1,0 +1,384 @@
+"""Tests for the observability layer (:mod:`repro.obs`).
+
+Three contracts matter:
+
+- **merging is exact**: worker-process snapshot deltas folded into the
+  parent registry produce the same totals as a single-process run
+  (asserted by a multi-process soak in the ``test_cache_soak`` mold and
+  an end-to-end ``jobs=2`` executor run);
+- **observability never perturbs results**: a batch run with tracing
+  enabled is canonically byte-identical to the same run without;
+- the exposition/side outputs are well-formed: Prometheus text,
+  Chrome ``trace_event`` JSONL, ``/healthz``'s zeroed pre-warm-up
+  schema, and the cache's capacity-planning stats.
+"""
+
+import json
+import multiprocessing
+import time
+
+import pytest
+
+from repro.config import AnalysisConfig, ObsConfig, ServeConfig
+from repro.engine.batch import batch_to_json, run_batch
+from repro.engine.cache import ResultCache
+from repro.engine.executor import ExecutorStats, ParallelExecutor
+from repro.engine.jobs import AnalysisJob, JobResult
+from repro.errors import AnalysisError
+from repro.obs import get_registry
+from repro.obs.log import get_logger, parse_level, setup_logging
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import span, trace_active, trace_disable, trace_enable
+from repro.serve.server import AnalysisServer
+from repro.serve.shard import canonical_json
+
+QUICK_SOURCE = """
+proc count(n) {{
+  assume(1 <= n && n <= {cap});
+  var i = 0;
+  while (i < n) {{ tick({cost}); i = i + 1; }}
+}}
+"""
+
+
+def _quick_job(index: int) -> AnalysisJob:
+    return AnalysisJob(
+        kind="single",
+        old_source=QUICK_SOURCE.format(cap=index + 2, cost=1),
+        config=AnalysisConfig(),
+        name=f"obs{index}",
+    )
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram_basics(self):
+        registry = MetricsRegistry()
+        jobs = registry.counter("jobs_total", "Jobs.", ("status",))
+        jobs.inc(status="ok")
+        jobs.inc(2, status="ok")
+        jobs.inc(status="error")
+        assert jobs.value(status="ok") == 3
+        assert jobs.value(status="error") == 1
+        with pytest.raises(ValueError):
+            jobs.inc(-1, status="ok")
+
+        depth = registry.gauge("queue_depth", "Depth.")
+        depth.set(5)
+        depth.inc()
+        depth.dec(2)
+        assert depth.value() == 4
+
+        lat = registry.histogram("latency_seconds", "Latency.",
+                                 buckets=(0.1, 1.0))
+        lat.observe(0.05)
+        lat.observe(0.5)
+        lat.observe(30.0)
+        cell = lat.value()
+        assert cell["count"] == 3
+        assert cell["buckets"] == [1, 1, 1]  # 0.1, 1.0, +Inf
+        assert cell["sum"] == pytest.approx(30.55)
+
+    def test_get_or_create_is_idempotent_but_typed(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x_total", "X.", ("a",))
+        assert registry.counter("x_total", "X.", ("a",)) is first
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+        with pytest.raises(ValueError):
+            registry.counter("x_total", "X.", ("b",))
+        with pytest.raises(ValueError):
+            first.inc(wrong="label")
+
+    def test_snapshot_diff_merge_is_exact(self):
+        worker = MetricsRegistry()
+        worker.counter("jobs_total", "J.", ("kind",)).inc(kind="warm")
+        before = worker.snapshot()
+        # The "job": what a worker would count between snapshots.
+        worker.counter("jobs_total", "J.", ("kind",)).inc(3, kind="diff")
+        worker.histogram("job_seconds", "S.", buckets=(1.0,)).observe(0.5)
+        worker.gauge("rss_bytes", "R.").set(123.0)
+        delta = worker.diff(before)
+        # Pre-existing counts are subtracted out of the delta.
+        assert "jobs_total" in delta["metrics"]
+        series = dict(
+            (tuple(k), v)
+            for k, v in delta["metrics"]["jobs_total"]["series"]
+        )
+        assert series == {("diff",): 3}
+
+        # The delta survives JSON transport and merges additively.
+        delta = json.loads(json.dumps(delta))
+        parent = MetricsRegistry()
+        parent.counter("jobs_total", "J.", ("kind",)).inc(10, kind="diff")
+        parent.merge(delta)
+        parent.merge(delta)  # two workers reporting the same work
+        assert parent.counter("jobs_total", "J.",
+                              ("kind",)).value(kind="diff") == 16
+        cell = parent.histogram("job_seconds", "S.",
+                                buckets=(1.0,)).value()
+        assert cell["count"] == 2 and cell["sum"] == pytest.approx(1.0)
+        assert parent.gauge("rss_bytes", "R.").value() == 123.0
+
+    def test_diff_of_idle_worker_is_empty(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total").inc()
+        before = registry.snapshot()
+        assert registry.diff(before)["metrics"].get("jobs_total") is None
+
+    def test_merge_rejects_unknown_version(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().merge({"version": 99, "metrics": {}})
+
+    def test_prometheus_rendering(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_http_requests_total", "HTTP requests.", ("path",)
+        ).inc(2, path="/analyze")
+        registry.gauge("repro_server_inflight", "In flight.").set(1)
+        registry.histogram(
+            "repro_job_seconds", "Job seconds.", buckets=(0.1, 1.0)
+        ).observe(0.5)
+        text = registry.render_prometheus()
+        assert "# HELP repro_http_requests_total HTTP requests." in text
+        assert "# TYPE repro_http_requests_total counter" in text
+        assert 'repro_http_requests_total{path="/analyze"} 2' in text
+        assert "repro_server_inflight 1" in text
+        # Histogram buckets are cumulative and end at +Inf.
+        assert 'repro_job_seconds_bucket{le="0.1"} 0' in text
+        assert 'repro_job_seconds_bucket{le="1"} 1' in text
+        assert 'repro_job_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_job_seconds_sum 0.5" in text
+        assert "repro_job_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "C.", ("p",)).inc(p='a"b\nc\\d')
+        rendered = registry.render_prometheus()
+        assert r'c_total{p="a\"b\nc\\d"} 1' in rendered
+
+
+class TestTrace:
+    def test_span_emits_loadable_trace_events(self, tmp_path):
+        trace_file = tmp_path / "trace.jsonl"
+        trace_enable(str(trace_file))
+        try:
+            assert trace_active()
+            with span("outer", cat="test", args={"job_key": "abc"}):
+                with span("inner", cat="test"):
+                    pass
+        finally:
+            trace_disable()
+        assert not trace_active()
+        events = [json.loads(line)
+                  for line in trace_file.read_text().splitlines()]
+        assert [e["name"] for e in events] == ["inner", "outer"]
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["cat"] == "test"
+            assert isinstance(event["ts"], int)
+            assert event["dur"] >= 1
+            assert event["pid"] > 0
+        assert events[1]["args"] == {"job_key": "abc"}
+
+    def test_span_is_noop_when_disabled(self, tmp_path):
+        trace_disable()
+        with span("ignored"):
+            pass
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestLog:
+    def test_parse_level(self):
+        assert parse_level("debug") < parse_level("warning")
+        with pytest.raises(ValueError):
+            parse_level("chatty")
+
+    def test_setup_logging_is_idempotent(self):
+        import io
+        import logging
+
+        stream = io.StringIO()
+        assert setup_logging("info", stream=stream)
+        assert setup_logging("info", stream=stream)  # replaces, no dup
+        root = logging.getLogger("repro")
+        assert len(root.handlers) == 1
+        assert root.propagate is False
+        get_logger("engine.test").info("hello from %s", "obs")
+        assert "hello from obs" in stream.getvalue()
+        assert "repro.engine.test" in stream.getvalue()
+
+    def test_setup_without_level_or_env_is_noop(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG", raising=False)
+        assert setup_logging() is False
+
+
+class TestObsConfig:
+    def test_rejects_unknown_log_level(self):
+        with pytest.raises(AnalysisError):
+            ObsConfig(log_level="nope")
+
+    def test_activate_exports_trace_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        trace_file = tmp_path / "t.jsonl"
+        ObsConfig(trace_file=str(trace_file)).activate()
+        try:
+            assert trace_active()
+        finally:
+            trace_disable()
+
+
+class TestCacheStats:
+    def test_empty_stats_schema_is_zeroed(self):
+        stats = ResultCache.empty_stats()
+        assert stats["entries"] == 0 and stats["total_bytes"] == 0
+        assert stats["hits"] == 0 and stats["misses"] == 0
+        assert stats["eviction_candidates"] == 0
+
+    def test_stats_reflect_disk_shape(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", eviction_age_s=3600.0)
+        for index in range(4):
+            job = _quick_job(index)
+            result = JobResult(job_key=job.key, name=job.name,
+                               kind=job.kind, status="ok")
+            assert cache.put(job, result)
+        stats = cache.stats()
+        assert set(stats) == set(ResultCache.empty_stats())
+        assert stats["entries"] == 4
+        assert stats["total_bytes"] > 0
+        assert 0.0 <= stats["newest_age_s"] <= stats["oldest_age_s"]
+        assert stats["age_p50_s"] <= stats["age_p90_s"]
+        assert stats["eviction_candidates"] == 0
+        # Pretend two hours pass: every entry becomes an eviction
+        # candidate and the ages move together.
+        later = cache.stats(now=time.time() + 7200)
+        assert later["eviction_candidates"] == 4
+        assert later["oldest_age_s"] >= 7200
+
+    def test_cache_hit_zeroes_metrics_and_seconds(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        job = _quick_job(0)
+        stored = JobResult(job_key=job.key, name=job.name, kind=job.kind,
+                           status="ok", seconds=1.5,
+                           metrics={"version": 1, "metrics": {}})
+        assert cache.put(job, stored)
+        replay = cache.get(job.key)
+        assert replay.cached is True
+        assert replay.seconds == 0.0
+        # Replaying must not re-merge the original run's deltas.
+        assert replay.metrics == {}
+
+
+class TestHealthzSchema:
+    def test_pre_warmup_healthz_is_zeroed_not_null(self):
+        server = AnalysisServer(ServeConfig(port=0))
+        health = server._healthz()
+        assert health["status"] == "ok"
+        assert health["engine"] == ExecutorStats().as_dict()
+        assert health["cache"] == ResultCache.empty_stats()
+        assert health["cache"]["hits"] == 0
+
+
+# -- multi-process snapshot merging (soak harness) -------------------------
+
+#: Per-process work of the soak: every worker counts the same series.
+SOAK_INCREMENTS = 50
+SOAK_WORKERS = 3
+
+
+def _metrics_worker(result_queue, worker_index: int) -> None:
+    registry = MetricsRegistry()
+    registry.counter("soak_jobs_total", "Soak.", ("kind",)).inc(kind="warm")
+    before = registry.snapshot()
+    counter = registry.counter("soak_jobs_total", "Soak.", ("kind",))
+    seconds = registry.histogram("soak_seconds", "Soak.", buckets=(0.5, 1.0))
+    for step in range(SOAK_INCREMENTS):
+        counter.inc(kind="diff")
+        seconds.observe((worker_index + step) % 3 * 0.4)
+    # JSON round-trip: the delta rides a process boundary in real life.
+    result_queue.put(json.dumps(registry.diff(before)))
+
+
+class TestMultiProcessMerge:
+    def test_worker_deltas_merge_to_exact_totals(self):
+        context = multiprocessing.get_context()
+        result_queue = context.Queue()
+        processes = [
+            context.Process(target=_metrics_worker,
+                            args=(result_queue, index))
+            for index in range(SOAK_WORKERS)
+        ]
+        for process in processes:
+            process.start()
+        deltas = [json.loads(result_queue.get(timeout=60))
+                  for _ in processes]
+        for process in processes:
+            process.join(timeout=60)
+            assert process.exitcode == 0, process
+
+        parent = MetricsRegistry()
+        for delta in deltas:
+            parent.merge(delta)
+        counter = parent.counter("soak_jobs_total", "Soak.", ("kind",))
+        assert counter.value(kind="diff") == SOAK_WORKERS * SOAK_INCREMENTS
+        # The pre-snapshot increment must not leak into any delta.
+        assert counter.value(kind="warm") == 0
+        cell = parent.histogram("soak_seconds", "Soak.",
+                                buckets=(0.5, 1.0)).value()
+        assert cell["count"] == SOAK_WORKERS * SOAK_INCREMENTS
+        assert sum(cell["buckets"]) == cell["count"]
+
+    def test_pool_workers_report_into_parent_registry(self):
+        """End to end: a jobs=2 executor run advances the parent's
+        ``repro_jobs_total`` by exactly the number of executed jobs."""
+        registry = get_registry()
+        counter = registry.counter(
+            "repro_jobs_total", "Analysis jobs executed, by kind and status.",
+            ("kind", "status"),
+        )
+        before = counter.value(kind="single", status="ok")
+        jobs = [_quick_job(index) for index in range(3)]
+        executor = ParallelExecutor(jobs=2)
+        try:
+            results = executor.run(jobs)
+        finally:
+            executor.close()
+        assert all(result.status == "ok" for result in results)
+        # The deltas were merged and cleared — never double-counted.
+        assert all(result.metrics == {} for result in results)
+        after = counter.value(kind="single", status="ok")
+        assert after - before == len(jobs)
+
+
+class TestByteIdentity:
+    """Canonical reports are identical with observability on or off."""
+
+    def _write_pairs(self, directory) -> None:
+        directory.mkdir()
+        for name, cap in (("alpha", 6), ("beta", 9)):
+            old = QUICK_SOURCE.format(cap=cap, cost=1)
+            new = QUICK_SOURCE.format(cap=cap, cost=2)
+            (directory / f"{name}_old.imp").write_text(old)
+            (directory / f"{name}_new.imp").write_text(new)
+
+    def test_batch_report_is_byte_identical_under_tracing(self, tmp_path):
+        pairs = tmp_path / "pairs"
+        self._write_pairs(pairs)
+        trace_file = tmp_path / "trace.jsonl"
+
+        trace_disable()
+        plain = run_batch(str(pairs))
+        trace_enable(str(trace_file))
+        try:
+            traced = run_batch(str(pairs))
+        finally:
+            trace_disable()
+
+        assert canonical_json(json.loads(batch_to_json(plain))) \
+            == canonical_json(json.loads(batch_to_json(traced)))
+        # The traced run really did write spans, and they all parse.
+        events = [json.loads(line)
+                  for line in trace_file.read_text().splitlines()]
+        assert any(event["name"] == "batch" for event in events)
+        assert any(event["name"].startswith("job:") for event in events)
+        assert any(event["name"] == "lp-solve" for event in events)

@@ -23,7 +23,7 @@ BACKENDS = ("exact", "exact-warm", "scipy")
 class TestRunLpPerf:
     def test_report_shape_and_agreement(self, tmp_path):
         report = run_lp_perf(names=["simple_single"], backends=BACKENDS)
-        assert report["schema"] == 2
+        assert report["schema"] == 3
         assert report["backends"] == list(BACKENDS)
         assert report["lp_solver_revision"] >= 2
         (row,) = report["rows"]
@@ -44,6 +44,18 @@ class TestRunLpPerf:
         summary = report["summary"]
         assert summary["disagreements"] == 0
         assert set(summary["seconds_total"]) == set(BACKENDS)
+
+        # Phase profile: exact solvers attribute wall time to named
+        # phases; scipy has no phase timers and must not appear.
+        profile = report["profile"]
+        assert "exact" in profile["phases"]
+        assert "exact-warm" in profile["phases"]
+        assert "scipy" not in profile["phases"]
+        assert "pricing" in profile["phases"]["exact"]
+        assert "refactor" in profile["phases"]["exact"]
+        for unit in profile["phases"]:
+            assert profile["tracked_seconds"][unit] >= 0
+            assert profile["accounted_fraction"][unit] > 0
 
         path = tmp_path / "BENCH_lp.json"
         write_bench_json(report, str(path))

@@ -86,6 +86,35 @@ async def http_json(port, method, path, payload=None):
     return int(head.split()[1]), json.loads(rest)
 
 
+async def http_text(port, method, path):
+    """Like :func:`http_json` but returns the raw body and headers —
+    for the Prometheus text exposition of ``/metrics``."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(
+        (
+            f"{method} {path} HTTP/1.1\r\nHost: localhost\r\n"
+            f"Content-Length: 0\r\nConnection: close\r\n\r\n"
+        ).encode()
+    )
+    await writer.drain()
+    data = await reader.read()
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except ConnectionError:
+        pass
+    head, _, rest = data.partition(b"\r\n\r\n")
+    return int(head.split()[1]), head.decode(), rest.decode()
+
+
+def _metric_value(text: str, sample: str) -> float:
+    """The value of an exact sample line (name incl. labels)."""
+    for line in text.splitlines():
+        if line.startswith(sample + " "):
+            return float(line.split()[-1])
+    raise AssertionError(f"sample {sample!r} not in exposition:\n{text}")
+
+
 async def started_server(tmp_path, **overrides) -> AnalysisServer:
     settings = {"port": 0, "workers": 1,
                 "cache_dir": str(tmp_path / "serve-cache")}
@@ -214,6 +243,67 @@ class TestCoalescing:
                 # second response came from the same single run.
                 assert health["engine"]["submitted"] == 1
                 assert health["engine"]["cache_hits"] == 0
+            finally:
+                await server.stop()
+
+        run_async(scenario())
+
+
+class TestMetricsEndpoint:
+    def test_metrics_exposition_tracks_requests_and_cache(self, tmp_path):
+        async def scenario():
+            server = await started_server(tmp_path)
+            try:
+                payload = {"kind": "diff", "old_source": QUICK_OLD,
+                           "new_source": QUICK_NEW, "name": "count"}
+                for _ in range(2):  # second replays from the cache
+                    status, _body = await http_json(
+                        server.port, "POST", "/analyze", payload)
+                    assert status == 200
+
+                status, head, text = await http_text(
+                    server.port, "GET", "/metrics")
+                assert status == 200
+                assert "text/plain; version=0.0.4" in head
+                assert "# TYPE repro_http_requests_total counter" in text
+                # The registry is process-global (tests share it), so
+                # assert the floor this scenario guarantees, not ==.
+                requests = _metric_value(
+                    text, 'repro_http_requests_total{path="/analyze"}')
+                assert requests >= 2
+                assert _metric_value(text, "repro_cache_hits_total") >= 1
+                assert _metric_value(text, "repro_cache_stores_total") >= 1
+                # Scrape-time gauges mirror engine and disk state.
+                assert _metric_value(text, "repro_engine_submitted") >= 2
+                assert _metric_value(text, "repro_engine_cache_hits") >= 1
+                assert _metric_value(text, "repro_cache_entries") >= 1
+                assert _metric_value(text, "repro_cache_total_bytes") > 0
+                assert _metric_value(text, "repro_server_inflight") == 0
+                # The scrape itself is counted on its own label.
+                status, _head, text = await http_text(
+                    server.port, "GET", "/metrics")
+                assert _metric_value(
+                    text, 'repro_http_requests_total{path="/metrics"}') >= 2
+
+                # /healthz carries the full cache stats schema.
+                _status, health = await http_json(
+                    server.port, "GET", "/healthz")
+                from repro.engine.cache import ResultCache
+
+                assert set(health["cache"]) == set(ResultCache.empty_stats())
+                assert health["cache"]["entries"] >= 1
+            finally:
+                await server.stop()
+
+        run_async(scenario())
+
+    def test_metrics_rejects_post(self, tmp_path):
+        async def scenario():
+            server = await started_server(tmp_path)
+            try:
+                status, _body = await http_json(
+                    server.port, "POST", "/metrics")
+                assert status == 405
             finally:
                 await server.stop()
 
