@@ -16,6 +16,8 @@ Subcommands::
     repro-diffcost perf [--names a,b,c] [--backends exact,exact-warm]
                         [--output BENCH_lp.json] [--baseline SNAPSHOT]
     repro-diffcost show PROGRAM.imp [--dot]
+    repro-diffcost lint [PATH...] [--format text|json] [--baseline B.json]
+                        [--write-baseline B.json] [--show-suppressed]
 
 ``batch`` and ``suite`` flush partial, clearly-marked reports on
 SIGTERM/Ctrl-C (exit code 130) instead of dying with nothing — a killed
@@ -364,6 +366,45 @@ def _command_witness(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.config import LintConfig
+    from repro.lint import (
+        lint_paths,
+        load_baseline,
+        render_json,
+        render_text,
+        unsuppressed,
+        write_baseline,
+    )
+
+    config = LintConfig(format=args.format, baseline=args.baseline,
+                        show_suppressed=args.show_suppressed)
+    paths = [Path(p) for p in args.paths]
+    if not paths:
+        paths = [p for p in (Path("src"), Path("tests")) if p.is_dir()]
+        if not paths:  # installed package, no source tree around
+            paths = [Path(__file__).resolve().parent]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        raise ReproError(f"no such path: {', '.join(map(str, missing))}")
+
+    findings = lint_paths(paths)
+    if args.write_baseline:
+        write_baseline(findings, args.write_baseline)
+        print(f"baseline written: {args.write_baseline}")
+        return 0
+    baseline = (load_baseline(config.baseline)
+                if config.baseline else frozenset())
+    if config.format == "json":
+        print(render_json(findings, baseline=baseline))
+    else:
+        print(render_text(findings, baseline=baseline,
+                          show_suppressed=config.show_suppressed))
+    return 1 if unsuppressed(findings, baseline) else 0
+
+
 def _command_show(args: argparse.Namespace) -> int:
     program = _load(args.program)
     if args.dot:
@@ -557,6 +598,25 @@ def build_parser() -> argparse.ArgumentParser:
     show.add_argument("--dot", action="store_true",
                       help="emit Graphviz instead of text")
     show.set_defaults(handler=_command_show)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="exactness/determinism/fork-safety static analysis",
+        description="AST-based checks over the source tree: float "
+                    "taint in declared-exact LP modules, nondeterminism "
+                    "in canonical-output producers, worker-unsafe "
+                    "global state.  Exits 1 on unsuppressed findings.",
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories (default: src tests)")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--baseline",
+                      help="tolerate findings fingerprinted in this file")
+    lint.add_argument("--write-baseline", metavar="FILE",
+                      help="record current findings as the ratchet and exit")
+    lint.add_argument("--show-suppressed", action="store_true",
+                      help="also print pragma-suppressed findings")
+    lint.set_defaults(handler=_command_lint)
 
     return parser
 

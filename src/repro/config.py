@@ -268,3 +268,31 @@ class ObsConfig:
             from repro.obs import setup_from_env
 
             setup_from_env()
+
+
+@dataclass
+class LintConfig:
+    """Knobs of the ``repro-diffcost lint`` static-analysis gate
+    (:mod:`repro.lint`).
+
+    Attributes
+    ----------
+    format:
+        Output rendering — ``"text"`` (one finding per line plus a
+        summary) or ``"json"`` (machine-readable findings + summary).
+    baseline:
+        Path of a baseline ratchet file; its fingerprints are
+        tolerated, anything new fails.  ``None`` means no ratchet.
+    show_suppressed:
+        Also print pragma-suppressed findings (text format only).
+    """
+
+    format: str = "text"
+    baseline: str | None = None
+    show_suppressed: bool = False
+
+    def __post_init__(self):
+        if self.format not in ("text", "json"):
+            raise AnalysisError(
+                f"lint format must be 'text' or 'json', got {self.format!r}"
+            )

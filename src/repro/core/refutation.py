@@ -223,7 +223,7 @@ def refute_threshold(old: ProgramLike, new: ProgramLike,
             continue
         gap = objective.evaluate(
             {name: solution.value(name) for name in objective.symbols}
-        ) if exact else -float(
+        ) if exact else -float(  # lint: allow[float-cast] float-LP branch only
             solution.objective_value  # objective was negated by maximize()
         )
         # Exact comparison: Fractions (and mixed Fraction/float) compare

@@ -64,8 +64,10 @@ def discover_pairs(directory: str | Path) -> list[ProgramPair]:
     root = Path(directory)
     if not root.is_dir():
         raise AnalysisError(f"not a directory: {root}")
-    olds = {p.name[:-len(OLD_SUFFIX)]: p for p in root.glob(f"*{OLD_SUFFIX}")}
-    news = {p.name[:-len(NEW_SUFFIX)]: p for p in root.glob(f"*{NEW_SUFFIX}")}
+    olds = {p.name[:-len(OLD_SUFFIX)]: p
+            for p in sorted(root.glob(f"*{OLD_SUFFIX}"))}
+    news = {p.name[:-len(NEW_SUFFIX)]: p
+            for p in sorted(root.glob(f"*{NEW_SUFFIX}"))}
     unpaired = sorted(set(olds) ^ set(news))
     if unpaired:
         raise AnalysisError(

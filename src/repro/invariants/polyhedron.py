@@ -133,7 +133,7 @@ class Polyhedron:
         else:
             result = False
         if len(_EMPTY_CACHE) < _CACHE_LIMIT:
-            _EMPTY_CACHE[key] = result
+            _EMPTY_CACHE[key] = result  # lint: allow[mutable-global-write] pure memo cache; worker divergence is perf-only
         return result
 
     def minimize(self, expr) -> Fraction | None:
@@ -176,7 +176,7 @@ class Polyhedron:
             return cached
         result = self._entails_uncached(ineq)
         if len(_ENTAILS_CACHE) < _CACHE_LIMIT:
-            _ENTAILS_CACHE[key] = result
+            _ENTAILS_CACHE[key] = result  # lint: allow[mutable-global-write] pure memo cache; worker divergence is perf-only
         return result
 
     def _entails_uncached(self, ineq: LinIneq) -> bool:

@@ -1,0 +1,213 @@
+"""Determinism checker for canonical-output / cache-key producers.
+
+Scoped by the contract registry: in a module carrying a determinism
+contract, iteration over ``set`` values is flagged everywhere (string
+hash randomization makes its order vary per process, wherever it
+feeds), while the remaining rules apply inside the registered
+canonical functions only:
+
+- iterating ``.items()`` / ``.keys()`` / ``.values()`` without a
+  ``sorted(...)`` wrapper (``unsorted-dict-iter``) — dict insertion
+  order is deterministic per process but *not* guaranteed equal
+  between the sharded and unsharded construction paths, which is
+  exactly the byte-identity contract;
+- iterating filesystem listings (``glob``/``rglob``/``iterdir``/
+  ``os.listdir``/``os.scandir``) unsorted (``unsorted-glob``);
+- ``time.*`` calls (``time-call``), ``random.*`` without an explicit
+  seed argument (``random-call``; ``random.Random(seed)`` is fine),
+  ``id(...)`` (``id-call``) and ``os.urandom`` (``urandom-call``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.contracts import Contracts
+from repro.lint.model import RawFinding
+
+_DICT_VIEWS = frozenset({"items", "keys", "values"})
+_FS_LISTING_METHODS = frozenset({"glob", "rglob", "iterdir"})
+_OS_LISTINGS = frozenset({"listdir", "scandir"})
+
+
+def _imported_names(tree: ast.Module, module: str) -> frozenset[str]:
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+    return frozenset(names)
+
+
+def _is_sorted_wrapped(node: ast.expr) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "sorted")
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset"))
+
+
+def _is_dict_view(node: ast.expr) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _DICT_VIEWS
+            and not node.args and not node.keywords)
+
+
+def _is_fs_listing(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    fn = node.func
+    if isinstance(fn, ast.Attribute):
+        if fn.attr in _FS_LISTING_METHODS:
+            return True
+        if (isinstance(fn.value, ast.Name) and fn.value.id == "os"
+                and fn.attr in _OS_LISTINGS):
+            return True
+    return False
+
+
+def check(tree: ast.Module, module: str,
+          contracts: Contracts) -> list[RawFinding]:
+    functions = contracts.canonical_functions(module)
+    if functions is None:
+        return []
+    findings: list[RawFinding] = []
+    time_names = _imported_names(tree, "time")
+    random_names = _imported_names(tree, "random")
+
+    visitor = _Visitor(functions, findings, time_names, random_names)
+    visitor.visit(tree)
+    return findings
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, functions, findings, time_names, random_names):
+        self.functions = functions
+        self.findings = findings
+        self.time_names = time_names
+        self.random_names = random_names
+        self.canonical_stack: list[bool] = []
+
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            RawFinding(rule, node.lineno, node.col_offset, message)
+        )
+
+    @property
+    def in_canonical(self) -> bool:
+        return bool(self.canonical_stack) and self.canonical_stack[-1]
+
+    # -- scope tracking ----------------------------------------------------
+
+    def visit_FunctionDef(self, node):
+        canonical = (
+            "*" in self.functions
+            or node.name in self.functions
+            or self.in_canonical  # nested helper of a canonical function
+        )
+        self.canonical_stack.append(canonical)
+        self.generic_visit(node)
+        self.canonical_stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    # -- iteration rules ---------------------------------------------------
+
+    def _check_iter(self, iter_node: ast.expr) -> None:
+        if _is_sorted_wrapped(iter_node):
+            return
+        if _is_set_expr(iter_node):
+            self._emit(
+                "unsorted-set-iter", iter_node,
+                "iteration over a set without sorted(): order varies "
+                "with hash randomization",
+            )
+        elif self.in_canonical and _is_dict_view(iter_node):
+            view = iter_node.func.attr  # type: ignore[union-attr]
+            self._emit(
+                "unsorted-dict-iter", iter_node,
+                f"iteration over .{view}() without sorted() in a "
+                "canonical-output function",
+            )
+        elif self.in_canonical and _is_fs_listing(iter_node):
+            self._emit(
+                "unsorted-glob", iter_node,
+                "iteration over a filesystem listing without sorted() "
+                "in a canonical-output function",
+            )
+
+    def visit_For(self, node):
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    visit_AsyncFor = visit_For
+
+    def _visit_comp(self, node):
+        for generator in node.generators:
+            self._check_iter(generator.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+    visit_DictComp = _visit_comp
+
+    # -- volatile-value rules ----------------------------------------------
+
+    def visit_Call(self, node):
+        if self.in_canonical:
+            fn = node.func
+            if isinstance(fn, ast.Attribute) and isinstance(fn.value,
+                                                            ast.Name):
+                base = fn.value.id
+                if base == "time":
+                    self._emit(
+                        "time-call", node,
+                        f"time.{fn.attr}(...) in a canonical-output "
+                        "function",
+                    )
+                elif base == "random":
+                    seeded = (fn.attr == "Random"
+                              and bool(node.args or node.keywords))
+                    if not seeded:
+                        self._emit(
+                            "random-call", node,
+                            f"random.{fn.attr}(...) without an explicit "
+                            "seed in a canonical-output function",
+                        )
+                elif base == "os" and fn.attr == "urandom":
+                    self._emit(
+                        "urandom-call", node,
+                        "os.urandom(...) in a canonical-output function",
+                    )
+            elif isinstance(fn, ast.Name):
+                if fn.id == "id":
+                    self._emit(
+                        "id-call", node,
+                        "id(...) in a canonical-output function "
+                        "(per-process addresses)",
+                    )
+                elif fn.id in self.time_names:
+                    self._emit(
+                        "time-call", node,
+                        f"{fn.id}(...) (imported from time) in a "
+                        "canonical-output function",
+                    )
+                elif fn.id in self.random_names:
+                    seeded = (fn.id == "Random"
+                              and bool(node.args or node.keywords))
+                    if not seeded:
+                        self._emit(
+                            "random-call", node,
+                            f"{fn.id}(...) (imported from random) without "
+                            "an explicit seed in a canonical-output "
+                            "function",
+                        )
+        self.generic_visit(node)

@@ -1,0 +1,189 @@
+"""Lint driver: file walking, pragma resolution, baseline, rendering.
+
+:func:`lint_file` parses one file, runs the three checker families
+scoped by the contract registry, and resolves pragma suppression;
+:func:`lint_paths` walks directories (skipping the deliberate-violation
+fixture modules under ``repro/lint/fixtures``).  Baselines support
+ratchet-style adoption: findings fingerprinted in the baseline file are
+tolerated, anything new fails the run.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint import determinism, floats, forksafety
+from repro.lint.contracts import DEFAULT_CONTRACTS, Contracts
+from repro.lint.model import FAMILY_OF_RULE, Finding, RawFinding
+from repro.lint.pragmas import pragma_index
+
+#: Path fragments excluded from directory scans (fixture modules are
+#: deliberate rule violations; caches are not source).
+_SKIP_FRAGMENTS = ("repro/lint/fixtures/", "/__pycache__/")
+
+BASELINE_VERSION = 1
+
+
+def module_key(path: Path) -> str:
+    """Contract-registry key of a file: the posix path from the last
+    ``repro``/``tests`` component (``repro/lp/basis.py``), or the bare
+    file name when neither anchors it."""
+    parts = path.as_posix().split("/")
+    for anchor in ("repro", "tests"):
+        if anchor in parts:
+            index = len(parts) - 1 - parts[::-1].index(anchor)
+            return "/".join(parts[index:])
+    return path.name
+
+
+def lint_file(path: Path | str, contracts: Contracts = DEFAULT_CONTRACTS,
+              *, source: str | None = None,
+              module: str | None = None) -> list[Finding]:
+    """Lint one file.  ``source``/``module`` override what would be
+    read from / derived of ``path`` (used by tests to lint synthetic
+    content under a real module's contracts)."""
+    path = Path(path)
+    if source is None:
+        source = path.read_text(encoding="utf-8")
+    if module is None:
+        module = module_key(path)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return [Finding(
+            path=str(path), module=module, rule="syntax-error",
+            family="lint", line=error.lineno or 1, col=error.offset or 0,
+            message=f"file does not parse: {error.msg}", suppressed=False,
+        )]
+
+    raw: list[RawFinding] = []
+    raw.extend(floats.check(tree, module, contracts))
+    raw.extend(determinism.check(tree, module, contracts))
+    raw.extend(forksafety.check(tree, module, contracts))
+
+    pragmas = pragma_index(source)
+    spans = [
+        (node.lineno, node.end_lineno or node.lineno)
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+    findings: list[Finding] = []
+    for item in sorted(raw, key=lambda f: (f.line, f.col, f.rule)):
+        allowed: frozenset[str] = pragmas.get(item.line, frozenset())
+        for start, end in spans:
+            if start <= item.line <= end:
+                allowed = allowed | pragmas.get(start, frozenset())
+        family = FAMILY_OF_RULE.get(item.rule, "lint")
+        suppressed = item.rule in allowed or family in allowed
+        findings.append(Finding(
+            path=str(path), module=module, rule=item.rule, family=family,
+            line=item.line, col=item.col, message=item.message,
+            suppressed=suppressed,
+        ))
+    return findings
+
+
+def iter_source_files(paths: Iterable[Path | str]) -> list[Path]:
+    files: list[Path] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            candidates = sorted(entry.rglob("*.py"))
+        else:
+            candidates = [entry]
+        for candidate in candidates:
+            posix = candidate.as_posix()
+            if any(fragment in posix for fragment in _SKIP_FRAGMENTS):
+                continue
+            files.append(candidate)
+    return files
+
+
+def lint_paths(paths: Iterable[Path | str],
+               contracts: Contracts = DEFAULT_CONTRACTS) -> list[Finding]:
+    findings: list[Finding] = []
+    for path in iter_source_files(paths):
+        findings.extend(lint_file(path, contracts))
+    return findings
+
+
+# -- baseline ratchet ------------------------------------------------------
+
+def fingerprint(finding: Finding) -> str:
+    """Stable identity of a finding for baseline matching.  Keyed on
+    the module (not the filesystem path), so ``src/repro/...`` and an
+    installed ``repro/...`` agree."""
+    return f"{finding.module}:{finding.rule}:{finding.line}"
+
+
+def load_baseline(path: Path | str) -> frozenset[str]:
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    return frozenset(data.get("fingerprints", ()))
+
+
+def write_baseline(findings: Iterable[Finding], path: Path | str) -> None:
+    prints = sorted({
+        fingerprint(f) for f in findings if not f.suppressed
+    })
+    payload = {"version": BASELINE_VERSION, "fingerprints": prints}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def unsuppressed(findings: Iterable[Finding],
+                 baseline: frozenset[str] = frozenset()) -> list[Finding]:
+    """Findings that should fail the run: not pragma-suppressed and not
+    tolerated by the baseline."""
+    return [
+        f for f in findings
+        if not f.suppressed and fingerprint(f) not in baseline
+    ]
+
+
+# -- rendering -------------------------------------------------------------
+
+def render_text(findings: list[Finding], *,
+                baseline: frozenset[str] = frozenset(),
+                show_suppressed: bool = False) -> str:
+    active = unsuppressed(findings, baseline)
+    lines = [
+        f"{f.path}:{f.line}:{f.col}: {f.rule}: {f.message}"
+        for f in active
+    ]
+    if show_suppressed:
+        lines.extend(
+            f"{f.path}:{f.line}:{f.col}: {f.rule}: {f.message} "
+            "[suppressed]"
+            for f in findings if f.suppressed
+        )
+    suppressed_count = sum(1 for f in findings if f.suppressed)
+    baselined_count = len(findings) - suppressed_count - len(active)
+    summary = (
+        f"{len(active)} finding(s), {suppressed_count} suppressed by "
+        f"pragma, {baselined_count} tolerated by baseline"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding], *,
+                baseline: frozenset[str] = frozenset()) -> str:
+    active = unsuppressed(findings, baseline)
+    payload = {
+        "findings": [f.to_dict() for f in findings],
+        "summary": {
+            "active": len(active),
+            "suppressed": sum(1 for f in findings if f.suppressed),
+            "baselined": (
+                len(findings) - len(active)
+                - sum(1 for f in findings if f.suppressed)
+            ),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,7 @@
+"""Deliberate rule violations used by ``tests/test_lint.py``.
+
+Every module here pairs at least one true positive per rule with a
+pragma-suppressed twin.  The lint driver skips this package when
+scanning directories; the tests lint the files explicitly under a
+fixture contract registry.
+"""

@@ -1,0 +1,88 @@
+"""Determinism fixture: canonical-output module with violations."""
+
+import os
+import random
+import time
+from time import perf_counter
+
+
+def set_iter_positive(values):
+    return [v for v in {1, 2, 3} if v in values]
+
+
+def set_iter_suppressed(values):
+    return [v for v in {1, 2, 3} if v in values]  # lint: allow[unsorted-set-iter]
+
+
+def set_iter_sorted(values):
+    return [v for v in sorted({1, 2, 3}) if v in values]
+
+
+def dict_iter_positive(mapping):
+    out = []
+    for key, value in mapping.items():
+        out.append((key, value))
+    return out
+
+
+def dict_iter_suppressed(mapping):
+    out = []
+    for key, value in mapping.items():  # lint: allow[unsorted-dict-iter]
+        out.append((key, value))
+    return out
+
+
+def dict_iter_sorted(mapping):
+    return [(k, v) for k, v in sorted(mapping.items())]
+
+
+def glob_positive(root):
+    return [p.name for p in root.glob("*.json")]
+
+
+def glob_suppressed(root):
+    return [p.name for p in root.glob("*.json")]  # lint: allow[unsorted-glob]
+
+
+def listdir_positive(root):
+    return [name for name in os.listdir(root)]
+
+
+def time_positive():
+    return time.time()
+
+
+def time_bare_positive():
+    return perf_counter()
+
+
+def time_suppressed():
+    return time.time()  # lint: allow[time-call]
+
+
+def random_positive():
+    return random.random()
+
+
+def random_seeded_ok():
+    return random.Random(7).random()
+
+
+def random_suppressed():
+    return random.random()  # lint: allow[random-call]
+
+
+def id_positive(obj):
+    return id(obj)
+
+
+def id_suppressed(obj):
+    return id(obj)  # lint: allow[id-call]
+
+
+def urandom_positive():
+    return os.urandom(8)
+
+
+def urandom_suppressed():
+    return os.urandom(8)  # lint: allow[determinism]

@@ -1,0 +1,82 @@
+"""Float-taint fixture: declared-exact module with violations."""
+
+from fractions import Fraction
+import math
+
+
+def cast_positive(x):
+    return float(x)
+
+
+def cast_suppressed(x):
+    return float(x)  # lint: allow[float-cast]
+
+
+def math_positive(x):
+    return math.sqrt(x)
+
+
+def math_suppressed(x):
+    return math.sqrt(x)  # lint: allow[math-call]
+
+
+def literal_into_return(x):
+    scale = 0.5
+    return scale * x
+
+
+def literal_into_fraction(x):
+    eps = 1e-9
+    return Fraction(eps)
+
+
+def literal_suppressed(x):
+    scale = 0.5  # lint: allow[float-literal]
+    return scale * x
+
+
+def literal_not_a_sink(x):
+    # A float literal that never reaches a return/Fraction sink is
+    # fine (timer thresholds, log formatting, ...).
+    threshold = 0.25
+    print(threshold)
+    return x
+
+
+def division_positive(xs):
+    ratio = len(xs) / 2
+    return ratio
+
+
+def division_suppressed(xs):
+    ratio = len(xs) / 2  # lint: allow[int-division]
+    return ratio
+
+
+def division_unknown_operands(a, b):
+    # Operand types unknown: the taint pass stays conservative and
+    # does not flag (could be Fraction / Fraction).
+    ratio = a / b
+    return ratio
+
+
+def division_exact(a, b):
+    # Fraction-valued division is the sanctioned exact idiom.
+    ratio = Fraction(a) / b
+    return ratio
+
+
+def indirect_cast(x):
+    convert = float
+    return convert(x)
+
+
+def laundered(x):
+    # int() re-enters the exact domain; no finding.
+    approx = 0.5 * x
+    return int(approx)
+
+
+def whole_function_allowed(x):  # lint: allow[float-stage]
+    scale = 0.5
+    return float(scale * x) + math.floor(x)

@@ -1,0 +1,407 @@
+"""Float-taint checker for declared-exact modules.
+
+Two layers, both intraprocedural and deliberately simple enough to
+read in one sitting:
+
+1. **Strict rules.**  In an exact module, every literal ``float(...)``
+   cast and every ``math.*`` call is flagged outright (``float-cast``,
+   ``math-call``) — these modules promise ``Fraction``/``int``
+   arithmetic, so a cast is wrong until a pragma says it is the
+   declared float warm-start boundary.
+
+2. **Taint rules.**  A forward dataflow pass over each function tracks
+   where float *values* originate — float literals
+   (``float-literal``), true division of two integer-kinded operands
+   (``int-division``), and indirect float construction through a
+   variable bound to ``float`` — and reports a source only when its
+   value reaches an exactness sink: a ``return``/``yield`` value or a
+   ``Fraction(...)`` argument.  This keeps float-valued *plumbing*
+   (phase timers, tolerances compared against and dropped) quiet
+   while catching values that leak into answers.
+
+The taint pass is a heuristic, not an abstract interpreter: branches
+are walked sequentially, container/attribute stores drop taint (weak
+updates), and the function body is walked twice so loop-carried taint
+stabilizes.  ``int()``/``round()``/``str()`` launder taint — they are
+exactly the legitimate float→exact crossings.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.contracts import Contracts
+from repro.lint.model import RawFinding
+
+#: Calls whose result is integer-kinded and taint-free.
+_LAUNDER_INT = frozenset({"int", "round", "len", "ord", "hash"})
+#: Calls whose result is non-numeric and taint-free.
+_LAUNDER_OTHER = frozenset({"str", "repr", "bool", "format", "sorted",
+                            "tuple", "list", "set", "dict", "frozenset"})
+#: Constructors producing exact rationals.
+_FRACTION_MAKERS = frozenset({"Fraction", "as_fraction", "rationalize"})
+
+_UNKNOWN = ("unknown", frozenset())
+
+_NOUN = {
+    "float-literal": "float literal",
+    "int-division": "int/int true-division result",
+    "float-cast": "float(...) result",
+}
+
+
+def _join_kind(left: str, right: str) -> str:
+    if left == right:
+        return left
+    if "float" in (left, right):
+        return "float"
+    return "unknown"
+
+
+def _math_aliases(tree: ast.Module) -> tuple[frozenset[str], frozenset[str]]:
+    """``(module aliases, imported member names)`` of ``math``."""
+    modules: set[str] = set()
+    members: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "math":
+                    modules.add(alias.asname or "math")
+        elif isinstance(node, ast.ImportFrom) and node.module == "math":
+            for alias in node.names:
+                members.add(alias.asname or alias.name)
+    return frozenset(modules), frozenset(members)
+
+
+def check(tree: ast.Module, module: str,
+          contracts: Contracts) -> list[RawFinding]:
+    if not contracts.is_exact(module):
+        return []
+    findings: list[RawFinding] = []
+    emitted: set[tuple[str, int, int]] = set()
+    math_modules, math_members = _math_aliases(tree)
+
+    def emit(rule: str, line: int, col: int, message: str) -> None:
+        key = (rule, line, col)
+        if key in emitted:
+            return
+        emitted.add(key)
+        findings.append(RawFinding(rule, line, col, message))
+
+    # Strict pass: every float(...) cast / math call, sink or not.
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        fn = node.func
+        if isinstance(fn, ast.Name) and fn.id == "float":
+            emit("float-cast", node.lineno, node.col_offset,
+                 "float(...) cast in a declared-exact module")
+        elif (isinstance(fn, ast.Attribute)
+                and isinstance(fn.value, ast.Name)
+                and fn.value.id in math_modules):
+            emit("math-call", node.lineno, node.col_offset,
+                 f"math.{fn.attr}(...) in a declared-exact module")
+        elif isinstance(fn, ast.Name) and fn.id in math_members:
+            emit("math-call", node.lineno, node.col_offset,
+                 f"{fn.id}(...) (imported from math) in a "
+                 "declared-exact module")
+
+    # Taint pass, one function at a time (ast.walk reaches nested and
+    # method definitions individually).
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _TaintPass(node, emit).run()
+    return findings
+
+
+class _TaintPass:
+    """Forward taint over one function body."""
+
+    def __init__(self, func, emit) -> None:
+        self.func = func
+        self.emit = emit
+        self.env: dict[str, tuple[str, frozenset]] = {}
+
+    def run(self) -> None:
+        # Two sweeps: the second sees loop-carried taint bound on the
+        # first; `emit` dedupes repeated reports.
+        for _ in range(2):
+            for stmt in self.func.body:
+                self.exec_stmt(stmt)
+
+    # -- sinks -------------------------------------------------------------
+
+    def sink(self, taints: frozenset, context: str) -> None:
+        for rule, line, col, detail in sorted(taints):
+            noun = _NOUN.get(rule, rule)
+            self.emit(rule, line, col, f"{noun} ({detail}) {context}")
+
+    # -- statements --------------------------------------------------------
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        kind = type(stmt)
+        if kind is ast.Assign:
+            value = self.eval(stmt.value)
+            for target in stmt.targets:
+                self.bind(target, value)
+        elif kind is ast.AnnAssign:
+            if stmt.value is not None:
+                self.bind(stmt.target, self.eval(stmt.value))
+        elif kind is ast.AugAssign:
+            value = self.eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                old = self.env.get(stmt.target.id, _UNKNOWN)
+                self.env[stmt.target.id] = (
+                    _join_kind(old[0], value[0]), old[1] | value[1]
+                )
+        elif kind is ast.Return:
+            if stmt.value is not None:
+                _, taints = self.eval(stmt.value)
+                self.sink(
+                    taints,
+                    f"flows into the value returned at line {stmt.lineno}",
+                )
+        elif kind is ast.Expr:
+            self.eval(stmt.value)
+        elif kind in (ast.For, ast.AsyncFor):
+            _, taints = self.eval(stmt.iter)
+            self.bind(stmt.target, ("unknown", taints))
+            for inner in stmt.body:
+                self.exec_stmt(inner)
+            for inner in stmt.orelse:
+                self.exec_stmt(inner)
+        elif kind is ast.While:
+            self.eval(stmt.test)
+            for inner in stmt.body:
+                self.exec_stmt(inner)
+            for inner in stmt.orelse:
+                self.exec_stmt(inner)
+        elif kind is ast.If:
+            self.eval(stmt.test)
+            for inner in stmt.body:
+                self.exec_stmt(inner)
+            for inner in stmt.orelse:
+                self.exec_stmt(inner)
+        elif kind in (ast.With, ast.AsyncWith):
+            for item in stmt.items:
+                self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self.bind(item.optional_vars, _UNKNOWN)
+            for inner in stmt.body:
+                self.exec_stmt(inner)
+        elif kind is ast.Try:
+            for inner in stmt.body:
+                self.exec_stmt(inner)
+            for handler in stmt.handlers:
+                for inner in handler.body:
+                    self.exec_stmt(inner)
+            for inner in stmt.orelse:
+                self.exec_stmt(inner)
+            for inner in stmt.finalbody:
+                self.exec_stmt(inner)
+        elif kind in (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef):
+            self.env[stmt.name] = _UNKNOWN  # analyzed separately
+        elif kind is ast.Raise:
+            if stmt.exc is not None:
+                self.eval(stmt.exc)
+        elif kind is ast.Assert:
+            self.eval(stmt.test)
+        # Pass/Break/Continue/Import/Global/Nonlocal/Delete: no effect.
+
+    def bind(self, target: ast.expr, value: tuple[str, frozenset]) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self.bind(element, ("unknown", value[1]))
+        elif isinstance(target, ast.Starred):
+            self.bind(target.value, value)
+        # Subscript/Attribute stores: weak update, taint dropped.
+
+    # -- expressions -------------------------------------------------------
+
+    def eval(self, node: ast.expr | None) -> tuple[str, frozenset]:
+        if node is None:
+            return _UNKNOWN
+        method = getattr(self, f"eval_{type(node).__name__}", None)
+        if method is not None:
+            return method(node)
+        taints: frozenset = frozenset()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                taints |= self.eval(child)[1]
+        return ("unknown", taints)
+
+    def eval_Constant(self, node: ast.Constant) -> tuple[str, frozenset]:
+        value = node.value
+        if isinstance(value, float):
+            taint = ("float-literal", node.lineno, node.col_offset,
+                     repr(value))
+            return ("float", frozenset({taint}))
+        if isinstance(value, (bool, int)):
+            return ("int", frozenset())
+        return ("other", frozenset())
+
+    def eval_Name(self, node: ast.Name) -> tuple[str, frozenset]:
+        if node.id == "float":
+            return ("float-ctor", frozenset())
+        return self.env.get(node.id, _UNKNOWN)
+
+    def eval_BinOp(self, node: ast.BinOp) -> tuple[str, frozenset]:
+        left_kind, left_taints = self.eval(node.left)
+        right_kind, right_taints = self.eval(node.right)
+        taints = left_taints | right_taints
+        if isinstance(node.op, ast.Div):
+            if "fraction" in (left_kind, right_kind):
+                return ("fraction", taints)
+            if left_kind == "int" and right_kind == "int":
+                taint = ("int-division", node.lineno, node.col_offset,
+                         "int / int")
+                return ("float", taints | frozenset({taint}))
+            if "float" in (left_kind, right_kind):
+                return ("float", taints)
+            return ("unknown", taints)
+        return (_join_kind(left_kind, right_kind), taints)
+
+    def eval_UnaryOp(self, node: ast.UnaryOp) -> tuple[str, frozenset]:
+        return self.eval(node.operand)
+
+    def eval_BoolOp(self, node: ast.BoolOp) -> tuple[str, frozenset]:
+        kind, taints = _UNKNOWN
+        for value in node.values:
+            value_kind, value_taints = self.eval(value)
+            kind = _join_kind(kind, value_kind)
+            taints = taints | value_taints
+        return (kind, taints)
+
+    def eval_IfExp(self, node: ast.IfExp) -> tuple[str, frozenset]:
+        self.eval(node.test)
+        body_kind, body_taints = self.eval(node.body)
+        else_kind, else_taints = self.eval(node.orelse)
+        return (_join_kind(body_kind, else_kind), body_taints | else_taints)
+
+    def eval_Compare(self, node: ast.Compare) -> tuple[str, frozenset]:
+        self.eval(node.left)
+        for comparator in node.comparators:
+            self.eval(comparator)
+        return ("int", frozenset())
+
+    def eval_Call(self, node: ast.Call) -> tuple[str, frozenset]:
+        arg_taints: frozenset = frozenset()
+        for arg in node.args:
+            arg_taints |= self.eval(arg)[1]
+        for keyword in node.keywords:
+            arg_taints |= self.eval(keyword.value)[1]
+        fn = node.func
+        if isinstance(fn, ast.Name):
+            name = fn.id
+            if name == "float":
+                taint = ("float-cast", node.lineno, node.col_offset,
+                         "float(...)")
+                return ("float", arg_taints | frozenset({taint}))
+            if name in _FRACTION_MAKERS:
+                if name == "Fraction":
+                    self.sink(
+                        arg_taints,
+                        f"flows into Fraction(...) at line {node.lineno}",
+                    )
+                return ("fraction", frozenset())
+            if name in _LAUNDER_INT:
+                return ("int", frozenset())
+            if name in _LAUNDER_OTHER:
+                return ("other", frozenset())
+            if name == "abs" and len(node.args) == 1:
+                return self.eval(node.args[0])  # same type as its arg
+            bound_kind, _ = self.env.get(name, _UNKNOWN)
+            if bound_kind == "float-ctor":
+                taint = ("float-cast", node.lineno, node.col_offset,
+                         f"{name}(...) where {name} is bound to float")
+                return ("float", arg_taints | frozenset({taint}))
+            return ("unknown", arg_taints)
+        _, fn_taints = self.eval(fn)
+        return ("unknown", fn_taints | arg_taints)
+
+    def eval_Attribute(self, node: ast.Attribute) -> tuple[str, frozenset]:
+        _, taints = self.eval(node.value)
+        return ("unknown", taints)
+
+    def eval_Subscript(self, node: ast.Subscript) -> tuple[str, frozenset]:
+        _, taints = self.eval(node.value)
+        self.eval(node.slice)
+        return ("unknown", taints)
+
+    def eval_Tuple(self, node: ast.Tuple) -> tuple[str, frozenset]:
+        taints: frozenset = frozenset()
+        for element in node.elts:
+            taints |= self.eval(element)[1]
+        return ("unknown", taints)
+
+    eval_List = eval_Tuple
+    eval_Set = eval_Tuple
+
+    def eval_Dict(self, node: ast.Dict) -> tuple[str, frozenset]:
+        taints: frozenset = frozenset()
+        for key in node.keys:
+            if key is not None:
+                taints |= self.eval(key)[1]
+        for value in node.values:
+            taints |= self.eval(value)[1]
+        return ("unknown", taints)
+
+    def _eval_comprehension(self, node) -> frozenset:
+        taints: frozenset = frozenset()
+        for generator in node.generators:
+            taints |= self.eval(generator.iter)[1]
+            self.bind(generator.target, _UNKNOWN)
+            for condition in generator.ifs:
+                self.eval(condition)
+        return taints
+
+    def eval_ListComp(self, node: ast.ListComp) -> tuple[str, frozenset]:
+        taints = self._eval_comprehension(node)
+        taints |= self.eval(node.elt)[1]
+        return ("unknown", taints)
+
+    eval_SetComp = eval_ListComp
+    eval_GeneratorExp = eval_ListComp
+
+    def eval_DictComp(self, node: ast.DictComp) -> tuple[str, frozenset]:
+        taints = self._eval_comprehension(node)
+        taints |= self.eval(node.key)[1]
+        taints |= self.eval(node.value)[1]
+        return ("unknown", taints)
+
+    def eval_JoinedStr(self, node: ast.JoinedStr) -> tuple[str, frozenset]:
+        for value in node.values:
+            self.eval(value)
+        return ("other", frozenset())
+
+    def eval_Lambda(self, node: ast.Lambda) -> tuple[str, frozenset]:
+        return ("other", frozenset())  # bodies analyzed nowhere: tiny
+
+    def eval_NamedExpr(self, node: ast.NamedExpr) -> tuple[str, frozenset]:
+        value = self.eval(node.value)
+        self.bind(node.target, value)
+        return value
+
+    def eval_Yield(self, node: ast.Yield) -> tuple[str, frozenset]:
+        if node.value is not None:
+            _, taints = self.eval(node.value)
+            self.sink(
+                taints,
+                f"flows into the value yielded at line {node.lineno}",
+            )
+        return _UNKNOWN
+
+    def eval_YieldFrom(self, node: ast.YieldFrom) -> tuple[str, frozenset]:
+        self.eval(node.value)
+        return _UNKNOWN
+
+    def eval_Slice(self, node: ast.Slice) -> tuple[str, frozenset]:
+        self.eval(node.lower)
+        self.eval(node.upper)
+        self.eval(node.step)
+        return ("other", frozenset())
+
+    def eval_Starred(self, node: ast.Starred) -> tuple[str, frozenset]:
+        return self.eval(node.value)

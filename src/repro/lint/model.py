@@ -1,0 +1,72 @@
+"""Finding model and the rule → checker-family mapping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Every rule belongs to exactly one family; a pragma naming either the
+#: rule or its family suppresses the finding.
+FAMILY_OF_RULE: dict[str, str] = {
+    # float-taint checker (repro.lint.floats)
+    "float-cast": "float-stage",
+    "math-call": "float-stage",
+    "float-literal": "float-stage",
+    "int-division": "float-stage",
+    # determinism checker (repro.lint.determinism)
+    "unsorted-set-iter": "determinism",
+    "unsorted-dict-iter": "determinism",
+    "unsorted-glob": "determinism",
+    "time-call": "determinism",
+    "random-call": "determinism",
+    "id-call": "determinism",
+    "urandom-call": "determinism",
+    # fork-safety checker (repro.lint.forksafety)
+    "mutable-global-write": "fork-safety",
+    "signal-registration": "fork-safety",
+    # analyzer self-diagnostics (never suppressible by family)
+    "syntax-error": "lint",
+}
+
+#: Pragma-recognized family names.
+FAMILIES = ("float-stage", "determinism", "fork-safety")
+
+
+@dataclass(frozen=True)
+class RawFinding:
+    """A checker-produced finding, before path/pragma resolution."""
+
+    rule: str
+    line: int
+    col: int
+    message: str
+
+
+@dataclass(frozen=True)
+class Finding:
+    """A fully resolved finding of one lint run.
+
+    ``suppressed`` marks findings covered by a
+    ``# lint: allow[...]`` pragma on the finding line or on the
+    ``def`` line of an enclosing function.
+    """
+
+    path: str
+    module: str
+    rule: str
+    family: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "module": self.module,
+            "rule": self.rule,
+            "family": self.family,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }

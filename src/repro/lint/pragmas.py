@@ -1,0 +1,33 @@
+"""Suppression pragmas: ``# lint: allow[<family-or-rule>, ...]``.
+
+A pragma on the line of a finding suppresses that finding; a pragma on
+the ``def`` line of an enclosing function suppresses every matching
+finding inside the function.  Tokens name either a rule
+(``float-cast``) or a whole family (``float-stage``).
+
+The scan is textual (per source line), which keeps it trivially robust
+to partial parses; a pragma-shaped string *literal* would also match,
+which is acceptable for a repo-internal linter and exercised nowhere.
+"""
+
+from __future__ import annotations
+
+import re
+
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*allow\[([A-Za-z0-9_\-, ]+)\]")
+
+
+def pragma_index(source: str) -> dict[int, frozenset[str]]:
+    """Map 1-based line numbers to the set of allowed tokens there."""
+    index: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(line)
+        if match is None:
+            continue
+        tokens = frozenset(
+            token.strip() for token in match.group(1).split(",")
+            if token.strip()
+        )
+        if tokens:
+            index[lineno] = tokens
+    return index

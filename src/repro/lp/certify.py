@@ -41,6 +41,7 @@ from time import perf_counter
 from typing import Iterator
 
 from repro.errors import LPError
+from repro.lint.sanitizer import float_stage
 from repro.lp.dual import exact_dual_feasible, run_dual_simplex
 from repro.lp.model import LPModel
 from repro.lp.revised import (
@@ -80,7 +81,7 @@ def _scipy_modules():
     return numpy, linprog, csc_matrix
 
 
-def _crossover_basis(form: SparseStandardForm, x, numpy) -> list[int] | None:
+def _crossover_basis(form: SparseStandardForm, x, numpy) -> list[int] | None:  # lint: allow[float-cast] declared float warm-start stage
     """Select a basis from a float vertex solution's support.
 
     Columns are scanned in descending solution value (then the
@@ -138,13 +139,14 @@ def scipy_candidate_basis(form: SparseStandardForm,
         return None
     start = perf_counter()
     try:
-        return _scipy_candidate_basis(form, stats, modules)
+        with float_stage("scipy-candidate"):
+            return _scipy_candidate_basis(form, stats, modules)
     finally:
         stats["time_float"] = (stats.get("time_float", 0.0)
                                + perf_counter() - start)
 
 
-def _scipy_candidate_basis(form: SparseStandardForm, stats: dict,
+def _scipy_candidate_basis(form: SparseStandardForm, stats: dict,  # lint: allow[float-cast] declared float warm-start stage
                            modules) -> list[int] | None:
     numpy, linprog, csc_matrix = modules
     m, n = form.num_rows, form.num_cols
@@ -177,12 +179,14 @@ def float_simplex_candidate_basis(form: SparseStandardForm, stats: dict, *,
                                   ) -> list[int] | None:
     """Optimal basis of the float revised simplex; None on failure."""
     start = perf_counter()
-    solver = RevisedSimplex(
-        form, float_mode=True, max_iterations=max_iterations,
-        bland_trigger=bland_trigger,
-    )
+    with float_stage("float-simplex-candidate"):
+        solver = RevisedSimplex(
+            form, float_mode=True, max_iterations=max_iterations,
+            bland_trigger=bland_trigger,
+        )
     try:
-        status = solver.solve_two_phase()
+        with float_stage("float-simplex-candidate"):
+            status = solver.solve_two_phase()
     except LPError as error:
         stats["float_simplex_status"] = f"error: {error}"
         return None

@@ -36,6 +36,7 @@ from fractions import Fraction
 from time import perf_counter
 
 from repro.errors import LPError
+from repro.lint.sanitizer import exact_method, exact_region
 from repro.lp.model import LPModel
 from repro.lp.revised import (
     INFEASIBLE,
@@ -112,6 +113,11 @@ def run_dual_simplex(solver: RevisedSimplex, costs: list) -> str:
     redundant-row artificial — are treated as violated in either
     direction and driven back to zero.
     """
+    with exact_region("dual-simplex", active=not solver.float_mode):
+        return _dual_simplex_loop(solver, costs)
+
+
+def _dual_simplex_loop(solver: RevisedSimplex, costs: list) -> str:
     solver.phase = 2
     m, n = solver.m, solver.n
     feas, ptol = solver.feas_tol, solver.pivot_tol
@@ -266,6 +272,7 @@ class IncrementalLP:
 
     # -- objectives --------------------------------------------------------
 
+    @exact_method("incremental-lp-solve")
     def solve(self, objective=None, *, maximize: bool = False) -> LPSolution:
         """Optimize ``objective`` (an :class:`AffineExpr`; ``None``
         keeps the model's current objective) over the fixed constraints.
@@ -302,6 +309,7 @@ class IncrementalLP:
 
     # -- bound tweaks ------------------------------------------------------
 
+    @exact_method("incremental-lp-update")
     def update_upper(self, name: str, upper: Numeric) -> LPSolution:
         """Move ``name``'s upper bound and re-optimize the current
         objective via the dual simplex (costs unchanged, so the

@@ -33,6 +33,7 @@ from fractions import Fraction
 from time import perf_counter
 
 from repro.errors import LPError
+from repro.lint.sanitizer import exact_method
 from repro.lp.basis import (
     DEFAULT_ETA_BIT_LIMIT,
     DEFAULT_ETA_LIMIT,
@@ -258,6 +259,7 @@ class RevisedSimplex:
 
     # -- simplex driver ---------------------------------------------------
 
+    @exact_method("lp-phase")
     def _run_phase(self, costs: list[object], phase: int,
                    pivot_budget: int | None = None) -> str:
         """Pivot until optimal/unbounded, or until ``pivot_budget``
@@ -324,6 +326,7 @@ class RevisedSimplex:
     def phase2_costs(self) -> list[object]:
         return self.costs + [self.zero] * self.m
 
+    @exact_method("lp-two-phase")
     def solve_two_phase(self) -> str:
         """Full solve from the artificial basis; returns a status."""
         status = self._run_phase([self.zero] * self.n + [self.one] * self.m, 1)
@@ -340,6 +343,7 @@ class RevisedSimplex:
 
     # -- warm starting ----------------------------------------------------
 
+    @exact_method("lp-warm-start")
     def warm_start(self, basis: list[int]) -> str:
         """Install a candidate basis; returns a ``WARM_*`` verdict.
 

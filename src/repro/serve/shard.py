@@ -61,7 +61,7 @@ def parse_shard_spec(spec: str) -> tuple[int, int]:
 # -- canonical (byte-comparable) rendering --------------------------------
 
 def _canonical_result(result: dict[str, Any]) -> dict[str, Any]:
-    return {key: value for key, value in result.items()
+    return {key: value for key, value in sorted(result.items())
             if key not in _VOLATILE_RESULT_FIELDS}
 
 
@@ -83,7 +83,7 @@ def canonical_report(report: dict[str, Any]) -> dict[str, Any]:
     over the same pairs and config — sharded or not, cached or not —
     canonicalize to identical dicts.
     """
-    data = {key: value for key, value in report.items()
+    data = {key: value for key, value in sorted(report.items())
             if key not in ("seconds", "shard")}
     stats = dict(report.get("stats", {}))
     for field in _VOLATILE_STATS_FIELDS:
@@ -197,7 +197,7 @@ def merge_reports(reports: list[dict[str, Any]]) -> dict[str, Any]:
 
     stats: dict[str, float] = {}
     for report in reports:
-        for key, value in report.get("stats", {}).items():
+        for key, value in sorted(report.get("stats", {}).items()):
             stats[key] = stats.get(key, 0) + value
 
     merged: dict[str, Any] = {

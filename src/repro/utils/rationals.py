@@ -38,7 +38,7 @@ def rationalize(value: float, max_denominator: int = 10**9) -> Fraction:
     return Fraction(value).limit_denominator(max_denominator)
 
 
-def snap_to_int(value: Numeric, tolerance: float = 1e-6) -> Numeric:
+def snap_to_int(value: Numeric, tolerance: float = 1e-6) -> Numeric:  # lint: allow[float-cast] display-side rounding, not an LP input
     """Snap ``value`` to the nearest integer when within ``tolerance``.
 
     LP solvers return values such as ``99.99999999973`` for what is
@@ -52,7 +52,7 @@ def snap_to_int(value: Numeric, tolerance: float = 1e-6) -> Numeric:
     return value
 
 
-def format_threshold(value: Numeric | None, missing: str = "✗") -> str:
+def format_threshold(value: Numeric | None, missing: str = "✗") -> str:  # lint: allow[float-cast] display-side rendering
     """Render a computed threshold for tables: ``missing`` for ✗,
     integers snapped (tolerance 1e-4, absorbing float-LP noise),
     everything else with two decimals."""

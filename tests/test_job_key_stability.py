@@ -1,0 +1,69 @@
+"""Regression: job cache keys are dict-insertion-order independent.
+
+The content-addressed key hashes ``json.dumps(payload, sort_keys=True)``;
+these tests pin that down by rebuilding payloads with deliberately
+permuted dict insertion orders and demanding byte-identical canonical
+JSON (and hence identical SHA-256 keys).
+"""
+
+import hashlib
+import json
+
+from repro.config import AnalysisConfig
+from repro.engine.jobs import AnalysisJob
+
+OLD = """
+proc p(n) {
+  assume(1 <= n && n <= 10);
+  var i = 0;
+  while (i < n) { tick(2); i = i + 1; }
+}
+"""
+NEW = OLD.replace("tick(2)", "tick(1)")
+
+
+def permute(value):
+    """Deep copy with every dict rebuilt in reversed insertion order."""
+    if isinstance(value, dict):
+        return {k: permute(value[k]) for k in reversed(list(value))}
+    if isinstance(value, list):
+        return [permute(v) for v in value]
+    return value
+
+
+def canonical(payload) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def test_permuted_payload_has_identical_canonical_json():
+    job = AnalysisJob(kind="diff", old_source=OLD, new_source=NEW,
+                      name="perm")
+    payload = job.canonical_payload()
+    shuffled = permute(payload)
+    assert list(shuffled) != list(payload)  # the permutation is real
+    assert canonical(shuffled) == canonical(payload)
+
+
+def test_key_matches_hash_of_permuted_payload():
+    job = AnalysisJob(kind="diff", old_source=OLD, new_source=NEW)
+    digest = hashlib.sha256(
+        canonical(permute(job.canonical_payload())).encode()
+    ).hexdigest()
+    assert digest == job.key
+
+
+def test_equal_jobs_share_keys_and_different_jobs_do_not():
+    a = AnalysisJob(kind="diff", old_source=OLD, new_source=NEW,
+                    config=AnalysisConfig())
+    b = AnalysisJob(kind="diff", old_source=OLD, new_source=NEW,
+                    config=AnalysisConfig())
+    assert a.key == b.key
+    c = AnalysisJob(kind="diff", old_source=OLD, new_source=OLD)
+    assert c.key != a.key
+
+
+def test_name_is_not_part_of_the_key():
+    # Display names must not fragment the cache.
+    a = AnalysisJob(kind="diff", old_source=OLD, new_source=NEW, name="x")
+    b = AnalysisJob(kind="diff", old_source=OLD, new_source=NEW, name="y")
+    assert a.key == b.key

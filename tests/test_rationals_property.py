@@ -1,0 +1,84 @@
+"""Property tests: the rational helpers are exact where they claim to be.
+
+``as_fraction`` must round-trip ints/Fractions losslessly (these feed
+the exact LP path); ``rationalize``/``snap_to_int``/``format_threshold``
+are the declared float boundary and only promise bounded-denominator
+proximity.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.utils.rationals import (
+    as_fraction,
+    format_threshold,
+    fraction_to_str,
+    rationalize,
+    snap_to_int,
+)
+
+RNG = random.Random(20220622)
+
+
+@pytest.mark.parametrize("value", [
+    0, 1, -1, 7, -123456789, 10**30, -(10**30),
+])
+def test_as_fraction_roundtrips_ints_exactly(value):
+    result = as_fraction(value)
+    assert result == Fraction(value) and int(result) == value
+
+
+def test_as_fraction_is_identity_on_fractions():
+    for _ in range(200):
+        num = RNG.randint(-10**9, 10**9)
+        den = RNG.randint(1, 10**9)
+        value = Fraction(num, den)
+        assert as_fraction(value) is value  # no copying, no rounding
+
+
+def test_as_fraction_rejects_non_numerics():
+    with pytest.raises(TypeError):
+        as_fraction("3/4")
+
+
+def test_rationalize_is_exact_for_small_denominators():
+    # Floats that are exactly representable dyadic rationals with small
+    # denominators must come back unchanged.
+    for _ in range(200):
+        num = RNG.randint(-10**6, 10**6)
+        exp = RNG.randint(0, 20)
+        value = Fraction(num, 2**exp)
+        assert rationalize(float(value)) == value
+
+
+def test_rationalize_bounds_the_denominator():
+    for _ in range(100):
+        value = RNG.uniform(-1e6, 1e6)
+        assert rationalize(value).denominator <= 10**9
+
+
+def test_rationalize_rejects_nan():
+    with pytest.raises(ValueError):
+        rationalize(float("nan"))
+
+
+def test_snap_to_int_snaps_solver_noise_only():
+    assert snap_to_int(99.99999999973) == 100
+    assert snap_to_int(Fraction(300000001, 3000000)) == 100
+    assert snap_to_int(99.5) == 99.5  # genuinely fractional: untouched
+    assert snap_to_int(Fraction(199, 2)) == Fraction(199, 2)
+
+
+def test_format_threshold_is_stable_on_exact_values():
+    assert format_threshold(None) == "✗"
+    assert format_threshold(Fraction(100)) == "100"
+    assert format_threshold(Fraction(7, 2)) == "3.50"
+
+
+def test_fraction_to_str_roundtrip():
+    for _ in range(200):
+        value = Fraction(RNG.randint(-10**6, 10**6),
+                         RNG.randint(1, 10**6))
+        assert Fraction(fraction_to_str(value)) == value

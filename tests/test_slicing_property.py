@@ -1,0 +1,104 @@
+"""Property test: cost-relevance slicing preserves observable cost.
+
+For seeded random inputs (and both deterministic and random choosers),
+running the interpreter over the original system and over
+``slice_cost_relevant(system)`` must produce the same cost — sliced-away
+variables are exactly those that cannot flow into guards, nondet bounds
+or cost updates.  Ballast variables are added with the builder (program
+``var`` initializers land in Θ0 and are therefore relevant by
+definition).
+"""
+
+import random
+
+import pytest
+
+from repro.errors import InterpreterError
+from repro.poly.polynomial import Polynomial
+from repro.ts import Interpreter, LinIneq, TransitionSystemBuilder
+from repro.ts.interpreter import first_choice, random_choice
+from repro.ts.slicing import cost_relevant_variables, slice_cost_relevant
+
+X = Polynomial.variable("x")
+JUNK = Polynomial.variable("junk")
+SHADOW = Polynomial.variable("shadow")
+
+
+def ballast_loop():
+    """Countdown with a free-running accumulator that never feeds a
+    guard or a tick."""
+    builder = TransitionSystemBuilder("ballast", ["x", "junk"])
+    builder.assume_init_box({"x": (0, 12)})
+    builder.transition("l0", "l0", guard=[LinIneq.geq(X, 1)],
+                       updates={"x": X - 1, "junk": JUNK + X}, cost=3)
+    builder.transition("l0", "l_out", guard=[LinIneq.leq(X, 0)])
+    return builder.build("l0", "l_out")
+
+
+def nondet_branch():
+    """Nondeterministic tick(2)/tick(1) loop; ``shadow`` mutates on one
+    branch only but stays invisible to cost."""
+    builder = TransitionSystemBuilder("branchy", ["x", "shadow"])
+    builder.assume_init_box({"x": (0, 10)})
+    builder.transition("l0", "l0", guard=[LinIneq.geq(X, 1)],
+                       updates={"x": X - 1}, cost=2)
+    builder.transition("l0", "l0", guard=[LinIneq.geq(X, 1)],
+                       updates={"x": X - 1, "shadow": SHADOW - X}, cost=1)
+    builder.transition("l0", "l_out", guard=[LinIneq.leq(X, 0)])
+    return builder.build("l0", "l_out")
+
+
+SYSTEMS = {"ballast-loop": ballast_loop, "nondet-branch": nondet_branch}
+
+
+def initial_inputs(system, rng):
+    """Random Θ0-respecting inputs via rejection sampling against the
+    interpreter's own initial-state validation."""
+    interpreter = Interpreter(system)
+    for _ in range(500):
+        inputs = {name: rng.randint(0, 12)
+                  for name in sorted(system.variables)
+                  if name != "cost"}
+        try:
+            interpreter.initial_state(inputs)
+        except InterpreterError:
+            continue
+        return inputs
+    raise AssertionError("could not sample a valid initial state")
+
+
+@pytest.mark.parametrize("name", sorted(SYSTEMS))
+def test_slicing_preserves_cost(name):
+    system = SYSTEMS[name]()
+    sliced = slice_cost_relevant(system)
+    dropped = set(system.variables) - set(sliced.variables)
+    assert dropped, "fixture should have sliceable ballast"
+
+    rng = random.Random(20220622)
+    for trial in range(25):
+        inputs = initial_inputs(system, rng)
+        sliced_inputs = {k: v for k, v in inputs.items()
+                         if k in sliced.variables}
+        chooser_seed = rng.randint(0, 10**6)
+        for chooser_of in (
+            lambda: first_choice,
+            lambda: random_choice(random.Random(chooser_seed)),
+        ):
+            cost = Interpreter(system).run(inputs, chooser_of()).cost
+            sliced_cost = Interpreter(sliced).run(
+                sliced_inputs, chooser_of()).cost
+            assert cost == sliced_cost, (name, trial, inputs)
+
+
+@pytest.mark.parametrize("name", sorted(SYSTEMS))
+def test_relevant_variables_exclude_ballast(name):
+    relevant = cost_relevant_variables(SYSTEMS[name]())
+    assert "junk" not in relevant and "shadow" not in relevant
+    assert "cost" in relevant and "x" in relevant
+
+
+def test_slicing_is_idempotent():
+    once = slice_cost_relevant(ballast_loop())
+    twice = slice_cost_relevant(once)
+    assert set(once.variables) == set(twice.variables)
+    assert len(once.transitions) == len(twice.transitions)
