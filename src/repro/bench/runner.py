@@ -173,11 +173,14 @@ def run_suite(names: list[str] | None = None,
               include_running_example: bool = True,
               jobs: int = 1,
               timeout: float | None = None,
-              cache_dir: str | None = None) -> list[BenchmarkOutcome]:
+              cache_dir: str | None = None,
+              max_retries: int = 2,
+              hang_timeout: float | None = None) -> list[BenchmarkOutcome]:
     """Run the whole suite (or a named subset) through the engine.
 
-    ``jobs``, ``timeout`` and ``cache_dir`` configure the parallel
-    executor; the defaults reproduce the sequential in-process run.
+    ``jobs``, ``timeout``, ``cache_dir``, ``max_retries`` and
+    ``hang_timeout`` configure the parallel executor; the defaults
+    reproduce the sequential in-process run.
 
     An interrupt (SIGTERM / Ctrl-C) does not discard finished rows: it
     re-raises as :class:`SuiteInterrupted` carrying the outcomes of
@@ -197,7 +200,9 @@ def run_suite(names: list[str] | None = None,
     recorded: dict[str, object] = {}
     # Context-managed so the long-lived worker pool is torn down when
     # the suite finishes rather than lingering until garbage collection.
-    with ParallelExecutor(jobs=jobs, timeout=timeout, cache=cache) as executor:
+    with ParallelExecutor(jobs=jobs, timeout=timeout, cache=cache,
+                          max_retries=max_retries,
+                          hang_timeout=hang_timeout) as executor:
         executor.on_result = (
             lambda result: recorded.__setitem__(result.job_key, result)
         )

@@ -10,6 +10,8 @@ Subcommands::
     repro-diffcost batch DIR [--jobs N] [--portfolio] [--refute]
                              [--cache-dir D] [--max-inflight-pairs N]
                              [--shard K/N] [--trace T.jsonl] [--log-level L]
+                             [--max-retries N] [--hang-timeout S]
+                             [--faults PLAN.json]
     repro-diffcost merge-shards SHARD.json... [-o merged.json]
                                 [--cache-dir D --source-caches A,B]
     repro-diffcost serve [--port P] [--workers N] [--deadline S]
@@ -166,6 +168,7 @@ def _command_suite(args: argparse.Namespace) -> int:
     )
 
     _activate_obs(args)
+    _activate_faults(args)
     names = args.names.split(",") if args.names else None
     formatters = {
         "text": format_table,
@@ -180,6 +183,8 @@ def _command_suite(args: argparse.Namespace) -> int:
                 jobs=args.jobs,
                 timeout=args.timeout,
                 cache_dir=None if args.no_cache else args.cache_dir,
+                max_retries=args.max_retries,
+                hang_timeout=args.hang_timeout,
             )
     except SuiteInterrupted as interrupt:
         # Flush what finished instead of dying with nothing: the rows
@@ -250,10 +255,13 @@ def _command_batch(args: argparse.Namespace) -> int:
     from repro.serve.shard import parse_shard_spec
 
     _activate_obs(args)
+    _activate_faults(args)
     engine = EngineConfig(
         jobs=args.jobs,
         timeout=args.timeout,
         cache_dir=None if args.no_cache else args.cache_dir,
+        max_retries=args.max_retries,
+        hang_timeout=args.hang_timeout,
         # An explicit --portfolio-mode or --refute implies --portfolio:
         # silently running the single-config path would misread the
         # user's intent (the tightness stage is a portfolio feature).
@@ -318,6 +326,7 @@ def _command_serve(args: argparse.Namespace) -> int:
     from repro.serve import serve_forever
 
     _activate_obs(args)
+    _activate_faults(args)
     serve_config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -326,6 +335,9 @@ def _command_serve(args: argparse.Namespace) -> int:
         deadline=args.deadline,
         job_timeout=args.timeout,
         cache_dir=None if args.no_cache else args.cache_dir,
+        max_queue=args.max_queue,
+        drain_timeout=args.drain_timeout,
+        max_retries=args.max_retries,
     )
 
     def _ready(server):
@@ -346,6 +358,30 @@ def _add_engine_arguments(parser: argparse.ArgumentParser,
                         help="persistent result cache directory")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the result cache")
+    _add_fault_tolerance_arguments(parser)
+
+
+def _add_fault_tolerance_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--max-retries", type=int, default=2, metavar="N",
+                        help="re-executions granted to transiently failed "
+                             "jobs (worker crash/hang, OS error, timeout; "
+                             "deterministic analysis errors never retry; "
+                             "0 disables; default 2)")
+    parser.add_argument("--hang-timeout", type=float, default=None,
+                        metavar="S",
+                        help="kill a worker silent for S seconds and retry "
+                             "its job (default: hang detection off)")
+    parser.add_argument("--faults", default=None, metavar="PLAN.json",
+                        help="activate a seeded fault-injection plan "
+                             "(chaos testing; exported to workers via "
+                             "REPRO_FAULTS)")
+
+
+def _activate_faults(args: argparse.Namespace) -> None:
+    if getattr(args, "faults", None):
+        from repro.faults import activate
+
+        activate(args.faults)
 
 
 def _command_witness(args: argparse.Namespace) -> int:
@@ -548,6 +584,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persistent result cache directory")
     serve.add_argument("--no-cache", action="store_true",
                        help="disable the result cache")
+    serve.add_argument("--max-queue", type=int, default=64, metavar="N",
+                       help="requests allowed to queue for an analysis "
+                            "slot before new ones are shed with 429 + "
+                            "Retry-After (default 64)")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       metavar="S",
+                       help="SIGTERM grace: finish in-flight requests for "
+                            "up to S seconds before closing the listener "
+                            "(default 10)")
+    serve.add_argument("--max-retries", type=int, default=2, metavar="N",
+                       help="transient-failure retry budget of the "
+                            "server's executor (default 2)")
+    serve.add_argument("--faults", default=None, metavar="PLAN.json",
+                       help="activate a seeded fault-injection plan "
+                            "(chaos testing)")
     _add_config_arguments(serve)
     _add_obs_arguments(serve)
     serve.set_defaults(handler=_command_serve)

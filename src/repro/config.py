@@ -131,6 +131,21 @@ class EngineConfig:
         pair.  Disjoint shard runs merged with
         :func:`repro.serve.shard.merge_reports` reproduce the
         unsharded report.
+    max_retries:
+        Extra executions granted to a job that failed *transiently*
+        (worker crash, hang, OS-level error, timeout) — deterministic
+        analysis errors are never retried.  Content-addressed jobs make
+        re-execution idempotent, so retries never change a canonical
+        report byte.  ``0`` disables the retry layer.
+    hang_timeout:
+        Kill a pool worker whose running job sent no heartbeat for this
+        many seconds and retry the job (``None`` = hang detection off,
+        the default: a legitimate job inside one long uninterruptible
+        C-level LP solve is silent too).
+    quarantine_after:
+        Park one worker slot after this many *consecutive* worker
+        crashes, so a poisoned machine degrades to a smaller pool
+        instead of a crash loop (the pool never shrinks below 1).
     """
 
     jobs: int = 1
@@ -142,12 +157,21 @@ class EngineConfig:
     refute: bool = False
     refute_margin: float = 1.0
     shard: tuple[int, int] | None = None
+    max_retries: int = 2
+    hang_timeout: float | None = None
+    quarantine_after: int = 3
 
     def __post_init__(self):
         if self.jobs < 1:
             raise AnalysisError("jobs must be at least 1")
         if self.timeout is not None and self.timeout <= 0:
             raise AnalysisError("timeout must be positive (or None)")
+        if self.max_retries < 0:
+            raise AnalysisError("max_retries must be >= 0")
+        if self.hang_timeout is not None and self.hang_timeout <= 0:
+            raise AnalysisError("hang_timeout must be positive (or None)")
+        if self.quarantine_after < 1:
+            raise AnalysisError("quarantine_after must be at least 1")
         if self.portfolio_mode not in ("first", "best"):
             raise AnalysisError(
                 f"unknown portfolio_mode {self.portfolio_mode!r} "
@@ -194,6 +218,19 @@ class ServeConfig:
     cache_dir:
         Persistent result cache shared by all requests (``None``
         disables caching).
+    max_queue:
+        Admission control: when ``max_concurrent`` slots are all taken,
+        at most this many further requests may queue for one; beyond
+        that the server *sheds load* — new analysis requests get an
+        immediate ``429`` with a ``Retry-After`` hint instead of
+        queueing unboundedly.
+    drain_timeout:
+        Graceful-shutdown budget: on SIGTERM the server stops accepting
+        work (new analysis requests get ``503``), finishes in-flight
+        requests for up to this many seconds, then closes the listener.
+    max_retries:
+        Transient-failure retry budget of the server's executor (same
+        semantics as :attr:`EngineConfig.max_retries`).
     """
 
     host: str = "127.0.0.1"
@@ -203,6 +240,9 @@ class ServeConfig:
     deadline: float | None = None
     job_timeout: float | None = None
     cache_dir: str | None = ".repro-cache"
+    max_queue: int = 64
+    drain_timeout: float = 10.0
+    max_retries: int = 2
 
     def __post_init__(self):
         if not 0 <= self.port <= 65535:
@@ -215,6 +255,12 @@ class ServeConfig:
             raise AnalysisError("deadline must be positive (or None)")
         if self.job_timeout is not None and self.job_timeout <= 0:
             raise AnalysisError("job_timeout must be positive (or None)")
+        if self.max_queue < 0:
+            raise AnalysisError("max_queue must be >= 0")
+        if self.drain_timeout <= 0:
+            raise AnalysisError("drain_timeout must be positive")
+        if self.max_retries < 0:
+            raise AnalysisError("max_retries must be >= 0")
 
 
 @dataclass

@@ -337,7 +337,9 @@ def run_batch(directory: str | Path,
     # One executor — and therefore one long-lived worker pool — for the
     # whole batch, however many pairs it has.
     with ParallelExecutor(
-        jobs=engine.jobs, timeout=engine.timeout, cache=cache
+        jobs=engine.jobs, timeout=engine.timeout, cache=cache,
+        max_retries=engine.max_retries, hang_timeout=engine.hang_timeout,
+        quarantine_after=engine.quarantine_after,
     ) as executor:
         executor.on_result = (
             lambda result: recorded.__setitem__(result.job_key, result)

@@ -2,9 +2,15 @@
 
 One JSON file per job key, written atomically (temp file + rename), so
 concurrent batch runs over the same cache directory cannot corrupt
-entries.  Entries carry the schema version and the job's canonical
-metadata; a version mismatch or an unreadable file is treated as a miss
-(and the entry is rewritten on the next store).
+entries.  Entries carry the schema version, the job's canonical
+metadata, and a SHA-256 checksum of the result payload; a version
+mismatch or an unreadable file is treated as a miss (and the entry is
+rewritten on the next store), while a file that exists but fails to
+parse or verify — a torn write from a powered-off machine, bit rot —
+is *quarantined*: renamed to ``<key>.corrupt`` for post-mortems and
+treated as a miss instead of raising.  Opening a cache also sweeps
+``.tmp-*`` files a killed writer left behind (older than a grace
+period, so live concurrent writers are never raced).
 
 Repeated batch/suite runs therefore skip invariant generation, Handelman
 encoding and the LP solve entirely for unchanged (program pair, config)
@@ -14,6 +20,7 @@ field, so any knob change invalidates exactly the affected entries.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -22,6 +29,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.engine.jobs import JOB_SCHEMA_VERSION, AnalysisJob, JobResult
+from repro.faults import active_plan, fault_point
 from repro.obs import get_logger, get_registry
 
 _LOG = get_logger("engine.cache")
@@ -35,6 +43,20 @@ CACHEABLE_STATUSES = ("ok",)
 #: candidates in :meth:`ResultCache.stats` — a capacity-planning signal
 #: only; nothing is evicted automatically.
 DEFAULT_EVICTION_AGE_S = 7 * 24 * 3600.0
+
+#: ``.tmp-*`` files older than this are removed when a cache opens: a
+#: live writer holds its temp for milliseconds between ``mkstemp`` and
+#: ``os.replace``, so anything minutes old is the leavings of a killed
+#: process.  The generous margin keeps concurrent shard runs (which
+#: share a destination directory) un-raceable.
+DEFAULT_TEMP_SWEEP_AGE_S = 300.0
+
+
+def _result_checksum(result_payload: Any) -> str:
+    """Hex SHA-256 over the canonical rendering of a result payload."""
+    canonical = json.dumps(result_payload, sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 def _percentile(sorted_values: list[float], q: float) -> float:
@@ -50,34 +72,89 @@ class ResultCache:
     """JSON-on-disk cache of :class:`JobResult` payloads."""
 
     def __init__(self, directory: str | os.PathLike,
-                 eviction_age_s: float = DEFAULT_EVICTION_AGE_S):
+                 eviction_age_s: float = DEFAULT_EVICTION_AGE_S,
+                 temp_sweep_age_s: float = DEFAULT_TEMP_SWEEP_AGE_S):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.eviction_age_s = eviction_age_s
+        self.temp_sweep_age_s = temp_sweep_age_s
         self.hits = 0
         self.misses = 0
+        #: Entries quarantined to ``*.corrupt`` / stale temps removed
+        #: by this handle.
+        self.corrupted = 0
+        self.temp_swept = self._sweep_temps()
 
     def path_for(self, key: str) -> Path:
         """The entry file of a job key."""
         return self.directory / f"{key}.json"
 
+    def _sweep_temps(self) -> int:
+        """Remove ``.tmp-*`` files older than :attr:`temp_sweep_age_s`
+        (a killed writer's leavings); returns how many were removed."""
+        removed = 0
+        now = time.time()
+        for path in self.directory.glob(".tmp-*"):
+            try:
+                if now - path.stat().st_mtime < self.temp_sweep_age_s:
+                    continue
+                path.unlink()
+                removed += 1
+            except OSError:  # finished/cleaned by a live writer mid-scan
+                continue
+        if removed:
+            get_registry().counter(
+                "repro_cache_temps_swept_total",
+                "Stale cache temp files removed at open.",
+            ).inc(removed)
+            _LOG.warning("swept %d stale temp file(s) from %s",
+                         removed, self.directory)
+        return removed
+
     # -- lookup ------------------------------------------------------------
 
     def get(self, key: str) -> JobResult | None:
-        """The cached result of ``key``, or ``None`` on a miss."""
+        """The cached result of ``key``, or ``None`` on a miss.
+
+        An entry that exists but cannot be trusted — truncated or
+        garbage bytes, a checksum mismatch, a malformed result payload —
+        is quarantined to ``<key>.corrupt`` and reported as a miss, so
+        corruption costs one re-execution instead of a crash.  A
+        missing file, a schema-version mismatch, or a pre-checksum
+        legacy entry is a plain miss (rewritten on the next store).
+        """
         path = self.path_for(key)
         try:
-            with open(path) as handle:
+            with open(path, encoding="utf-8") as handle:
                 entry = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        except FileNotFoundError:
+            self._miss()
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._quarantine(path, "unreadable or undecodable entry")
+            self._miss()
+            return None
+        if not isinstance(entry, dict):
+            self._quarantine(path, "entry is not a JSON object")
             self._miss()
             return None
         if entry.get("version") != JOB_SCHEMA_VERSION:
             self._miss()
             return None
+        checksum = entry.get("checksum")
+        if checksum is None:
+            # A legacy (pre-checksum) entry: re-run rather than trust
+            # unverifiable bytes; the store rewrites it with a checksum.
+            self._miss()
+            return None
+        if checksum != _result_checksum(entry.get("result")):
+            self._quarantine(path, "checksum mismatch")
+            self._miss()
+            return None
         try:
             result = JobResult.from_dict(entry["result"])
         except (KeyError, TypeError):
+            self._quarantine(path, "malformed result payload")
             self._miss()
             return None
         self.hits += 1
@@ -90,8 +167,10 @@ class ResultCache:
         # seconds as measured time would inflate every consumer's
         # timing column.  The stored metrics delta was the *original*
         # run's work; replaying it would double-count those increments.
+        # Retry attempts are likewise the original run's history.
         result.seconds = 0.0
         result.metrics = {}
+        result.attempts = 0
         return result
 
     def _miss(self) -> None:
@@ -100,6 +179,22 @@ class ResultCache:
             "repro_cache_misses_total", "Result-cache lookups that missed.",
         ).inc()
 
+    def _quarantine(self, path: Path, why: str) -> None:
+        """Move a corrupt entry aside as ``<key>.corrupt`` (best-effort;
+        a concurrent writer may have already replaced it)."""
+        target = path.with_suffix(".corrupt")
+        try:
+            os.replace(path, target)
+        except OSError:
+            return
+        self.corrupted += 1
+        get_registry().counter(
+            "repro_cache_corrupt_total",
+            "Cache entries quarantined as corrupt.",
+        ).inc()
+        _LOG.warning("quarantined corrupt cache entry %s -> %s (%s)",
+                     path.name, target.name, why)
+
     # -- store -------------------------------------------------------------
 
     def put(self, job: AnalysisJob, result: JobResult) -> bool:
@@ -107,6 +202,10 @@ class ResultCache:
         if result.status not in CACHEABLE_STATUSES:
             return False
         payload = job.canonical_payload()
+        result_payload = result.to_dict()
+        # The stored result is the entry of record regardless of how
+        # many attempts it took this machine to produce it.
+        result_payload["attempts"] = 0
         entry = {
             "version": JOB_SCHEMA_VERSION,
             "job": {
@@ -118,7 +217,8 @@ class ResultCache:
                 # solver revision are simply never looked up again.
                 "lp_solver": payload["lp_solver"],
             },
-            "result": result.to_dict(),
+            "result": result_payload,
+            "checksum": _result_checksum(result_payload),
         }
         path = self.path_for(result.job_key)
         fd, temp_path = tempfile.mkstemp(
@@ -137,7 +237,32 @@ class ResultCache:
         get_registry().counter(
             "repro_cache_stores_total", "Result-cache entries written.",
         ).inc()
+        self._apply_write_fault(job, path)
         return True
+
+    def _apply_write_fault(self, job: AnalysisJob, path: Path) -> None:
+        """Chaos hook: damage the just-published entry when the active
+        fault plan says so (``cache.torn_write`` / ``cache.corrupt``)."""
+        if active_plan() is None:
+            return
+        rule = fault_point("cache.torn_write", name=job.name, key=job.key,
+                           kind=job.kind)
+        mode = "truncate" if rule is not None else None
+        if rule is None:
+            rule = fault_point("cache.corrupt", name=job.name, key=job.key,
+                               kind=job.kind)
+            mode = rule.mode if rule is not None else None
+        if rule is None:
+            return
+        try:
+            if mode == "truncate":
+                data = path.read_bytes()
+                path.write_bytes(data[: len(data) // 2])
+            else:
+                plan = active_plan()
+                path.write_bytes(plan.corruption_bytes(job.key))
+        except OSError:  # pragma: no cover — fault on the fault path
+            pass
 
     # -- merging -----------------------------------------------------------
 
@@ -157,8 +282,10 @@ class ResultCache:
         destination without ever exposing a torn entry.  Existing
         entries are kept unless ``overwrite`` (first writer wins — the
         cheapest option, and any winner is equally valid).  In-flight
-        ``.tmp-*`` files and unreadable entries in ``source`` are
-        skipped.  Returns how many entries were copied.
+        ``.tmp-*`` files and unreadable, undecodable or
+        checksum-failing entries in ``source`` are skipped — merging a
+        shard cache a fault (or a powered-off machine) chewed on must
+        not spread the damage.  Returns how many entries were copied.
         """
         source_dir = Path(source)
         if source_dir.resolve() == self.directory.resolve():
@@ -171,6 +298,17 @@ class ResultCache:
             try:
                 payload = path.read_bytes()
             except OSError:
+                continue
+            try:
+                entry = json.loads(payload)
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                _LOG.warning("skipping corrupt source entry %s", path.name)
+                continue
+            if (not isinstance(entry, dict)
+                    or "checksum" in entry
+                    and entry["checksum"]
+                    != _result_checksum(entry.get("result"))):
+                _LOG.warning("skipping corrupt source entry %s", path.name)
                 continue
             fd, temp_path = tempfile.mkstemp(
                 dir=self.directory, prefix=".tmp-", suffix=".json"
@@ -222,6 +360,8 @@ class ResultCache:
         return {
             "hits": 0,
             "misses": 0,
+            "corrupted": 0,
+            "temp_swept": 0,
             "entries": 0,
             "total_bytes": 0,
             "oldest_age_s": 0.0,
@@ -239,6 +379,8 @@ class ResultCache:
         older than :attr:`eviction_age_s`; nothing is deleted here."""
         data = self.empty_stats()
         data["hits"], data["misses"] = self.hits, self.misses
+        data["corrupted"] = self.corrupted
+        data["temp_swept"] = self.temp_swept
         if now is None:
             now = time.time()
         ages: list[float] = []

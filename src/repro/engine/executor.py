@@ -37,9 +37,55 @@ from repro.engine.cache import ResultCache
 from repro.engine.jobs import AnalysisJob, JobResult, run_job
 from repro.engine.scheduler import EscalationScheduler, Task, WorkerPool
 from repro.errors import AnalysisError
+from repro.faults import InjectedFaultError, active_plan, fault_point
 from repro.obs import get_logger, get_registry
 
 _LOG = get_logger("engine.executor")
+
+#: Error types the retry layer treats as *transient* infrastructure
+#: failures: the job itself is fine, the machine hiccupped.  Everything
+#: else (an ``AnalysisError``, a parse failure, an arithmetic bug) is
+#: deterministic — rerunning a content-addressed job can only reproduce
+#: it, so those fail fast with the original structured failure.
+RETRYABLE_ERROR_TYPES = frozenset({
+    "BrokenWorker",       # worker process died mid-job (crash, OOM kill)
+    "WorkerHung",         # heartbeat hang detector killed the worker
+    "InjectedFaultError",  # repro.faults job.error site
+    "OSError",
+    "ConnectionError",
+    "ConnectionResetError",
+    "BrokenPipeError",
+    "EOFError",
+    "InterruptedError",
+    "TimeoutError",
+})
+
+#: Bounded exponential backoff before retry attempt ``n`` (1-based):
+#: ``min(CAP, BASE * 2**(n-1))`` seconds, slept in whatever process
+#: re-executes the job — a worker slot, never the scheduling loop.
+RETRY_BACKOFF_BASE = 0.05
+RETRY_BACKOFF_CAP = 2.0
+
+
+def retry_backoff(attempt: int) -> float:
+    """Seconds to sleep before retry ``attempt`` (0 for the first run)."""
+    if attempt < 1:
+        return 0.0
+    return min(RETRY_BACKOFF_CAP, RETRY_BACKOFF_BASE * 2 ** (attempt - 1))
+
+
+def is_retryable(result: JobResult) -> bool:
+    """Whether ``result`` is a transient failure worth re-executing.
+
+    Timeouts count: on a loaded machine a budget expiry says more about
+    the machine than the job (and an honestly slow job just times out
+    again, bounded by ``max_retries``).  Deterministic analysis errors
+    never count — see :data:`RETRYABLE_ERROR_TYPES`.
+    """
+    if result.status == "timeout":
+        return True
+    return (result.status == "error"
+            and result.error_type in RETRYABLE_ERROR_TYPES)
 
 
 class JobTimeoutError(Exception):
@@ -56,17 +102,46 @@ class ExecutorStats:
     timeouts: int = 0
     cancelled: int = 0
     cache_hits: int = 0
+    retries: int = 0
     seconds: float = 0.0
 
     def as_dict(self) -> dict[str, float]:
         return dict(vars(self))
 
 
-def execute_job(job: AnalysisJob, timeout: float | None = None) -> JobResult:
+def _job_fault(site: str, job: AnalysisJob, attempt: int):
+    """Consult the fault plan for a job-scoped site (cheap fast path:
+    one lookup when no plan is active, before any key hashing)."""
+    if active_plan() is None:
+        return None
+    return fault_point(site, name=job.name, key=job.key, kind=job.kind,
+                       attempt=attempt)
+
+
+def execute_job(job: AnalysisJob, timeout: float | None = None,
+                attempt: int = 0) -> JobResult:
     """Run one job with structured failure capture and an optional
-    wall-clock budget (seconds).  Never raises."""
+    wall-clock budget (seconds).  Never raises.
+
+    ``attempt`` is the retry ordinal: retries sleep their exponential
+    backoff here — before the budget timer arms, so backoff never eats
+    the job's own budget — and fault-injection sites see the attempt
+    number (a rule with ``max_attempts=1`` faults the first run and
+    lets the retry through).
+    """
+    if attempt:
+        time.sleep(retry_backoff(attempt))
+    delay = _job_fault("job.delay", job, attempt)
+    if delay is not None:
+        time.sleep(delay.seconds)
     start = time.perf_counter()
     try:
+        error = _job_fault("job.error", job, attempt)
+        if error is not None:
+            raise InjectedFaultError(
+                "injected transient fault"
+                + (f": {error.note}" if error.note else "")
+            )
         if timeout is not None:
             result = _run_with_alarm(job, timeout)
         else:
@@ -149,12 +224,25 @@ class ParallelExecutor:
 
     def __init__(self, jobs: int = 1, timeout: float | None = None,
                  cache: ResultCache | None = None,
-                 mp_context: str | None = None):
+                 mp_context: str | None = None,
+                 max_retries: int = 2,
+                 hang_timeout: float | None = None,
+                 quarantine_after: int = 3):
         if jobs < 1:
             raise AnalysisError("jobs must be at least 1")
+        if max_retries < 0:
+            raise AnalysisError("max_retries must be >= 0")
         self.jobs = jobs
         self.timeout = timeout
         self.cache = cache
+        #: Extra executions granted to a transiently failed job (see
+        #: :func:`is_retryable`); 0 disables the retry layer.
+        self.max_retries = max_retries
+        #: Passed to the pool: kill workers silent for this long
+        #: (``None`` = hang detection off) and park a slot after this
+        #: many consecutive crashes.
+        self.hang_timeout = hang_timeout
+        self.quarantine_after = quarantine_after
         #: Multiprocessing start method for pool workers (``None`` =
         #: platform default).  Workers scrub inherited descriptors on
         #: startup either way; the knob exists for host applications
@@ -181,9 +269,20 @@ class ParallelExecutor:
 
     def _ensure_pool(self) -> WorkerPool:
         if self._pool is None or self._pool.closed:
-            self._pool = WorkerPool(self.jobs, context=self.mp_context)
+            self._pool = WorkerPool(
+                self.jobs, context=self.mp_context,
+                hang_timeout=self.hang_timeout,
+                quarantine_after=self.quarantine_after,
+            )
             self.pools_created += 1
         return self._pool
+
+    def pool_health(self) -> dict:
+        """Supervision snapshot of the worker pool (``/healthz``); a
+        zeroed schema-stable dict before the pool exists (or inline)."""
+        if self._pool is not None and not self._pool.closed:
+            return self._pool.health()
+        return WorkerPool.empty_health(0 if self.jobs == 1 else self.jobs)
 
     def close(self) -> None:
         """Shut down the worker pool (idempotent; the executor stays
@@ -236,6 +335,51 @@ class ParallelExecutor:
             self.on_result(result)
         return result
 
+    # -- retry classification ----------------------------------------------
+
+    def _should_retry(self, result: JobResult, attempt: int) -> bool:
+        """Whether a finished attempt should be swallowed and re-run."""
+        return (self.max_retries > 0
+                and attempt < self.max_retries
+                and is_retryable(result))
+
+    def _note_retry(self, job: AnalysisJob, result: JobResult,
+                    attempt: int) -> None:
+        """Account one swallowed transient failure.
+
+        The discarded attempt never reaches :meth:`_finish` /
+        :meth:`_account`, so error counters and ``on_result`` records
+        stay identical to a fault-free run — only ``stats.retries``
+        (volatile, like timings) says anything happened.  Its worker
+        metrics delta is still folded in: the attempt really executed.
+        """
+        if result.metrics:
+            get_registry().merge(result.metrics)
+            result.metrics = {}
+        self.stats.retries += 1
+        get_registry().counter(
+            "repro_job_retries_total",
+            "Transient job failures swallowed by the retry layer.",
+            ("error",),
+        ).inc(error=result.error_type or result.status)
+        _LOG.warning(
+            "retrying job %s (%s) after transient %s (attempt %d/%d): %s",
+            job.name or job.key[:12], job.kind,
+            result.error_type or result.status,
+            attempt + 1, self.max_retries, result.message,
+        )
+
+    def _execute_with_retry(self, job: AnalysisJob) -> JobResult:
+        """Inline (``jobs == 1``) execution with the retry loop."""
+        attempt = 0
+        while True:
+            result = execute_job(job, self.timeout, attempt=attempt)
+            if not self._should_retry(result, attempt):
+                result.attempts = attempt
+                return result
+            self._note_retry(job, result, attempt)
+            attempt += 1
+
     # -- execution ---------------------------------------------------------
 
     def run(self, jobs: list[AnalysisJob]) -> list[JobResult]:
@@ -254,9 +398,9 @@ class ParallelExecutor:
         if pending:
             if self.jobs == 1:
                 for index, job in pending:
-                    results[index] = self._finish(job, execute_job(
-                        job, self.timeout
-                    ))
+                    results[index] = self._finish(
+                        job, self._execute_with_retry(job)
+                    )
             else:
                 self._run_pool(pending, results)
         self.stats.seconds += time.perf_counter() - start
@@ -290,24 +434,34 @@ class ParallelExecutor:
                 return
             for task in completed:
                 entry = waiting.pop(task.id, None)
-                if entry is not None:
-                    index, job = entry
-                    results[index] = self._finish(job, task.result)
+                if entry is None:
+                    continue
+                index, job = entry
+                if self._should_retry(task.result, task.attempt):
+                    self._note_retry(job, task.result, task.attempt)
+                    retry = pool.submit(job, timeout=self.timeout,
+                                        priority=task.priority,
+                                        attempt=task.attempt + 1)
+                    waiting[retry.id] = (index, job)
+                    continue
+                task.result.attempts = task.attempt
+                results[index] = self._finish(job, task.result)
 
     # -- asynchronous single-job submission --------------------------------
 
     def submit_job(self, job: AnalysisJob, on_done,
-                   priority: tuple = ()) -> Task | None:
+                   priority: tuple = ()) -> "_Submission | None":
         """Submit one job for callback-style completion (the serving
         front-end's entry point).
 
         A cache hit completes synchronously: ``on_done(result)`` is
         called before this method returns and the return value is
         ``None``.  Otherwise the job goes to the long-lived worker pool
-        and the returned :class:`~repro.engine.scheduler.Task` handle
-        completes through :meth:`poll` — ``on_done`` then fires on the
-        polling thread with the finished (cached + accounted) result.
-        The handle can be withdrawn with :meth:`cancel_task`.
+        and the returned handle completes through :meth:`poll` —
+        ``on_done`` then fires on the polling thread with the finished
+        (cached + accounted) result.  The handle can be withdrawn with
+        :meth:`cancel_task`; it stays valid across executor-internal
+        retries (the wrapper tracks whichever pool task is live).
         """
         self.stats.submitted += 1
         hit = self._lookup(job)
@@ -315,12 +469,22 @@ class ParallelExecutor:
             on_done(self._use_hit(hit))
             return None
         pool = self._ensure_pool()
+        submission = _Submission()
 
         def _complete(task, job=job, on_done=on_done):
+            if self._should_retry(task.result, task.attempt):
+                self._note_retry(job, task.result, task.attempt)
+                submission.task = pool.submit(
+                    job, timeout=self.timeout, priority=task.priority,
+                    on_done=_complete, attempt=task.attempt + 1,
+                )
+                return
+            task.result.attempts = task.attempt
             on_done(self._finish(job, task.result))
 
-        return pool.submit(job, timeout=self.timeout, priority=priority,
-                           on_done=_complete)
+        submission.task = pool.submit(job, timeout=self.timeout,
+                                      priority=priority, on_done=_complete)
+        return submission
 
     def poll(self, timeout: float | None = None) -> int:
         """Drive the pool: wait up to ``timeout`` seconds for
@@ -330,16 +494,27 @@ class ParallelExecutor:
             return 0
         return len(self._pool.wait(timeout))
 
-    def cancel_task(self, task: Task) -> bool:
-        """Withdraw a :meth:`submit_job` handle.
+    def cancel_task(self, handle) -> bool:
+        """Withdraw a :meth:`submit_job` handle (or a bare pool task).
 
-        ``True`` means the task will never produce a result (its
+        ``True`` means the job will never produce a result (its
         ``on_done`` never fires) and a cancellation was accounted.
-        ``False`` means the task completed in the race — its result was
-        drained and ``on_done`` has already fired.
+        ``False`` means it completed in the race — its result was
+        drained and ``on_done`` has already fired (possibly after a
+        drained retry ran to completion).
         """
-        if self._pool is None or not self._pool.cancel(task):
+        if self._pool is None:
             return False
+        task = getattr(handle, "task", handle)
+        while not self._pool.cancel(task):
+            live = getattr(handle, "task", handle)
+            if live is task:
+                # Genuinely completed: the drain fired ``on_done``.
+                return False
+            # The drained completion was a transient failure and
+            # ``_complete`` resubmitted a retry mid-cancel — chase the
+            # now-live task so the withdrawn job really stops.
+            task = live
         self.stats.cancelled += 1
         return True
 
@@ -396,7 +571,7 @@ class ParallelExecutor:
             if hit is not None:
                 result = self._use_hit(hit)
             else:
-                result = self._finish(job, execute_job(job, self.timeout))
+                result = self._finish(job, self._execute_with_retry(job))
             results.append(result)
             if result.succeeded:
                 stopped = True
@@ -410,3 +585,17 @@ class ParallelExecutor:
             status="cancelled",
             message="a lower portfolio rung already succeeded",
         )
+
+
+class _Submission:
+    """Handle returned by :meth:`ParallelExecutor.submit_job`.
+
+    ``task`` is whichever pool :class:`Task` currently carries the job;
+    executor-internal retries swap it, so cancellation always targets
+    the live attempt instead of a dead one.  Opaque to callers.
+    """
+
+    __slots__ = ("task",)
+
+    def __init__(self, task: Task | None = None):
+        self.task = task

@@ -160,6 +160,11 @@ class JobResult:
     timings: dict[str, float] = field(default_factory=dict)
     config_summary: dict[str, Any] = field(default_factory=dict)
     cached: bool = False
+    #: Which execution attempt produced this result (0 = first try).
+    #: A volatile machine condition like ``seconds`` — stripped from
+    #: canonical reports, never cached (cache entries are attempt 0 by
+    #: construction: only the final, successful attempt is stored).
+    attempts: int = 0
     #: Metrics-snapshot delta from the worker process that ran the job
     #: (:meth:`repro.obs.metrics.MetricsRegistry.diff`).  Merged into
     #: the parent registry by the executor and cleared afterwards; a
@@ -207,6 +212,7 @@ class JobResult:
             "timings": dict(self.timings),
             "config_summary": dict(self.config_summary),
             "cached": self.cached,
+            "attempts": self.attempts,
             "metrics": dict(self.metrics),
         }
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import multiprocessing
+import time
 import weakref
 from collections import deque
 from multiprocessing.connection import wait as _wait_ready
@@ -37,6 +38,14 @@ from repro.errors import AnalysisError
 from repro.obs import get_logger, get_registry, setup_from_env
 
 _LOG = get_logger("engine.scheduler")
+
+#: Exit code of a worker killed by an injected ``worker.crash`` fault —
+#: distinguishable from real crashes in logs, identical in handling.
+_CRASH_EXIT = 66
+
+#: Worker→parent message tagging a liveness heartbeat (task ids are
+#: ints, so the string tag cannot collide with a result message).
+_HEARTBEAT = ("beat", None)
 
 #: Task lifecycle: PENDING (queued) → RUNNING (on a worker) → DONE
 #: (result available) or DROPPED (cancelled before a result existed).
@@ -62,11 +71,11 @@ class Task:
     """
 
     __slots__ = ("id", "job", "timeout", "priority", "state", "result",
-                 "worker", "on_done")
+                 "worker", "on_done", "attempt")
 
     def __init__(self, task_id: int, job: AnalysisJob,
                  timeout: float | None, priority: tuple,
-                 on_done=None):
+                 on_done=None, attempt: int = 0):
         self.id = task_id
         self.job = job
         self.timeout = timeout
@@ -75,6 +84,10 @@ class Task:
         self.result: JobResult | None = None
         self.worker: _Worker | None = None
         self.on_done = on_done
+        #: Which retry of the job this task is (0 = first execution).
+        #: Owned by the executor's retry layer; the pool just threads
+        #: it to the worker so fault injection and backoff see it.
+        self.attempt = attempt
 
 
 def _scrub_inherited_fds(keep: set[int]) -> None:
@@ -99,7 +112,7 @@ def _scrub_inherited_fds(keep: set[int]) -> None:
                 pass
 
 
-def _worker_main(conn) -> None:
+def _worker_main(conn, heartbeat: float = 1.0) -> None:
     """Entry point of one pool worker: a receive/execute/send loop.
 
     Jobs arrive as plain dicts and results leave as dicts, so nothing
@@ -114,10 +127,18 @@ def _worker_main(conn) -> None:
     sockets, and a long-lived worker holding a duplicate keeps a
     connection the event loop already closed from ever delivering its
     FIN (clients reading to EOF would hang forever).
+
+    While a job executes, a daemon thread sends :data:`_HEARTBEAT`
+    messages up the pipe every ``heartbeat`` seconds — the parent's
+    hang detector treats their absence as a wedged process.  Idle
+    workers stay silent, so pipes of parked workers never fill.
     """
+    import os
     import signal
+    import threading
 
     from repro.engine.executor import execute_job
+    from repro.faults import active_plan, fault_point
 
     try:
         # A parent event loop's wakeup fd (asyncio's self-pipe) is
@@ -132,6 +153,24 @@ def _worker_main(conn) -> None:
     setup_from_env()
     registry = get_registry()
 
+    # Result sends and heartbeat sends share the pipe; Connection.send
+    # is not documented thread-safe, so both take the lock.
+    send_lock = threading.Lock()
+    busy = threading.Event()
+
+    def _beat() -> None:
+        while True:
+            busy.wait()
+            try:
+                with send_lock:
+                    conn.send(_HEARTBEAT)
+            except (BrokenPipeError, OSError):
+                return
+            time.sleep(heartbeat)
+
+    threading.Thread(target=_beat, daemon=True,
+                     name="repro-worker-heartbeat").start()
+
     while True:
         try:
             message = conn.recv()
@@ -139,15 +178,31 @@ def _worker_main(conn) -> None:
             return
         if message is None:
             return
-        task_id, payload, timeout = message
+        task_id, payload, timeout, attempt = message
+        job = AnalysisJob.from_dict(payload)
+        if active_plan() is not None:
+            context = dict(name=job.name, key=job.key, kind=job.kind,
+                           attempt=attempt)
+            if fault_point("worker.crash", **context) is not None:
+                os._exit(_CRASH_EXIT)
+            hang = fault_point("worker.hang", **context)
+            if hang is not None:
+                # A wedged process: heartbeats stop (busy stays clear)
+                # while the main thread sleeps.  With hang detection on,
+                # the parent kills this worker mid-sleep; without it,
+                # the job merely starts late.
+                time.sleep(hang.seconds)
+        busy.set()
         before = registry.snapshot()
-        result = execute_job(AnalysisJob.from_dict(payload), timeout)
+        result = execute_job(job, timeout, attempt=attempt)
+        busy.clear()
         # Ship this job's metric increments home as a snapshot delta;
         # the parent folds them into its registry when it accounts the
         # result, so fleet totals match a single-process run.
         result.metrics = registry.diff(before)
         try:
-            conn.send((task_id, result.to_dict()))
+            with send_lock:
+                conn.send((task_id, result.to_dict()))
         except (BrokenPipeError, OSError):
             return
 
@@ -155,17 +210,20 @@ def _worker_main(conn) -> None:
 class _Worker:
     """One worker process and the duplex pipe to it."""
 
-    __slots__ = ("process", "conn", "task")
+    __slots__ = ("process", "conn", "task", "last_beat")
 
-    def __init__(self, context):
+    def __init__(self, context, heartbeat: float):
         parent_conn, child_conn = context.Pipe()
         self.process = context.Process(
-            target=_worker_main, args=(child_conn,), daemon=True
+            target=_worker_main, args=(child_conn, heartbeat), daemon=True
         )
         self.process.start()
         child_conn.close()
         self.conn = parent_conn
         self.task: Task | None = None
+        #: Last liveness signal (monotonic): spawn, dispatch, or
+        #: heartbeat — whichever came latest.
+        self.last_beat = time.monotonic()
 
 
 def _terminate_workers(workers: list) -> None:
@@ -193,10 +251,30 @@ class WorkerPool:
     is fine for the executor's single-threaded event loops.
     """
 
-    def __init__(self, size: int, context: str | None = None):
+    def __init__(self, size: int, context: str | None = None,
+                 heartbeat: float = 1.0, hang_timeout: float | None = None,
+                 quarantine_after: int = 3):
         if size < 1:
             raise AnalysisError("worker pool size must be at least 1")
+        if hang_timeout is not None and hang_timeout <= 0:
+            raise AnalysisError("hang_timeout must be positive (or None)")
+        if quarantine_after < 1:
+            raise AnalysisError("quarantine_after must be at least 1")
         self.size = size
+        #: Heartbeat period of workers; with hang detection on, clamped
+        #: so several beats fit inside one hang window (a single missed
+        #: scheduling quantum must not read as a wedge).
+        self.heartbeat = heartbeat
+        if hang_timeout is not None:
+            self.heartbeat = min(heartbeat, max(hang_timeout / 4, 0.02))
+        #: Kill a worker whose running task saw no heartbeat for this
+        #: long (``None`` = hang detection off); the task completes with
+        #: a structured ``WorkerHung`` error.
+        self.hang_timeout = hang_timeout
+        #: After this many *consecutive* worker crashes, park one worker
+        #: slot (capacity floor 1) — a poisoned machine degrades to a
+        #: smaller pool instead of a crash loop.
+        self.quarantine_after = quarantine_after
         self._context = multiprocessing.get_context(context)
         self._workers: list[_Worker] = []
         self._idle: list[_Worker] = []
@@ -208,6 +286,15 @@ class WorkerPool:
         #: race this pool exists to close.
         self.spawned = 0
         self.terminated = 0
+        #: Supervision counters: workers that died mid-task (crash or
+        #: OOM), workers killed by the hang detector, spawns that
+        #: replaced a dead worker, and slots parked by quarantine.
+        self.crashed = 0
+        self.hung = 0
+        self.respawned = 0
+        self.quarantined = 0
+        self._crash_streak = 0
+        self._peak = 0
         self.closed = False
         self._finalizer = weakref.finalize(
             self, _terminate_workers, self._workers
@@ -217,7 +304,7 @@ class WorkerPool:
 
     def submit(self, job: AnalysisJob, timeout: float | None = None,
                priority: tuple = (), dispatch: bool = True,
-               on_done=None) -> Task:
+               on_done=None, attempt: int = 0) -> Task:
         """Queue ``job``; lower ``priority`` tuples dispatch first.
 
         ``dispatch=False`` only queues: a caller submitting a related
@@ -226,11 +313,14 @@ class WorkerPool:
         submission interleaving.
 
         ``on_done`` (optional) is invoked with the task when it
-        completes — see :class:`Task`.
+        completes — see :class:`Task`.  ``attempt`` is the retry
+        ordinal the executor assigns when resubmitting a transiently
+        failed job.
         """
         if self.closed:
             raise AnalysisError("worker pool is closed")
-        task = Task(next(self._sequence), job, timeout, priority, on_done)
+        task = Task(next(self._sequence), job, timeout, priority, on_done,
+                    attempt=attempt)
         heapq.heappush(self._queue, (task.priority, task.id, task))
         if dispatch:
             self._dispatch()
@@ -252,8 +342,10 @@ class WorkerPool:
             task.state = RUNNING
             task.worker = worker
             worker.task = task
+            worker.last_beat = time.monotonic()
             try:
-                worker.conn.send((task.id, task.job.to_dict(), task.timeout))
+                worker.conn.send((task.id, task.job.to_dict(), task.timeout,
+                                  task.attempt))
             except (BrokenPipeError, OSError):
                 # The worker died while idle.  Requeue the task and
                 # retire the corpse; the next loop turn acquires (or
@@ -271,13 +363,29 @@ class WorkerPool:
                 return task
         return None
 
+    @property
+    def capacity(self) -> int:
+        """Worker slots currently usable (``size`` minus quarantined,
+        never below 1 — a fully-parked pool would deadlock)."""
+        return max(1, self.size - self.quarantined)
+
     def _acquire_worker(self) -> _Worker | None:
         if self._idle:
             return self._idle.pop()
-        if len(self._workers) < self.size:
-            worker = _Worker(self._context)
+        if len(self._workers) < self.capacity:
+            worker = _Worker(self._context, self.heartbeat)
             self._workers.append(worker)
             self.spawned += 1
+            if len(self._workers) <= self._peak:
+                # Refilling a slot a dead worker vacated, not growing
+                # the pool: this spawn is a supervised respawn.
+                self.respawned += 1
+                get_registry().counter(
+                    "repro_pool_workers_respawned_total",
+                    "Workers spawned to replace crashed/hung workers.",
+                ).inc()
+            else:
+                self._peak = len(self._workers)
             get_registry().counter(
                 "repro_pool_workers_spawned_total",
                 "Worker processes ever started by a pool.",
@@ -294,21 +402,41 @@ class WorkerPool:
 
         Returns the newly completed tasks (empty only when nothing is
         running, or on a ``timeout``); queued tasks are dispatched to
-        any workers this frees.
+        any workers this frees.  Heartbeat messages are drained
+        transparently; with :attr:`hang_timeout` set, workers whose
+        running task stopped heartbeating are killed here and their
+        tasks complete with structured ``WorkerHung`` errors.
         """
         self._dispatch()
-        busy = {worker.conn: worker for worker in self._workers
-                if worker.task is not None}
-        if not busy:
-            return []
-        completed: list[Task] = []
-        for conn in _wait_ready(list(busy), timeout):
-            worker = busy[conn]
-            task = worker.task
-            if self._receive(worker) and task is not None:
-                completed.append(task)
-        self._dispatch()
-        return completed
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        while True:
+            busy = {worker.conn: worker for worker in self._workers
+                    if worker.task is not None}
+            if not busy:
+                return []
+            step = (None if deadline is None
+                    else max(0.0, deadline - time.monotonic()))
+            if self.hang_timeout is not None:
+                # Wake at least once per heartbeat period so a silent
+                # pipe is noticed within one hang window.
+                tick = max(self.heartbeat, 0.02)
+                step = tick if step is None else min(step, tick)
+            completed: list[Task] = []
+            for conn in _wait_ready(list(busy), step):
+                worker = busy[conn]
+                task = worker.task
+                if self._receive(worker) and task is not None:
+                    completed.append(task)
+            completed.extend(self._reap_hung())
+            if completed:
+                self._dispatch()
+                return completed
+            if deadline is not None and time.monotonic() >= deadline:
+                self._dispatch()
+                return []
+            # Only heartbeats (or a hang-check tick) arrived: keep
+            # waiting for a real completion.
 
     def _receive(self, worker: _Worker) -> bool:
         """Read one message from ``worker``; True iff a task completed.
@@ -330,6 +458,7 @@ class WorkerPool:
             self._retire(worker)
             if task is None:
                 return False
+            self._note_crash("crashed")
             task.state = DONE
             task.worker = None
             task.result = JobResult(
@@ -343,7 +472,11 @@ class WorkerPool:
             if task.on_done is not None:
                 task.on_done(task)
             return True
+        if task_id == _HEARTBEAT[0]:
+            worker.last_beat = time.monotonic()
+            return False
         assert task is not None and task_id == task.id
+        self._crash_streak = 0
         task.state = DONE
         task.worker = None
         task.result = JobResult.from_dict(payload)
@@ -352,6 +485,105 @@ class WorkerPool:
         if task.on_done is not None:
             task.on_done(task)
         return True
+
+    def _note_crash(self, how: str) -> None:
+        """Account one mid-task worker death and advance the
+        consecutive-crash streak toward quarantine."""
+        if how == "hung":
+            self.hung += 1
+            get_registry().counter(
+                "repro_pool_workers_hung_total",
+                "Workers killed by the heartbeat hang detector.",
+            ).inc()
+        else:
+            self.crashed += 1
+            get_registry().counter(
+                "repro_pool_workers_crashed_total",
+                "Workers that died mid-task (crash, OOM kill).",
+            ).inc()
+        self._crash_streak += 1
+        if (self._crash_streak >= self.quarantine_after
+                and self.size - self.quarantined > 1):
+            self.quarantined += 1
+            self._crash_streak = 0
+            get_registry().counter(
+                "repro_pool_workers_quarantined_total",
+                "Worker slots parked after consecutive crashes.",
+            ).inc()
+            _LOG.warning(
+                "quarantined a worker slot after %d consecutive "
+                "crashes (capacity now %d/%d)",
+                self.quarantine_after, self.capacity, self.size,
+            )
+
+    def _reap_hung(self) -> list[Task]:
+        """Kill workers whose running task stopped heartbeating; their
+        tasks complete with structured ``WorkerHung`` errors (which the
+        executor's retry classification treats as transient)."""
+        if self.hang_timeout is None:
+            return []
+        now = time.monotonic()
+        completed: list[Task] = []
+        for worker in list(self._workers):
+            task = worker.task
+            if task is None or now - worker.last_beat <= self.hang_timeout:
+                continue
+            silence = now - worker.last_beat
+            _LOG.warning("worker pid=%s hung (no heartbeat for %.1fs) "
+                         "while running %s — killing it",
+                         worker.process.pid, silence,
+                         task.job.name or "a job")
+            self._retire(worker)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(0.5)
+            self._note_crash("hung")
+            task.state = DONE
+            task.worker = None
+            task.result = JobResult(
+                job_key=task.job.key,
+                name=task.job.name,
+                kind=task.job.kind,
+                status="error",
+                error_type="WorkerHung",
+                message=(f"worker sent no heartbeat for {silence:.1f}s "
+                         f"(hang budget {self.hang_timeout:g}s)"),
+            )
+            if task.on_done is not None:
+                task.on_done(task)
+            completed.append(task)
+        return completed
+
+    def health(self) -> dict:
+        """Point-in-time supervision snapshot (the ``/healthz`` block)."""
+        data = self.empty_health(self.size)
+        data.update(
+            alive=len(self._workers),
+            busy=sum(1 for w in self._workers if w.task is not None),
+            spawned=self.spawned,
+            respawned=self.respawned,
+            crashed=self.crashed,
+            hung=self.hung,
+            terminated=self.terminated,
+            quarantined=self.quarantined,
+        )
+        return data
+
+    @staticmethod
+    def empty_health(size: int = 0) -> dict:
+        """The :meth:`health` schema with every counter zeroed (served
+        before the pool exists, so scrapers see one stable shape)."""
+        return {
+            "size": size,
+            "alive": 0,
+            "busy": 0,
+            "spawned": 0,
+            "respawned": 0,
+            "crashed": 0,
+            "hung": 0,
+            "terminated": 0,
+            "quarantined": 0,
+        }
 
     # -- cancellation ------------------------------------------------------
 
@@ -372,11 +604,16 @@ class WorkerPool:
             return True
         if task.state == RUNNING:
             worker = task.worker
-            if worker.conn.poll() and self._receive(worker):
-                return False
-            if task.state != RUNNING:
-                # _receive retired a dead worker and completed the task.
-                return False
+            # Drain everything already in the pipe — heartbeats ride
+            # ahead of results, so one poll()+receive is not enough to
+            # rule out a completion racing the cancel.
+            while worker.conn.poll():
+                if self._receive(worker):
+                    return False
+                if task.state != RUNNING:
+                    # _receive retired a dead worker and completed the
+                    # task.
+                    return False
             task.state = DROPPED
             task.worker = None
             self._kill(worker)
@@ -502,17 +739,20 @@ class EscalationScheduler:
         # pair is down to its last undecided rung, without flooding the
         # queue with rungs that will sit for minutes.
         self.max_inflight = max_inflight or max(2, pool.size)
+        # task.id → owning ladder; instance state so `_resolve` can
+        # register retry resubmissions.
+        self._owners: dict[int, _LadderState] = {}
 
     def run(self, ladders: list[list[AnalysisJob]]) -> list[list[JobResult]]:
         """Run every ladder; per-pair results in ladder order."""
         states = [_LadderState(i, jobs) for i, jobs in enumerate(ladders)]
         waiting = deque(state for state in states if not state.decided)
-        owners: dict[int, _LadderState] = {}
+        self._owners = {}
         active: list[_LadderState] = []
         while waiting or active:
             while waiting and len(active) < self.max_inflight:
                 state = waiting.popleft()
-                self._activate(state, owners)
+                self._activate(state)
                 self._resolve(state)
                 if not state.decided:
                     active.append(state)
@@ -534,7 +774,7 @@ class EscalationScheduler:
                     self._fail(waiting.popleft())
                 break
             for task in completed:
-                state = owners.pop(task.id, None)
+                state = self._owners.pop(task.id, None)
                 if state is not None and not state.decided:
                     self._resolve(state)
             active = [state for state in active if not state.decided]
@@ -555,8 +795,7 @@ class EscalationScheduler:
             ))
         state.decided = True
 
-    def _activate(self, state: _LadderState,
-                  owners: dict[int, _LadderState]) -> None:
+    def _activate(self, state: _LadderState) -> None:
         """Probe the cache and submit every rung that needs work.
 
         Rungs past the first cached *success* can never be chosen (a
@@ -580,7 +819,7 @@ class EscalationScheduler:
                     job, timeout=executor.timeout,
                     priority=(rung, state.index), dispatch=False,
                 )
-                owners[task.id] = state
+                self._owners[task.id] = state
                 state.entries[rung] = (_LadderState.TASK, task)
 
     def _resolve(self, state: _LadderState) -> None:
@@ -594,11 +833,27 @@ class EscalationScheduler:
             if kind == _LadderState.TASK and payload.state != DONE:
                 return
             job = state.jobs[state.cursor]
+            if (kind == _LadderState.TASK
+                    and executor._should_retry(payload.result,
+                                               payload.attempt)):
+                # A transiently failed rung is re-raced instead of
+                # judged: selection sees only the final attempt, which
+                # keeps chosen rungs identical to a fault-free run.
+                executor._note_retry(job, payload.result, payload.attempt)
+                retry = self.pool.submit(
+                    job, timeout=executor.timeout,
+                    priority=payload.priority,
+                    attempt=payload.attempt + 1,
+                )
+                self._owners[retry.id] = state
+                state.entries[state.cursor] = (_LadderState.TASK, retry)
+                return
             if kind == _LadderState.HIT:
                 result = executor._use_hit(payload)
             elif kind == _LadderState.SKIP:
                 result = executor._account(executor._cancelled(job))
             else:
+                payload.result.attempts = payload.attempt
                 result = executor._finish(job, payload.result)
             state.results[state.cursor] = result
             state.cursor += 1

@@ -1,0 +1,125 @@
+"""Deterministic, seeded fault injection (:mod:`repro.faults`).
+
+The chaos-testing layer of the engine: a :class:`FaultPlan` (JSON,
+see :mod:`repro.faults.plan`) declares failures — worker crashes,
+hangs, transient job errors, delays, cache corruption, dropped
+connections — and the runtime's injection sites consult it through
+:func:`fault_point`.  With no plan active every site is a single
+dictionary lookup, so production runs pay nothing.
+
+Activation travels by environment (like ``REPRO_LOG``/``REPRO_TRACE``):
+``REPRO_FAULTS=plan.json`` — set directly, or via the CLI's
+``--faults`` flag through :func:`activate` — is inherited by pool
+worker processes under both fork and spawn start methods, so
+worker-side sites (``worker.crash``, ``job.delay``) see the same plan
+as the parent.
+
+Faults are *volatile machine conditions* by design: an injected crash
+changes retry counters and wall-clock timings but — thanks to the
+engine's retry/recovery layer — never a canonical report byte.  The
+chaos suite (``tests/test_faults.py``) and CI's chaos-smoke job hold
+the stack to that invariant.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.faults.plan import (
+    CORRUPTION_MODES,
+    FAULT_SITES,
+    FaultPlan,
+    FaultPlanError,
+    FaultRule,
+    InjectedFaultError,
+    load_plan,
+)
+from repro.obs import get_logger, get_registry
+
+__all__ = [
+    "CORRUPTION_MODES",
+    "FAULT_SITES",
+    "FAULTS_ENV",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRule",
+    "InjectedFaultError",
+    "activate",
+    "active_plan",
+    "fault_point",
+    "load_plan",
+    "set_plan",
+]
+
+_LOG = get_logger("faults")
+
+#: Environment variable naming the active plan file; worker processes
+#: inherit it, so injection follows jobs across process boundaries.
+FAULTS_ENV = "REPRO_FAULTS"
+
+_DIRECT = "<set_plan>"
+
+# Per-process plan registry.  Plain rebinding of immutable references —
+# each process (parent and every worker) loads its own copy from the
+# environment, which is exactly the fork-safe propagation model the
+# observability layer uses.
+_PLAN: FaultPlan | None = None
+_PLAN_SOURCE: str | None = None
+
+
+def set_plan(plan: FaultPlan | None) -> None:
+    """Install ``plan`` in this process only (unit tests).  ``None``
+    reverts to environment-driven loading."""
+    global _PLAN, _PLAN_SOURCE
+    _PLAN = plan
+    _PLAN_SOURCE = _DIRECT if plan is not None else None
+
+
+def activate(path: str) -> FaultPlan:
+    """Validate the plan at ``path`` and export it to this process and
+    its future workers via :data:`FAULTS_ENV` (the ``--faults`` CLI
+    path).  Raises :class:`FaultPlanError` on a bad plan."""
+    plan = load_plan(path)
+    os.environ[FAULTS_ENV] = path
+    _LOG.warning("fault injection active: %d rule(s) from %s (seed %d)",
+                 len(plan.rules), path, plan.seed)
+    return plan
+
+
+def active_plan() -> FaultPlan | None:
+    """The process's active plan: one installed by :func:`set_plan`,
+    else lazily loaded from :data:`FAULTS_ENV` (re-read when the
+    variable changes, so tests can flip plans without reimporting)."""
+    global _PLAN, _PLAN_SOURCE
+    if _PLAN_SOURCE == _DIRECT:
+        return _PLAN
+    source = os.environ.get(FAULTS_ENV) or None
+    if source != _PLAN_SOURCE:
+        _PLAN = load_plan(source) if source else None
+        _PLAN_SOURCE = source
+    return _PLAN
+
+
+def fault_point(site: str, *, name: str = "", key: str = "",
+                kind: str = "", attempt: int = 0) -> FaultRule | None:
+    """Consult the active plan at an injection site.
+
+    Returns the matched :class:`FaultRule` (already counted and
+    logged) for the caller to apply, or ``None`` — the overwhelmingly
+    common case, a dictionary lookup when no plan is active.
+    """
+    plan = active_plan()
+    if plan is None:
+        return None
+    rule = plan.match(site, name=name, key=key, kind=kind, attempt=attempt)
+    if rule is None:
+        return None
+    get_registry().counter(
+        "repro_faults_injected_total",
+        "Faults injected by the active plan, by site.",
+        ("site",),
+    ).inc(site=site)
+    _LOG.warning("injecting fault site=%s name=%r kind=%s attempt=%d%s",
+                 site, name, kind or "-", attempt,
+                 f" ({rule.note})" if rule.note else "")
+    return rule

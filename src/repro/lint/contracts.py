@@ -139,6 +139,9 @@ DEFAULT_CONTRACTS = Contracts(
         "repro/utils/*",
         "repro/engine/*",
         "repro/obs/*",
+        # Fault injection is consulted inside workers (crash/hang/delay
+        # sites), so its globals must obey the fork-safety contract.
+        "repro/faults/*",
     ),
     approved_signal_sites=(
         # The executor's SIGALRM job-timeout path (worker side) and the

@@ -55,7 +55,9 @@ from repro.engine.portfolio import (
     portfolio_jobs,
     select_result,
 )
+from repro.engine.scheduler import WorkerPool
 from repro.errors import ReproError
+from repro.faults import fault_point
 from repro.obs import get_logger, get_registry
 
 _LOG = get_logger("serve.server")
@@ -257,9 +259,18 @@ class AnalysisServer:
         self._loop: asyncio.AbstractEventLoop | None = None
         self._inflight: dict[str, _InFlight] = {}
         self._admission: asyncio.Semaphore | None = None
+        #: Requests admitted past load shedding and not yet answered
+        #: (queued on the semaphore or analyzing) — what :meth:`drain`
+        #: waits out.
+        self._active = 0
+        #: Requests queued on the admission semaphore right now; at
+        #: ``config.max_queue`` new analysis requests are shed with 429.
+        self._queued = 0
+        self._draining = False
         self.requests = 0
         self.coalesced = 0
         self.deadline_timeouts = 0
+        self.shed = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -271,6 +282,7 @@ class AnalysisServer:
             jobs=self.config.workers,
             timeout=self.config.job_timeout,
             cache=cache,
+            max_retries=self.config.max_retries,
         )
         self._bridge = _EngineBridge(self.executor)
         self._bridge.start()
@@ -282,6 +294,30 @@ class AnalysisServer:
         _LOG.info("serving on %s:%d (workers=%d, cache=%s)",
                   self.config.host, self.port, self.config.workers,
                   self.config.cache_dir or "off")
+
+    async def drain(self) -> None:
+        """Graceful shutdown, phase one (the SIGTERM path): stop
+        admitting analysis work (new requests get ``503`` with a
+        ``Retry-After``), let in-flight requests finish — bounded by
+        ``config.drain_timeout`` — then close the listener.  Probe
+        endpoints keep answering until the listener closes, so a load
+        balancer sees the drain instead of a vanished backend.
+        Idempotent; :meth:`stop` completes the teardown."""
+        if self._draining:
+            return
+        self._draining = True
+        _LOG.info("draining: %d request(s) in flight, budget %gs",
+                  self._active, self.config.drain_timeout)
+        deadline = self._loop.time() + self.config.drain_timeout
+        while self._active and self._loop.time() < deadline:
+            await asyncio.sleep(0.02)
+        if self._active:
+            _LOG.warning("drain budget expired with %d request(s) still "
+                         "in flight", self._active)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
 
     async def stop(self) -> None:
         _LOG.debug("stopping server on port %s", self.port)
@@ -485,14 +521,18 @@ class AnalysisServer:
         # Both nested blocks keep their schema before warm-up (zeroed
         # rather than null/empty) so scrapers never special-case boot.
         return {
-            "status": "ok",
+            "status": "draining" if self._draining else "ok",
             "inflight": len(self._inflight),
             "requests": self.requests,
             "coalesced": self.coalesced,
             "deadline_timeouts": self.deadline_timeouts,
+            "shed": self.shed,
+            "draining": self._draining,
             "workers": self.config.workers,
             "engine": (executor.stats.as_dict() if executor
                        else ExecutorStats().as_dict()),
+            "pool": (executor.pool_health() if executor
+                     else WorkerPool.empty_health(self.config.workers)),
             "cache": (executor.cache.stats()
                       if executor and executor.cache
                       else ResultCache.empty_stats()),
@@ -524,12 +564,35 @@ class AnalysisServer:
                 f"repro_cache_{key}",
                 f"Result-cache stat {key!r}, mirrored at scrape time.",
             ).set(value)
+        pool = (self.executor.pool_health() if self.executor
+                else WorkerPool.empty_health(self.config.workers))
+        for key, value in pool.items():
+            registry.gauge(
+                f"repro_pool_{key}",
+                f"Worker-pool supervision stat {key!r}, mirrored at "
+                "scrape time.",
+            ).set(value)
         return registry.render_prometheus()
 
     # -- HTTP plumbing -----------------------------------------------------
 
+    def _shed(self, why: str, status: int) -> tuple[int, dict, dict]:
+        """An admission rejection: 429 (overload) or 503 (draining),
+        always with a ``Retry-After`` hint."""
+        self.shed += 1
+        get_registry().counter(
+            "repro_server_shed_total",
+            "Analysis requests rejected by admission control, by reason.",
+            ("reason",),
+        ).inc(reason=why)
+        _LOG.warning("shedding analyze request (%s): %d analyzing, "
+                     "%d queued", why, self._active - self._queued,
+                     self._queued)
+        return status, {"error": f"server {why}; retry later"}, \
+            {"Retry-After": "1"}
+
     async def _route(self, method: str, path: str, body: bytes
-                     ) -> tuple[int, dict | str]:
+                     ) -> tuple[int, dict | str] | tuple[int, dict | str, dict]:
         registry = get_registry()
         registry.counter(
             "repro_http_requests_total", "HTTP requests received, by path.",
@@ -546,25 +609,35 @@ class AnalysisServer:
         if path == "/analyze":
             if method != "POST":
                 return 405, {"error": "use POST for /analyze"}
+            if self._draining:
+                return self._shed("draining", 503)
+            if (self._admission.locked()
+                    and self._queued >= self.config.max_queue):
+                return self._shed("overloaded", 429)
             try:
                 payload = json.loads(body or b"null")
             except json.JSONDecodeError as error:
                 return 400, {"error": f"invalid JSON body: {error}"}
             self.requests += 1
             started = time.perf_counter()
+            self._active += 1
+            self._queued += 1
             try:
-                async with self._admission:
-                    mode = payload.get("portfolio") \
-                        if isinstance(payload, dict) else None
-                    if mode:
-                        return 200, await self._analyze_portfolio(
-                            payload, mode
-                        )
-                    return 200, await self._analyze(payload)
+                await self._admission.acquire()
+            finally:
+                self._queued -= 1
+            try:
+                mode = payload.get("portfolio") \
+                    if isinstance(payload, dict) else None
+                if mode:
+                    return 200, await self._analyze_portfolio(payload, mode)
+                return 200, await self._analyze(payload)
             except ReproError as error:
                 _LOG.warning("rejected analyze request: %s", error)
                 return 400, {"error": str(error)}
             finally:
+                self._admission.release()
+                self._active -= 1
                 registry.histogram(
                     "repro_http_request_seconds",
                     "Wall-clock latency of /analyze requests.",
@@ -599,14 +672,22 @@ class AnalysisServer:
                              writer: asyncio.StreamWriter) -> None:
         status: int | None = 400
         payload: dict | str = {"error": "bad request"}
+        headers: dict = {}
         try:
             request = await asyncio.wait_for(
                 self._read_request(reader), timeout=60
             )
             if request is None:
                 status = None  # connect-and-leave probe: say nothing
+            elif fault_point("server.drop", name=request[1]) is not None:
+                # Injected connection drop: the request was read, then
+                # the socket dies without a byte of response — clients
+                # must survive servers that vanish mid-exchange.
+                status = None
             else:
-                status, payload = await self._route(*request)
+                response = await self._route(*request)
+                status, payload = response[0], response[1]
+                headers = response[2] if len(response) > 2 else {}
         except (asyncio.TimeoutError, asyncio.IncompleteReadError):
             status, payload = 400, {"error": "incomplete request"}
         except ServeError as error:
@@ -629,11 +710,16 @@ class AnalysisServer:
                         content_type = "application/json"
                     reason = {200: "OK", 400: "Bad Request",
                               404: "Not Found",
-                              405: "Method Not Allowed"}.get(status, "Error")
+                              405: "Method Not Allowed",
+                              429: "Too Many Requests",
+                              503: "Service Unavailable"}.get(status, "Error")
+                    extra = "".join(f"{name}: {value}\r\n"
+                                    for name, value in headers.items())
                     writer.write(
                         f"HTTP/1.1 {status} {reason}\r\n"
                         f"Content-Type: {content_type}\r\n"
                         f"Content-Length: {len(data)}\r\n"
+                        f"{extra}"
                         f"Connection: close\r\n\r\n".encode() + data
                     )
                     await writer.drain()
@@ -649,7 +735,14 @@ class AnalysisServer:
 async def serve_forever(config: ServeConfig | None = None,
                         analysis: AnalysisConfig | None = None,
                         ready=None) -> int:
-    """Run a server until SIGINT/SIGTERM (the CLI entry point's core).
+    """Run a server until SIGINT (immediate) or SIGTERM (graceful
+    drain) — the CLI entry point's core.
+
+    SIGTERM is the orchestrator's "please leave the rotation" signal:
+    the server sheds new analysis work with 503, finishes what is in
+    flight (bounded by ``config.drain_timeout``), closes the listener,
+    and only then tears the engine down.  SIGINT (an operator's ^C)
+    stops immediately.
 
     ``ready`` (optional callable) receives the started server — used by
     the CLI to print the bound address and by tests to capture the
@@ -662,17 +755,25 @@ async def serve_forever(config: ServeConfig | None = None,
     if ready is not None:
         ready(server)
     stop = asyncio.Event()
+    drain = asyncio.Event()
     loop = asyncio.get_running_loop()
     installed = []
-    for signum in (signal_module.SIGINT, signal_module.SIGTERM):
+    for signum, event in ((signal_module.SIGINT, stop),
+                          (signal_module.SIGTERM, drain)):
         try:
-            loop.add_signal_handler(signum, stop.set)
+            loop.add_signal_handler(signum, event.set)
             installed.append(signum)
         except (NotImplementedError, RuntimeError):  # pragma: no cover
             pass
+    waits = [asyncio.ensure_future(stop.wait()),
+             asyncio.ensure_future(drain.wait())]
     try:
-        await stop.wait()
+        await asyncio.wait(waits, return_when=asyncio.FIRST_COMPLETED)
+        if drain.is_set() and not stop.is_set():
+            await server.drain()
     finally:
+        for future in waits:
+            future.cancel()
         for signum in installed:
             loop.remove_signal_handler(signum)
         await server.stop()

@@ -33,13 +33,14 @@ from repro.errors import AnalysisError
 
 #: Result fields that legitimately differ between two runs of the same
 #: job (wall-clock measurements, machine-local tracebacks, cache state,
-#: worker metrics-snapshot deltas).
+#: worker metrics-snapshot deltas, retry attempts — all machine
+#: conditions, not analysis outcomes).
 _VOLATILE_RESULT_FIELDS = ("seconds", "timings", "traceback", "cached",
-                           "metrics")
+                           "metrics", "attempts")
 
-#: Stats counters that depend on cache state / wall clock rather than on
-#: what was analyzed.
-_VOLATILE_STATS_FIELDS = ("seconds", "cache_hits")
+#: Stats counters that depend on cache state / wall clock / machine
+#: health rather than on what was analyzed.
+_VOLATILE_STATS_FIELDS = ("seconds", "cache_hits", "retries")
 
 
 def parse_shard_spec(spec: str) -> tuple[int, int]:

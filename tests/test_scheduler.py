@@ -344,9 +344,9 @@ class TestFirstModeDeterminism:
         built = []
         original_init = WorkerPool.__init__
 
-        def counting_init(pool, size, context=None):
+        def counting_init(pool, size, context=None, **kwargs):
             built.append(pool)
-            original_init(pool, size, context)
+            original_init(pool, size, context, **kwargs)
 
         monkeypatch.setattr(WorkerPool, "__init__", counting_init)
         report = run_batch(

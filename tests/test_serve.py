@@ -506,6 +506,8 @@ class TestShardMerge:
             for entry in (ours, theirs):
                 entry["result"].pop("seconds")
                 entry["result"].pop("timings")
+                # Derived from the full (volatile-bearing) result.
+                entry.pop("checksum")
             assert ours == theirs, path.name
 
     def test_sharded_portfolio_merge_matches_unsharded(self, tmp_path):
@@ -592,11 +594,11 @@ class TestPartialFlush:
         real_execute = executor_module.execute_job
         calls = {"n": 0}
 
-        def interrupting(job, timeout=None):
+        def interrupting(job, timeout=None, attempt=0):
             calls["n"] += 1
             if calls["n"] == 3:
                 raise KeyboardInterrupt()
-            return real_execute(job, timeout)
+            return real_execute(job, timeout, attempt)
 
         monkeypatch.setattr(executor_module, "execute_job", interrupting)
         report = run_batch(
@@ -620,7 +622,7 @@ class TestPartialFlush:
 
         monkeypatch.setattr(
             executor_module, "execute_job",
-            lambda job, timeout=None: (_ for _ in ()).throw(
+            lambda job, timeout=None, attempt=0: (_ for _ in ()).throw(
                 KeyboardInterrupt()),
         )
         code = main(["batch", str(tmp_path / "batch"), "--no-cache",
@@ -638,11 +640,11 @@ class TestPartialFlush:
         real_execute = executor_module.execute_job
         calls = {"n": 0}
 
-        def interrupting(job, timeout=None):
+        def interrupting(job, timeout=None, attempt=0):
             calls["n"] += 1
             if calls["n"] == 2:
                 raise KeyboardInterrupt()
-            return real_execute(job, timeout)
+            return real_execute(job, timeout, attempt)
 
         monkeypatch.setattr(executor_module, "execute_job", interrupting)
         code = main(["suite", "--names", "join,ex2", "--no-cache"])
@@ -729,3 +731,126 @@ class TestJobFromPayload:
             AnalysisConfig(),
         )
         assert job.candidate == 9.0
+
+
+async def http_post_raw(port, path, payload):
+    """Raw POST: returns (status, head text, parsed JSON body) so tests
+    can assert response *headers* (``Retry-After``)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    body = json.dumps(payload).encode()
+    writer.write(
+        (
+            f"POST {path} HTTP/1.1\r\nHost: localhost\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Content-Type: application/json\r\nConnection: close\r\n\r\n"
+        ).encode() + body
+    )
+    await writer.drain()
+    data = await reader.read()
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except ConnectionError:
+        pass
+    head, _, rest = data.partition(b"\r\n\r\n")
+    return int(head.split()[1]), head.decode(), json.loads(rest)
+
+
+class TestAdmissionControl:
+    """Load shedding (429 + Retry-After) and SIGTERM graceful drain."""
+
+    SLOW_PAYLOAD = {"kind": "diff", "old_source": SLOW_OLD,
+                    "new_source": SLOW_NEW, "name": "nested"}
+
+    async def _wait_until(self, predicate, what):
+        for _ in range(2000):
+            if predicate():
+                return
+            await asyncio.sleep(0.01)
+        raise AssertionError(f"timed out waiting for {what}")
+
+    def test_overload_is_shed_with_429_and_retry_after(self, tmp_path):
+        async def scenario():
+            server = await started_server(tmp_path, max_concurrent=1,
+                                          max_queue=0)
+            try:
+                inflight = asyncio.ensure_future(http_json(
+                    server.port, "POST", "/analyze", self.SLOW_PAYLOAD))
+                # Only once the slow request holds the single admission
+                # slot is the next arrival deterministically sheddable.
+                await self._wait_until(lambda: server._active == 1,
+                                       "the slow request to be admitted")
+                status, head, body = await http_post_raw(
+                    server.port, "/analyze",
+                    {"kind": "diff", "old_source": QUICK_OLD,
+                     "new_source": QUICK_NEW, "name": "count"})
+                assert status == 429
+                assert "retry-after:" in head.lower()
+                assert "overloaded" in body["error"]
+
+                status, first = await inflight
+                assert status == 200
+                assert first["result"]["status"] == "ok"
+
+                status, health = await http_json(
+                    server.port, "GET", "/healthz")
+                assert status == 200
+                assert health["shed"] == 1
+                # The worker-liveness block rides on /healthz.
+                assert health["pool"]["alive"] >= 1
+                assert health["pool"]["quarantined"] == 0
+                assert health["engine"]["retries"] == 0
+
+                # Once the slot frees up, requests are admitted again.
+                status, after = await http_json(
+                    server.port, "POST", "/analyze",
+                    {"kind": "diff", "old_source": QUICK_OLD,
+                     "new_source": QUICK_NEW, "name": "count"})
+                assert status == 200
+            finally:
+                await server.stop()
+
+        run_async(scenario())
+
+    def test_sigterm_drains_in_flight_then_exits(self, tmp_path):
+        import os
+        import signal
+
+        from repro.serve import serve_forever
+
+        async def scenario():
+            config = ServeConfig(port=0, workers=1,
+                                 cache_dir=str(tmp_path / "serve-cache"),
+                                 drain_timeout=60.0)
+            started: list[AnalysisServer] = []
+            serving = asyncio.ensure_future(
+                serve_forever(config, ready=started.append))
+            await self._wait_until(lambda: bool(started), "server start")
+            server = started[0]
+
+            inflight = asyncio.ensure_future(http_json(
+                server.port, "POST", "/analyze", self.SLOW_PAYLOAD))
+            await self._wait_until(lambda: server._active == 1,
+                                   "the request to be in flight")
+            os.kill(os.getpid(), signal.SIGTERM)
+            await self._wait_until(lambda: server._draining, "drain start")
+
+            # While draining, new analysis work is refused with 503 —
+            # the probe-able "leaving the rotation" signal.
+            status, head, body = await http_post_raw(
+                server.port, "/analyze",
+                {"kind": "diff", "old_source": QUICK_OLD,
+                 "new_source": QUICK_NEW, "name": "count"})
+            assert status == 503
+            assert "retry-after:" in head.lower()
+            status, health = await http_json(server.port, "GET", "/healthz")
+            assert health["status"] == "draining"
+
+            # The in-flight request still completes normally.
+            status, result = await inflight
+            assert status == 200
+            assert result["result"]["status"] == "ok"
+
+            assert await serving == 0  # drained, closed, exited cleanly
+
+        run_async(scenario())
