@@ -15,6 +15,8 @@ Subcommands::
     repro-diffcost merge-shards SHARD.json... [-o merged.json]
                                 [--cache-dir D --source-caches A,B]
     repro-diffcost serve [--port P] [--workers N] [--deadline S]
+    repro-diffcost coord [--node URL ...] [--min-nodes N] [--batch DIR]
+                         [--heartbeat-interval S] [--steal-after S]
     repro-diffcost perf [--names a,b,c] [--backends exact,exact-warm]
                         [--output BENCH_lp.json] [--baseline SNAPSHOT]
     repro-diffcost show PROGRAM.imp [--dot]
@@ -320,6 +322,91 @@ def _command_merge_shards(args: argparse.Namespace) -> int:
     return 2 if merged["partial"] else 0
 
 
+def _command_coord(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.config import CoordConfig
+    from repro.coord import (
+        HeartbeatMonitor,
+        NodeRegistry,
+        ResilientClient,
+        coordinate_forever,
+        run_cluster_batch,
+    )
+    from repro.serve.shard import canonical_json, report_ok
+
+    _activate_obs(args)
+    _activate_faults(args)
+    coord = CoordConfig(
+        host=args.host,
+        port=args.port,
+        nodes=tuple(args.node or ()),
+        node_concurrency=args.node_concurrency,
+        min_nodes=args.min_nodes,
+        heartbeat_interval=args.heartbeat_interval,
+        dead_after=args.dead_after,
+        request_deadline=args.deadline,
+        client_retries=args.client_retries,
+        client_seed=args.client_seed,
+        steal_after=args.steal_after,
+        drain_timeout=args.drain_timeout,
+    )
+    if args.batch:
+        # One-shot mode: fan this directory across the nodes, print the
+        # merged report, exit — no listener, but the heartbeat monitor
+        # runs so mid-batch node deaths still trigger reassignment.
+        registry = NodeRegistry(
+            dead_after=coord.dead_after,
+            quarantine_after=coord.quarantine_after,
+            recover_after=coord.recover_after,
+            evict_after=coord.evict_after,
+        )
+        for url in coord.nodes:
+            registry.register(url)
+        client = ResilientClient(
+            deadline=coord.request_deadline, retries=coord.client_retries,
+            backoff_base=coord.backoff_base, seed=coord.client_seed,
+        )
+        monitor = HeartbeatMonitor(
+            registry,
+            ResilientClient(
+                deadline=max(1.0, coord.heartbeat_interval * 2),
+                retries=0, seed=coord.client_seed,
+            ),
+            coord.heartbeat_interval,
+        )
+        monitor.start()
+        try:
+            merged, cluster = run_cluster_batch(
+                args.batch, _config(args), registry, client, coord,
+                shards=args.shards,
+            )
+        finally:
+            monitor.stop()
+        rendered = (canonical_json(merged) if args.canonical
+                    else json.dumps(merged, indent=2, sort_keys=True))
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(rendered + "\n")
+            print(f"wrote {args.output}", file=sys.stderr)
+        else:
+            print(rendered)
+        print(f"cluster: {json.dumps(cluster, sort_keys=True)}",
+              file=sys.stderr)
+        if not report_ok(merged):
+            return 1
+        return 2 if merged["partial"] else 0
+
+    def _ready(server):
+        print(f"coordinating on http://{server.coord.host}:{server.port} "
+              f"({len(server.coord.nodes)} node(s) preregistered)",
+              flush=True)
+
+    return asyncio.run(coordinate_forever(coord, _config(args),
+                                          ready=_ready))
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -602,6 +689,77 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_arguments(serve)
     _add_obs_arguments(serve)
     serve.set_defaults(handler=_command_serve)
+
+    coord = subparsers.add_parser(
+        "coord",
+        help="run the fault-tolerant cluster coordinator "
+             "(POST /batch fans a directory across worker nodes)",
+        description="Coordinate N `repro-diffcost serve` nodes: "
+                    "work-stealing batch fan-out with heartbeat health "
+                    "tracking, dead-node reassignment and graceful "
+                    "degradation.  With --batch DIR, run one cluster "
+                    "batch and exit instead of serving.",
+    )
+    coord.add_argument("--host", default="127.0.0.1")
+    coord.add_argument("--port", type=int, default=8790,
+                       help="listen port (0 = ephemeral; serving mode)")
+    coord.add_argument("--node", action="append", metavar="URL",
+                       help="worker node address (host:port; repeatable); "
+                            "more can register later via POST /nodes")
+    coord.add_argument("--min-nodes", type=int, default=1, metavar="N",
+                       help="capacity floor: below N eligible nodes a "
+                            "batch degrades to a partial report "
+                            "(default 1)")
+    coord.add_argument("--node-concurrency", type=int, default=2,
+                       metavar="N",
+                       help="concurrent pair requests per node "
+                            "(default 2)")
+    coord.add_argument("--heartbeat-interval", type=float, default=0.5,
+                       metavar="S",
+                       help="seconds between /healthz probe rounds "
+                            "(default 0.5)")
+    coord.add_argument("--dead-after", type=int, default=3, metavar="N",
+                       help="consecutive missed heartbeats before a node "
+                            "is declared dead and its pairs reassigned "
+                            "(default 3)")
+    coord.add_argument("--steal-after", type=float, default=0.25,
+                       metavar="S",
+                       help="an in-flight pair may be duplicated onto an "
+                            "idle node after S seconds (default 0.25)")
+    coord.add_argument("--deadline", type=float, default=120.0, metavar="S",
+                       help="per-request deadline for node analyze calls "
+                            "(default 120)")
+    coord.add_argument("--client-retries", type=int, default=3, metavar="N",
+                       help="transient-failure retries per node request, "
+                            "with bounded exponential backoff and seeded "
+                            "jitter (default 3)")
+    coord.add_argument("--client-seed", type=int, default=2022,
+                       metavar="SEED",
+                       help="jitter seed: two runs with one seed sleep "
+                            "the same backoff schedule (default 2022)")
+    coord.add_argument("--drain-timeout", type=float, default=10.0,
+                       metavar="S",
+                       help="SIGTERM grace for running batches "
+                            "(default 10)")
+    coord.add_argument("--batch", default=None, metavar="DIR",
+                       help="one-shot mode: fan this directory across "
+                            "the nodes, print the merged report, exit "
+                            "(0 ok, 1 failed pairs, 2 partial)")
+    coord.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="shard count for --batch (default: one per "
+                            "eligible node)")
+    coord.add_argument("--canonical", action="store_true",
+                       help="with --batch: emit the canonical rendering "
+                            "(byte-identical to a fault-free local "
+                            "`batch --jobs 1 --format json` canonical)")
+    coord.add_argument("-o", "--output", default=None, metavar="FILE",
+                       help="with --batch: write the report here")
+    coord.add_argument("--faults", default=None, metavar="PLAN.json",
+                       help="activate a seeded fault-injection plan "
+                            "(net.*/node.partition chaos testing)")
+    _add_config_arguments(coord)
+    _add_obs_arguments(coord)
+    coord.set_defaults(handler=_command_coord)
 
     perf = subparsers.add_parser(
         "perf",

@@ -264,6 +264,109 @@ class ServeConfig:
 
 
 @dataclass
+class CoordConfig:
+    """Configuration of the multi-node batch coordinator
+    (:mod:`repro.coord`).
+
+    Attributes
+    ----------
+    host / port:
+        Coordinator listen address (``port=0`` binds an ephemeral
+        port).
+    nodes:
+        Worker-node URLs registered at startup (more may join at run
+        time through ``POST /nodes``).
+    node_concurrency:
+        Concurrent analysis requests the dispatcher keeps open against
+        each node — match it to the node's ``--workers``.
+    min_nodes:
+        Capacity floor: when fewer nodes are eligible for work (live or
+        suspect), a running batch degrades gracefully — it stops
+        dispatching and returns a partial, mergeable report instead of
+        spinning forever against a dead cluster.
+    heartbeat_interval:
+        Seconds between ``/healthz`` probes of every registered node.
+    dead_after:
+        Consecutive missed heartbeats before a node is declared dead
+        (its pending work is reassigned to healthy nodes).
+    quarantine_after:
+        Consecutive exhausted-retry request failures before a node is
+        quarantined (no new work until ``recover_after`` clean
+        heartbeats clear it).
+    recover_after:
+        Clean heartbeats a quarantined node needs to rejoin.
+    evict_after:
+        Seconds a node may stay dead before it is evicted from the
+        registry entirely.
+    request_deadline:
+        Per-request wall-clock budget of the coordinator's HTTP client
+        (each analysis request, each retry attempt).
+    client_retries:
+        Transient-failure retry budget per node request (connection
+        refused/reset, timeout, truncated body, 429/503 shedding).
+    backoff_base:
+        First retry backoff in seconds; subsequent retries double it
+        (bounded, with seeded jitter).
+    client_seed:
+        Seed of the retry-jitter RNG — two coordinator runs with the
+        same seed sleep the same backoff schedule.
+    steal_after:
+        Seconds a pair must already be in flight on another node before
+        an idle node may *steal* a duplicate execution of it (the
+        straggler hedge; duplicates coalesce first-result-wins, and the
+        nodes' own cache/in-flight dedupe absorbs the extra work).
+    drain_timeout:
+        SIGTERM grace: finish the running batch for up to this many
+        seconds before the listener closes.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8790
+    nodes: tuple[str, ...] = ()
+    node_concurrency: int = 2
+    min_nodes: int = 1
+    heartbeat_interval: float = 0.5
+    dead_after: int = 3
+    quarantine_after: int = 3
+    recover_after: int = 2
+    evict_after: float = 300.0
+    request_deadline: float = 120.0
+    client_retries: int = 3
+    backoff_base: float = 0.05
+    client_seed: int = 2022
+    steal_after: float = 0.25
+    drain_timeout: float = 10.0
+
+    def __post_init__(self):
+        if not 0 <= self.port <= 65535:
+            raise AnalysisError("port must be in [0, 65535]")
+        if self.node_concurrency < 1:
+            raise AnalysisError("node_concurrency must be at least 1")
+        if self.min_nodes < 1:
+            raise AnalysisError("min_nodes must be at least 1")
+        if self.heartbeat_interval <= 0:
+            raise AnalysisError("heartbeat_interval must be positive")
+        if self.dead_after < 1:
+            raise AnalysisError("dead_after must be at least 1")
+        if self.quarantine_after < 1:
+            raise AnalysisError("quarantine_after must be at least 1")
+        if self.recover_after < 1:
+            raise AnalysisError("recover_after must be at least 1")
+        if self.evict_after <= 0:
+            raise AnalysisError("evict_after must be positive")
+        if self.request_deadline <= 0:
+            raise AnalysisError("request_deadline must be positive")
+        if self.client_retries < 0:
+            raise AnalysisError("client_retries must be >= 0")
+        if self.backoff_base <= 0:
+            raise AnalysisError("backoff_base must be positive")
+        if self.steal_after < 0:
+            raise AnalysisError("steal_after must be >= 0")
+        if self.drain_timeout <= 0:
+            raise AnalysisError("drain_timeout must be positive")
+
+
+@dataclass
 class ObsConfig:
     """Observability switches (:mod:`repro.obs`).
 

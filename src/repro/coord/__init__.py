@@ -1,0 +1,71 @@
+"""Fault-tolerant multi-node coordination (:mod:`repro.coord`).
+
+The cluster layer over the serving stack: one coordinator fans a
+whole-directory batch out to N worker nodes (each a
+:class:`~repro.serve.AnalysisServer`) and folds the answers back
+through the CI-tested byte-identical
+:func:`~repro.serve.shard.merge_reports` invariant.
+
+- :mod:`repro.coord.client` — resilient stdlib HTTP client: per-request
+  deadlines, bounded exponential backoff with seeded jitter, honoring
+  ``Retry-After``, with ``net.*``/``node.partition`` fault-injection
+  sites;
+- :mod:`repro.coord.registry` — node registry and health state machine
+  (live / suspect / dead / quarantined, heartbeat-driven, with
+  dead-node eviction);
+- :mod:`repro.coord.dispatch` — work-stealing pair dispatch: own shard
+  first, steal from stragglers, requeue off dead nodes, duplicate
+  hedging with first-result-wins coalescing, graceful degradation to a
+  partial report below the capacity floor;
+- :mod:`repro.coord.server` — the coordinator HTTP front-end
+  (``POST /batch``, ``POST /nodes``, ``GET /healthz``, ``/metrics``)
+  and the heartbeat monitor.
+
+The cluster invariant, gated by CI's cluster-chaos-smoke job: a batch
+run with a node killed mid-flight produces canonical report bytes
+identical to a fault-free local ``batch --jobs 1`` run.
+"""
+
+from repro.coord.client import (
+    BACKOFF_CAP,
+    ClientError,
+    NodeUnreachable,
+    ResilientClient,
+    backoff_schedule,
+)
+from repro.coord.dispatch import (
+    ClusterDispatch,
+    run_cluster_batch,
+    shard_report,
+)
+from repro.coord.registry import (
+    NODE_STATES,
+    NodeInfo,
+    NodeRegistry,
+    RegistryError,
+    normalize_url,
+)
+from repro.coord.server import (
+    CoordinatorServer,
+    HeartbeatMonitor,
+    coordinate_forever,
+)
+
+__all__ = [
+    "BACKOFF_CAP",
+    "ClientError",
+    "ClusterDispatch",
+    "CoordinatorServer",
+    "HeartbeatMonitor",
+    "NODE_STATES",
+    "NodeInfo",
+    "NodeRegistry",
+    "NodeUnreachable",
+    "RegistryError",
+    "ResilientClient",
+    "backoff_schedule",
+    "coordinate_forever",
+    "normalize_url",
+    "run_cluster_batch",
+    "shard_report",
+]

@@ -1,0 +1,227 @@
+"""Resilient stdlib HTTP client for coordinator → node traffic.
+
+The cluster's network edge, built on :mod:`http.client` only.  Every
+request carries a hard per-request deadline (the socket timeout), and
+failures are classified the same way the engine classifies job
+failures: *transient* outcomes (connection refused/reset, timeouts,
+truncated or non-JSON bodies, ``429``/``503`` shedding, 5xx) are
+retried with bounded exponential backoff and **seeded** jitter — two
+coordinator runs with the same seed sleep the same schedule — while
+*deterministic* rejections (4xx other than 429) fail fast.
+
+A shedding node's ``Retry-After`` hint overrides the computed backoff:
+the node knows its own queue depth better than our exponential guess
+(see :meth:`repro.serve.AnalysisServer._shed`, which derives the hint
+from queue depth and drain state).
+
+Fault-injection sites (``net.refused``, ``net.reset``, ``net.slow``,
+``net.truncated_body``) are consulted per attempt with the request URL
+as the match name; ``node.partition`` is consulted with the node's
+``host:port`` address, so one rule takes a whole node off the network
+regardless of path.  Chaos plans drive all five from the outside with
+no test hooks in the client.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import time
+from typing import Any
+from urllib.parse import urlsplit
+
+from repro.errors import ReproError
+from repro.faults import fault_point
+from repro.obs import get_logger, get_registry
+
+_LOG = get_logger("coord.client")
+
+#: Longest single backoff sleep; also caps an absurd ``Retry-After``.
+BACKOFF_CAP = 5.0
+
+
+class ClientError(ReproError):
+    """A request that could not produce a usable JSON response.
+
+    ``retryable`` carries the transient-vs-deterministic classification
+    so callers (the dispatcher, the heartbeat monitor) can decide
+    whether the *node* failed or the *request* was wrong.
+    """
+
+    def __init__(self, message: str, *, retryable: bool = True,
+                 status: int | None = None):
+        super().__init__(message)
+        self.retryable = retryable
+        self.status = status
+
+
+class NodeUnreachable(ClientError):
+    """Exhausted every retry without one usable response."""
+
+
+def backoff_schedule(attempt: int, rng: random.Random,
+                     base: float = 0.05, cap: float = BACKOFF_CAP) -> float:
+    """Bounded exponential backoff with seeded half-width jitter:
+    ``min(cap, base * 2**attempt)`` scaled into ``[0.5, 1.0)`` of
+    itself, so concurrent retries decorrelate without ever sleeping
+    longer than the bound."""
+    return min(cap, base * (2 ** attempt)) * (0.5 + rng.random() / 2)
+
+
+def _retry_after(headers: dict[str, str]) -> float | None:
+    value = headers.get("retry-after")
+    if value is None:
+        return None
+    try:
+        return max(0.0, min(float(value), BACKOFF_CAP))
+    except ValueError:
+        return None
+
+
+class ResilientClient:
+    """HTTP/JSON client with deadlines, retries and fault injection.
+
+    One client serves a whole coordinator; it is thread-safe because it
+    holds no connection state (one short-lived connection per attempt —
+    node processes come and go, so connection reuse would just add a
+    stale-socket failure mode to every node restart).
+    """
+
+    def __init__(self, deadline: float = 30.0, retries: int = 3,
+                 backoff_base: float = 0.05, seed: int = 2022):
+        self.deadline = deadline
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self._rng = random.Random(seed)
+
+    # -- one attempt -------------------------------------------------------
+
+    def _attempt(self, method: str, url: str, body: bytes | None,
+                 deadline: float, attempt: int = 0
+                 ) -> tuple[int, dict[str, str], bytes]:
+        parts = urlsplit(url)
+        address = parts.netloc
+        path = parts.path or "/"
+        # The attempt number reaches every site so ``max_attempts: 1``
+        # rules model self-healing transients (the retry runs clean),
+        # while ``max_attempts: 0`` models a standing partition.
+        if fault_point("node.partition", name=address,
+                       attempt=attempt) is not None:
+            raise ConnectionRefusedError(
+                f"injected partition: {address} unreachable"
+            )
+        if fault_point("net.refused", name=url, attempt=attempt) is not None:
+            raise ConnectionRefusedError(f"injected refusal: {url}")
+        slow = fault_point("net.slow", name=url, attempt=attempt)
+        if slow is not None:
+            time.sleep(min(slow.seconds, deadline))
+        connection = http.client.HTTPConnection(
+            parts.hostname, parts.port, timeout=deadline
+        )
+        try:
+            connection.request(
+                method, path, body=body,
+                headers={"Content-Type": "application/json",
+                         "Connection": "close"},
+            )
+            response = connection.getresponse()
+            if fault_point("net.reset", name=url,
+                           attempt=attempt) is not None:
+                raise ConnectionResetError(f"injected reset: {url}")
+            data = response.read()
+            if fault_point("net.truncated_body", name=url,
+                           attempt=attempt) is not None:
+                data = data[:max(0, len(data) // 3)]
+            headers = {name.lower(): value
+                       for name, value in response.getheaders()}
+            return response.status, headers, data
+        finally:
+            connection.close()
+
+    # -- the retrying request ---------------------------------------------
+
+    def request(self, method: str, url: str, payload: Any = None, *,
+                deadline: float | None = None,
+                retries: int | None = None) -> tuple[int, dict]:
+        """Issue one JSON request; returns ``(status, parsed_body)``.
+
+        Raises :class:`ClientError` (``retryable=False``) on a
+        deterministic 4xx rejection and :class:`NodeUnreachable` once
+        every retry of a transient failure is spent.  Never raises raw
+        socket errors — the caller sees the classification, not the
+        plumbing.
+        """
+        deadline = self.deadline if deadline is None else deadline
+        retries = self.retries if retries is None else retries
+        body = None if payload is None else json.dumps(payload).encode()
+        last_error = "no attempt made"
+        for attempt in range(retries + 1):
+            if attempt:
+                get_registry().counter(
+                    "repro_coord_client_retries_total",
+                    "Node requests retried after a transient failure.",
+                ).inc()
+            try:
+                status, headers, data = self._attempt(
+                    method, url, body, deadline, attempt
+                )
+            except (OSError, http.client.HTTPException) as error:
+                # Connection refused/reset, timeout, bad chunking — the
+                # node or the network, never the request: retryable.
+                last_error = f"{type(error).__name__}: {error}"
+                _LOG.warning("attempt %d/%d %s %s failed: %s", attempt + 1,
+                             retries + 1, method, url, last_error)
+                self._sleep_before_retry(attempt, retries, None)
+                continue
+            if status in (429, 503):
+                hint = _retry_after(headers)
+                last_error = f"node shedding load (HTTP {status})"
+                _LOG.info("%s %s shed (HTTP %d, Retry-After %s)", method,
+                          url, status, hint)
+                self._sleep_before_retry(attempt, retries, hint)
+                continue
+            if status >= 500:
+                last_error = f"HTTP {status}"
+                self._sleep_before_retry(attempt, retries, None)
+                continue
+            try:
+                parsed = json.loads(data or b"null")
+            except json.JSONDecodeError:
+                # A truncated or garbled body: the transport lied, the
+                # node may be fine — retry for a complete answer.
+                last_error = f"unparseable body ({len(data)} bytes)"
+                _LOG.warning("%s %s returned %d with a bad body", method,
+                             url, status)
+                self._sleep_before_retry(attempt, retries, None)
+                continue
+            if 400 <= status < 500:
+                detail = (parsed.get("error", "no detail")
+                          if isinstance(parsed, dict) else "no detail")
+                raise ClientError(
+                    f"{method} {url} rejected: HTTP {status} ({detail})",
+                    retryable=False, status=status,
+                )
+            return status, parsed
+        raise NodeUnreachable(
+            f"{method} {url} failed after {retries + 1} attempt(s): "
+            f"{last_error}"
+        )
+
+    def _sleep_before_retry(self, attempt: int, retries: int,
+                            hint: float | None) -> None:
+        if attempt >= retries:
+            return  # the loop is about to give up; don't sleep for it
+        if hint is not None:
+            time.sleep(hint)
+            return
+        time.sleep(backoff_schedule(attempt, self._rng,
+                                    base=self.backoff_base))
+
+    # -- convenience wrappers ---------------------------------------------
+
+    def get(self, url: str, **kwargs) -> tuple[int, dict]:
+        return self.request("GET", url, **kwargs)
+
+    def post(self, url: str, payload: Any, **kwargs) -> tuple[int, dict]:
+        return self.request("POST", url, payload, **kwargs)

@@ -1,0 +1,255 @@
+"""Worker-node registry with heartbeat health tracking.
+
+Every worker node (an :class:`~repro.serve.AnalysisServer` behind an
+address) is tracked through a small state machine::
+
+    live ──missed heartbeat──▶ suspect ──more misses──▶ dead ──▶ evicted
+      ▲                            │                      │
+      └────── healthz ok ◀─────────┘      healthz ok ─────┘ (rejoins live)
+
+    live ──request-failure streak──▶ quarantined ──healthz ok streak──▶ live
+
+``dead`` is the *capacity* signal: the dispatcher stops assigning work,
+in-flight pairs are requeued onto healthy nodes, and the capacity
+floor (:attr:`~repro.config.CoordConfig.min_nodes`) is judged against
+live + suspect nodes only.  ``quarantined`` is softer — a node whose
+``/healthz`` answers but whose analysis requests keep failing gets no
+new work until a streak of clean heartbeats clears it, so a poisoned
+node degrades the cluster instead of eating every retry budget.
+
+Dead nodes that stay dead for ``evict_after`` seconds are evicted
+(removed from the registry); a re-registration of the same address
+starts fresh.  All transitions are logged and counted in the metrics
+registry.
+
+The registry is driven from two places — the heartbeat monitor thread
+and the dispatcher's request paths — so every mutation happens under
+one lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.obs import get_logger, get_registry
+
+_LOG = get_logger("coord.registry")
+
+NODE_STATES = ("live", "suspect", "dead", "quarantined")
+
+
+class RegistryError(ReproError):
+    """A malformed registration (bad address, duplicate node)."""
+
+
+@dataclass
+class NodeInfo:
+    """One registered worker node and its health bookkeeping."""
+
+    url: str
+    state: str = "live"
+    registered_at: float = field(default_factory=time.monotonic)
+    last_ok: float = field(default_factory=time.monotonic)
+    #: Consecutive heartbeat misses (reset by any successful probe).
+    heartbeat_misses: int = 0
+    #: Consecutive analysis-request failures (reset by any success).
+    request_failures: int = 0
+    #: Consecutive clean heartbeats while quarantined.
+    clean_heartbeats: int = 0
+    died_at: float | None = None
+    #: Lifetime counters, surfaced on /healthz.
+    requests_ok: int = 0
+    requests_failed: int = 0
+
+    @property
+    def address(self) -> str:
+        """``host:port``, the ``node.partition`` fault-site name."""
+        return self.url.split("://", 1)[-1].rstrip("/")
+
+    def as_dict(self) -> dict:
+        return {
+            "url": self.url,
+            "state": self.state,
+            "heartbeat_misses": self.heartbeat_misses,
+            "request_failures": self.request_failures,
+            "requests_ok": self.requests_ok,
+            "requests_failed": self.requests_failed,
+        }
+
+
+def normalize_url(url: str) -> str:
+    """Canonical node address: scheme + host + port, no trailing slash."""
+    url = url.strip().rstrip("/")
+    if not url:
+        raise RegistryError("node url must be non-empty")
+    if "://" not in url:
+        url = f"http://{url}"
+    if not url.startswith("http://"):
+        raise RegistryError(
+            f"node url must be http:// (got {url!r}); TLS termination "
+            "belongs in front of non-loopback deployments"
+        )
+    return url
+
+
+class NodeRegistry:
+    """Thread-safe registry of worker nodes; see the module docstring."""
+
+    def __init__(self, dead_after: int = 3, quarantine_after: int = 3,
+                 recover_after: int = 2, evict_after: float = 300.0):
+        self._lock = threading.Lock()
+        self._nodes: dict[str, NodeInfo] = {}
+        self.dead_after = dead_after
+        self.quarantine_after = quarantine_after
+        self.recover_after = recover_after
+        self.evict_after = evict_after
+
+    # -- membership --------------------------------------------------------
+
+    def register(self, url: str) -> NodeInfo:
+        """Add (or revive) a node; idempotent for a healthy duplicate."""
+        url = normalize_url(url)
+        with self._lock:
+            node = self._nodes.get(url)
+            if node is None or node.state == "dead":
+                node = NodeInfo(url=url)
+                self._nodes[url] = node
+                _LOG.info("node registered: %s", url)
+                get_registry().counter(
+                    "repro_coord_nodes_registered_total",
+                    "Worker nodes registered with the coordinator.",
+                ).inc()
+            return node
+
+    def nodes(self, *states: str) -> list[NodeInfo]:
+        """Nodes in the given states (all when none given), URL-sorted —
+        the deterministic order shard ownership is assigned in."""
+        with self._lock:
+            selected = [node for node in self._nodes.values()
+                        if not states or node.state in states]
+        return sorted(selected, key=lambda node: node.url)
+
+    def eligible(self) -> list[NodeInfo]:
+        """Nodes the dispatcher may assign new work to."""
+        return self.nodes("live", "suspect")
+
+    def counts(self) -> dict[str, int]:
+        with self._lock:
+            counts = {state: 0 for state in NODE_STATES}
+            for node in self._nodes.values():
+                counts[node.state] += 1
+        return counts
+
+    # -- request-path health signals ---------------------------------------
+
+    def mark_request_ok(self, url: str) -> None:
+        with self._lock:
+            node = self._nodes.get(url)
+            if node is None:
+                return
+            node.requests_ok += 1
+            node.request_failures = 0
+            node.last_ok = time.monotonic()
+            if node.state == "suspect":
+                self._transition(node, "live")
+
+    def mark_request_failed(self, url: str) -> str | None:
+        """Record an exhausted-retries request failure; returns the
+        node's (possibly new) state."""
+        with self._lock:
+            node = self._nodes.get(url)
+            if node is None:
+                return None
+            node.requests_failed += 1
+            node.request_failures += 1
+            if (node.state in ("live", "suspect")
+                    and node.request_failures >= self.quarantine_after):
+                node.clean_heartbeats = 0
+                self._transition(node, "quarantined")
+            return node.state
+
+    # -- heartbeat-path health signals -------------------------------------
+
+    def heartbeat_ok(self, url: str) -> None:
+        with self._lock:
+            node = self._nodes.get(url)
+            if node is None:
+                return
+            node.heartbeat_misses = 0
+            node.last_ok = time.monotonic()
+            if node.state == "suspect":
+                self._transition(node, "live")
+            elif node.state == "dead":
+                # A dead node answering again rejoins with a clean
+                # slate — the respawned process is not the one that died.
+                node.request_failures = 0
+                self._transition(node, "live")
+            elif node.state == "quarantined":
+                node.clean_heartbeats += 1
+                if node.clean_heartbeats >= self.recover_after:
+                    node.request_failures = 0
+                    self._transition(node, "live")
+
+    def heartbeat_missed(self, url: str) -> str | None:
+        """Record a failed probe; returns the node's (possibly new)
+        state so the monitor can trigger reassignment on death."""
+        with self._lock:
+            node = self._nodes.get(url)
+            if node is None:
+                return None
+            node.heartbeat_misses += 1
+            node.clean_heartbeats = 0
+            if node.state in ("live", "quarantined"):
+                if node.heartbeat_misses >= self.dead_after:
+                    self._transition(node, "dead")
+                elif node.state == "live":
+                    self._transition(node, "suspect")
+            elif node.state == "suspect" \
+                    and node.heartbeat_misses >= self.dead_after:
+                self._transition(node, "dead")
+            return node.state
+
+    def evict_expired(self) -> list[str]:
+        """Drop nodes dead for longer than ``evict_after``; returns the
+        evicted URLs."""
+        now = time.monotonic()
+        evicted = []
+        with self._lock:
+            for url, node in sorted(self._nodes.items()):
+                if (node.state == "dead" and node.died_at is not None
+                        and now - node.died_at >= self.evict_after):
+                    evicted.append(url)
+            for url in evicted:
+                del self._nodes[url]
+        for url in evicted:
+            _LOG.warning("node evicted after %.0fs dead: %s",
+                         self.evict_after, url)
+            get_registry().counter(
+                "repro_coord_nodes_evicted_total",
+                "Dead worker nodes evicted from the registry.",
+            ).inc()
+        return evicted
+
+    # -- internals ---------------------------------------------------------
+
+    def _transition(self, node: NodeInfo, state: str) -> None:
+        # Lock is held by every caller.
+        previous, node.state = node.state, state
+        node.died_at = time.monotonic() if state == "dead" else None
+        log = _LOG.warning if state in ("dead", "quarantined") else _LOG.info
+        log("node %s: %s -> %s", node.url, previous, state)
+        get_registry().counter(
+            "repro_coord_node_transitions_total",
+            "Node health-state transitions, by new state.",
+            ("state",),
+        ).inc(state=state)
+
+    def as_dict(self) -> dict:
+        """The /healthz rendering: per-node detail plus state counts."""
+        with self._lock:
+            nodes = {url: node.as_dict()
+                     for url, node in sorted(self._nodes.items())}
+        return {"nodes": nodes, "counts": self.counts()}

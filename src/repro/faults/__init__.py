@@ -3,7 +3,9 @@
 The chaos-testing layer of the engine: a :class:`FaultPlan` (JSON,
 see :mod:`repro.faults.plan`) declares failures — worker crashes,
 hangs, transient job errors, delays, cache corruption, dropped
-connections — and the runtime's injection sites consult it through
+connections, and network faults between the cluster coordinator and
+its worker nodes (refused/reset/slow/truncated exchanges, whole-node
+partitions) — and the runtime's injection sites consult it through
 :func:`fault_point`.  With no plan active every site is a single
 dictionary lookup, so production runs pay nothing.
 

@@ -32,7 +32,18 @@ Sites (see :func:`repro.faults.fault_point` callers):
 ``cache.torn_write``  truncate the entry file after a successful store
 ``cache.corrupt``  overwrite entry bytes with seeded garbage
 ``server.drop``    close the client connection without any response
+``net.refused``    coordinator client: connection refused before connect
+``net.reset``      coordinator client: connection reset mid-exchange
+``net.slow``       coordinator client: add ``seconds`` of latency
+``net.truncated_body``  coordinator client: response body cut short
+``node.partition``  every request to the matching node fails (matched
+                    by node address, not request path)
 =================  =====================================================
+
+The ``net.*`` sites are matched by the request URL and the
+``node.partition`` site by the node's ``host:port`` address, so one
+rule can partition a whole node (``name="*:8791"``) while another
+resets a single endpoint (``name="*/analyze"``).
 """
 
 from __future__ import annotations
@@ -53,6 +64,11 @@ FAULT_SITES = (
     "cache.torn_write",
     "cache.corrupt",
     "server.drop",
+    "net.refused",
+    "net.reset",
+    "net.slow",
+    "net.truncated_body",
+    "node.partition",
 )
 
 #: Cache-corruption flavors of ``cache.torn_write`` / ``cache.corrupt``.
@@ -219,13 +235,28 @@ class FaultPlan:
         seed = data.get("seed", 0)
         if not isinstance(seed, int):
             raise FaultPlanError("seed must be an integer")
-        rules = data.get("rules", [])
-        if not isinstance(rules, list):
+        rules_data = data.get("rules", [])
+        if not isinstance(rules_data, list):
             raise FaultPlanError("rules must be a JSON array")
-        return FaultPlan(
-            seed=seed,
-            rules=tuple(FaultRule.from_dict(rule) for rule in rules),
-        )
+        rules = []
+        for position, rule_data in enumerate(rules_data):
+            try:
+                rules.append(FaultRule.from_dict(rule_data))
+            except FaultPlanError as error:
+                # Name the offending rule: its position always, plus its
+                # note/name/site when present — "rule #2 ('kill node B'):
+                # unknown fault site ..." beats a bare rejection in a
+                # plan with a dozen rules.
+                label = ""
+                if isinstance(rule_data, dict):
+                    hint = (rule_data.get("note") or rule_data.get("name")
+                            or rule_data.get("site"))
+                    if hint:
+                        label = f" ({hint!r})"
+                raise FaultPlanError(
+                    f"rule #{position}{label}: {error}"
+                ) from None
+        return FaultPlan(seed=seed, rules=tuple(rules))
 
 
 def load_plan(path: str) -> FaultPlan:

@@ -127,6 +127,10 @@ DEFAULT_CONTRACTS = Contracts(
         ("repro/bench/reporting.py", (
             "format_table", "format_markdown", "format_csv",
         )),
+        # The coordinator's report-synthesis path: per-shard report
+        # dicts and ownership assignment feed merge_reports, so their
+        # output must be canonical-byte deterministic.
+        ("repro/coord/dispatch.py", ("shard_report", "reports")),
     ),
     worker_modules=(
         "repro/core/*",

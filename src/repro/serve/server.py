@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import queue
 import threading
 import time
@@ -71,6 +72,105 @@ _KNOWN_PATHS = ("/analyze", "/healthz", "/metrics")
 
 class ServeError(ReproError):
     """A malformed serving request (maps to HTTP 400)."""
+
+
+# -- shared HTTP/1.1 plumbing (this server and the cluster coordinator) ----
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 409: "Conflict",
+            429: "Too Many Requests", 503: "Service Unavailable"}
+
+
+async def read_http_request(reader: asyncio.StreamReader
+                            ) -> tuple[str, str, bytes] | None:
+    """One request off the stream: ``(METHOD, path, body)``, or ``None``
+    for a connect-and-leave probe.  Raises :class:`ServeError` on a
+    malformed request line or Content-Length."""
+    request_line = await reader.readline()
+    if not request_line.strip():
+        return None
+    try:
+        method, target, _version = request_line.decode().split(None, 2)
+    except ValueError:
+        raise ServeError("malformed request line") from None
+    content_length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _sep, value = line.decode(errors="replace").partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError:
+                raise ServeError("malformed Content-Length") from None
+    body = (await reader.readexactly(content_length)
+            if content_length else b"")
+    return method.upper(), target.split("?", 1)[0], body
+
+
+async def handle_http_client(reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter,
+                             route, *, drop_site: str | None = None) -> None:
+    """The one-request-per-connection loop shared by the analysis server
+    and the coordinator.  ``route(method, path, body)`` returns
+    ``(status, payload)`` or ``(status, payload, headers)``; a string
+    payload is sent as Prometheus text, anything else as JSON.  When
+    ``drop_site`` names a fault site, a matching rule kills the
+    connection after the request is read and before any response byte —
+    the vanishing-server failure clients must survive.
+    """
+    status: int | None = 400
+    payload: dict | str = {"error": "bad request"}
+    headers: dict = {}
+    try:
+        request = await asyncio.wait_for(read_http_request(reader),
+                                         timeout=60)
+        if request is None:
+            status = None  # connect-and-leave probe: say nothing
+        elif (drop_site is not None
+                and fault_point(drop_site, name=request[1]) is not None):
+            status = None
+        else:
+            response = await route(*request)
+            status, payload = response[0], response[1]
+            headers = response[2] if len(response) > 2 else {}
+    except (asyncio.TimeoutError, asyncio.IncompleteReadError):
+        status, payload = 400, {"error": "incomplete request"}
+    except ServeError as error:
+        status, payload = 400, {"error": str(error)}
+    except (asyncio.LimitOverrunError, ValueError):
+        # e.g. a request/header line past the StreamReader's 64KB
+        # limit — readline() surfaces that as a ValueError.
+        status, payload = 400, {"error": "oversized or malformed request"}
+    except ConnectionError:
+        status = None
+    finally:
+        if status is not None:
+            try:
+                if isinstance(payload, str):  # /metrics exposition
+                    data = payload.encode()
+                    content_type = "text/plain; version=0.0.4; charset=utf-8"
+                else:
+                    data = json.dumps(payload).encode()
+                    content_type = "application/json"
+                extra = "".join(f"{name}: {value}\r\n"
+                                for name, value in headers.items())
+                writer.write(
+                    f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}\r\n"
+                    f"Content-Type: {content_type}\r\n"
+                    f"Content-Length: {len(data)}\r\n"
+                    f"{extra}"
+                    f"Connection: close\r\n\r\n".encode() + data
+                )
+                await writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
 
 
 def job_from_payload(payload: dict, base: AnalysisConfig) -> AnalysisJob:
@@ -267,6 +367,12 @@ class AnalysisServer:
         #: ``config.max_queue`` new analysis requests are shed with 429.
         self._queued = 0
         self._draining = False
+        #: Event-loop time the drain budget expires (set by drain()) —
+        #: the Retry-After hint a draining 503 carries.
+        self._drain_deadline: float | None = None
+        #: Exponentially weighted /analyze latency, the throughput
+        #: estimate behind the overload Retry-After hint.
+        self._latency_ewma: float | None = None
         self.requests = 0
         self.coalesced = 0
         self.deadline_timeouts = 0
@@ -309,6 +415,7 @@ class AnalysisServer:
         _LOG.info("draining: %d request(s) in flight, budget %gs",
                   self._active, self.config.drain_timeout)
         deadline = self._loop.time() + self.config.drain_timeout
+        self._drain_deadline = deadline
         while self._active and self._loop.time() < deadline:
             await asyncio.sleep(0.02)
         if self._active:
@@ -549,6 +656,23 @@ class AnalysisServer:
         registry.gauge(
             "repro_server_workers", "Configured worker processes.",
         ).set(self.config.workers)
+        registry.gauge(
+            "repro_server_draining",
+            "1 while the server is draining (SIGTERM grace), else 0.",
+        ).set(1 if self._draining else 0)
+        registry.gauge(
+            "repro_server_queued",
+            "Requests waiting on the admission semaphore right now.",
+        ).set(self._queued)
+        # Materialize zero samples so dashboards see the shed counter
+        # (both reasons) from the first scrape, not the first incident.
+        shed = registry.counter(
+            "repro_server_shed_total",
+            "Analysis requests rejected by admission control, by reason.",
+            ("reason",),
+        )
+        shed.inc(0, reason="overloaded")
+        shed.inc(0, reason="draining")
         engine = (self.executor.stats.as_dict() if self.executor
                   else ExecutorStats().as_dict())
         for key, value in engine.items():
@@ -576,20 +700,41 @@ class AnalysisServer:
 
     # -- HTTP plumbing -----------------------------------------------------
 
+    def _retry_after_seconds(self, why: str) -> int:
+        """An honest ``Retry-After`` hint, not a constant.
+
+        Draining: the remaining drain budget — once it expires the
+        listener is gone and a sooner retry just burns a connection on
+        this dying process.  Overload: the estimated time for the
+        current queue to drain at observed throughput (EWMA request
+        latency x backlog / concurrency), so a deep queue pushes
+        clients further away than a blip.  Clamped to [1, 60]s.
+        """
+        if why == "draining":
+            remaining = self.config.drain_timeout
+            if self._drain_deadline is not None and self._loop is not None:
+                remaining = self._drain_deadline - self._loop.time()
+            return max(1, min(60, math.ceil(remaining)))
+        latency = self._latency_ewma if self._latency_ewma else 1.0
+        backlog = self._queued + 1  # the retry would wait behind the queue
+        wait = backlog * latency / max(1, self.config.max_concurrent)
+        return max(1, min(60, math.ceil(wait)))
+
     def _shed(self, why: str, status: int) -> tuple[int, dict, dict]:
         """An admission rejection: 429 (overload) or 503 (draining),
-        always with a ``Retry-After`` hint."""
+        always with a derived ``Retry-After`` hint."""
         self.shed += 1
         get_registry().counter(
             "repro_server_shed_total",
             "Analysis requests rejected by admission control, by reason.",
             ("reason",),
         ).inc(reason=why)
+        retry_after = self._retry_after_seconds(why)
         _LOG.warning("shedding analyze request (%s): %d analyzing, "
-                     "%d queued", why, self._active - self._queued,
-                     self._queued)
+                     "%d queued, Retry-After %ds", why,
+                     self._active - self._queued, self._queued, retry_after)
         return status, {"error": f"server {why}; retry later"}, \
-            {"Retry-After": "1"}
+            {"Retry-After": str(retry_after)}
 
     async def _route(self, method: str, path: str, body: bytes
                      ) -> tuple[int, dict | str] | tuple[int, dict | str, dict]:
@@ -638,98 +783,21 @@ class AnalysisServer:
             finally:
                 self._admission.release()
                 self._active -= 1
+                elapsed = time.perf_counter() - started
+                self._latency_ewma = (
+                    elapsed if self._latency_ewma is None
+                    else 0.8 * self._latency_ewma + 0.2 * elapsed
+                )
                 registry.histogram(
                     "repro_http_request_seconds",
                     "Wall-clock latency of /analyze requests.",
-                ).observe(time.perf_counter() - started)
+                ).observe(elapsed)
         return 404, {"error": f"unknown path {path!r}"}
-
-    async def _read_request(self, reader: asyncio.StreamReader
-                            ) -> tuple[str, str, bytes] | None:
-        request_line = await reader.readline()
-        if not request_line.strip():
-            return None
-        try:
-            method, target, _version = request_line.decode().split(None, 2)
-        except ValueError:
-            raise ServeError("malformed request line") from None
-        content_length = 0
-        while True:
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _sep, value = line.decode(errors="replace").partition(":")
-            if name.strip().lower() == "content-length":
-                try:
-                    content_length = int(value.strip())
-                except ValueError:
-                    raise ServeError("malformed Content-Length") from None
-        body = (await reader.readexactly(content_length)
-                if content_length else b"")
-        return method.upper(), target.split("?", 1)[0], body
 
     async def _handle_client(self, reader: asyncio.StreamReader,
                              writer: asyncio.StreamWriter) -> None:
-        status: int | None = 400
-        payload: dict | str = {"error": "bad request"}
-        headers: dict = {}
-        try:
-            request = await asyncio.wait_for(
-                self._read_request(reader), timeout=60
-            )
-            if request is None:
-                status = None  # connect-and-leave probe: say nothing
-            elif fault_point("server.drop", name=request[1]) is not None:
-                # Injected connection drop: the request was read, then
-                # the socket dies without a byte of response — clients
-                # must survive servers that vanish mid-exchange.
-                status = None
-            else:
-                response = await self._route(*request)
-                status, payload = response[0], response[1]
-                headers = response[2] if len(response) > 2 else {}
-        except (asyncio.TimeoutError, asyncio.IncompleteReadError):
-            status, payload = 400, {"error": "incomplete request"}
-        except ServeError as error:
-            status, payload = 400, {"error": str(error)}
-        except (asyncio.LimitOverrunError, ValueError):
-            # e.g. a request/header line past the StreamReader's 64KB
-            # limit — readline() surfaces that as a ValueError.
-            status, payload = 400, {"error": "oversized or malformed request"}
-        except ConnectionError:
-            status = None
-        finally:
-            if status is not None:
-                try:
-                    if isinstance(payload, str):  # /metrics exposition
-                        data = payload.encode()
-                        content_type = ("text/plain; version=0.0.4; "
-                                        "charset=utf-8")
-                    else:
-                        data = json.dumps(payload).encode()
-                        content_type = "application/json"
-                    reason = {200: "OK", 400: "Bad Request",
-                              404: "Not Found",
-                              405: "Method Not Allowed",
-                              429: "Too Many Requests",
-                              503: "Service Unavailable"}.get(status, "Error")
-                    extra = "".join(f"{name}: {value}\r\n"
-                                    for name, value in headers.items())
-                    writer.write(
-                        f"HTTP/1.1 {status} {reason}\r\n"
-                        f"Content-Type: {content_type}\r\n"
-                        f"Content-Length: {len(data)}\r\n"
-                        f"{extra}"
-                        f"Connection: close\r\n\r\n".encode() + data
-                    )
-                    await writer.drain()
-                except (ConnectionError, RuntimeError):
-                    pass
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except ConnectionError:
-                pass
+        await handle_http_client(reader, writer, self._route,
+                                 drop_site="server.drop")
 
 
 async def serve_forever(config: ServeConfig | None = None,

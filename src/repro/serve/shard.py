@@ -135,6 +135,18 @@ def merge_reports(reports: list[dict[str, Any]]) -> dict[str, Any]:
     counts = set()
     seen_indices: dict[int, int] = {}
     for position, report in enumerate(reports):
+        if "missing_shards" in report:
+            # An already-merged partial report: its stats are sums over
+            # several shards, so folding it in again would double-count
+            # silently.  Merge once from the original shard reports
+            # (the missing ones rerun) instead of merging a merge.
+            missing_marker = ",".join(map(str, report["missing_shards"]))
+            raise AnalysisError(
+                f"report #{position} is itself a merged partial report "
+                f"(missing shard(s) {missing_marker}); re-run the missing "
+                "shards and merge all original shard reports in one pass "
+                "instead of merging a merge"
+            )
         shard = _shard_of(report, position)
         if shard is None:
             raise AnalysisError(

@@ -285,9 +285,14 @@ class TestPoolSupervision:
 
     def test_hung_worker_is_killed_and_job_retried(self, tmp_path,
                                                    monkeypatch):
+        # The delay keeps "fine"'s worker busy past the hang kill, so
+        # the retry of "wedged" can only run on a *respawned* worker —
+        # deterministic whatever the machine speed or cache warmth.
         env_plan(monkeypatch, tmp_path, {"rules": [
             {"site": "worker.hang", "name": "wedged", "seconds": 30.0,
              "max_attempts": 1},
+            {"site": "job.delay", "name": "fine", "seconds": 2.0,
+             "max_attempts": 0},
         ]})
         with ParallelExecutor(jobs=2, max_retries=2,
                               hang_timeout=0.5) as executor:
@@ -468,3 +473,49 @@ class TestChaosSoak:
         assert canonical_json(json.loads(batch_to_json(healed))) \
             == baseline_bytes
         assert len(list(cache_dir.glob("*.corrupt"))) == 1
+
+
+class TestClusterFaultSites:
+    """The PR-9 network/partition sites and the named-rule plan errors."""
+
+    def test_network_sites_are_valid_rules(self):
+        for site in ("net.refused", "net.reset", "net.slow",
+                     "net.truncated_body", "node.partition"):
+            rule = FaultRule(site=site, name="*/analyze")
+            assert rule.matches(site, "http://h:1/analyze", "", "", 0)
+
+    def test_unknown_site_error_names_the_rule_and_lists_the_sites(self):
+        with pytest.raises(FaultPlanError) as error:
+            FaultPlan.from_dict({"seed": 1, "rules": [
+                {"site": "net.refused", "name": "*/analyze"},
+                {"site": "net.fried", "note": "cut the uplink"},
+            ]})
+        message = str(error.value)
+        # The offender is named by position and note, so a dozen-rule
+        # chaos plan fails with a pointer instead of a shrug...
+        assert "rule #1 ('cut the uplink')" in message
+        assert "'net.fried'" in message
+        # ...and the full site menu (old and new) rides along.
+        for site in ("worker.crash", "server.drop", "net.refused",
+                     "net.truncated_body", "node.partition"):
+            assert site in message
+
+    def test_rule_without_note_falls_back_to_name_then_site(self):
+        with pytest.raises(FaultPlanError, match=r"rule #0 \('\*/analyze'\)"):
+            FaultPlan.from_dict({"rules": [
+                {"site": "net.slow", "name": "*/analyze", "seconds": -1},
+            ]})
+        with pytest.raises(FaultPlanError, match=r"rule #0 \('net.slow'\)"):
+            FaultPlan.from_dict({"rules": [
+                {"site": "net.slow", "times": 0},
+            ]})
+
+    def test_committed_cluster_chaos_plan_loads(self):
+        # The plan the cluster-chaos-smoke CI job injects must stay
+        # loadable, seeded, and bounded to self-healing transients.
+        plan_path = os.path.join(os.path.dirname(__file__), os.pardir,
+                                 "examples", "cluster_chaos_plan.json")
+        plan = load_plan(plan_path)
+        assert plan.seed == 2022
+        assert all(rule.site.startswith("net.") for rule in plan.rules)
+        assert all(rule.max_attempts == 1 for rule in plan.rules)

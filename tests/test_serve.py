@@ -279,6 +279,15 @@ class TestMetricsEndpoint:
                 assert _metric_value(text, "repro_cache_entries") >= 1
                 assert _metric_value(text, "repro_cache_total_bytes") > 0
                 assert _metric_value(text, "repro_server_inflight") == 0
+                # Admission-control series are present from the first
+                # scrape — gauges and zeroed shed counters, not absent
+                # until the first incident.
+                assert _metric_value(text, "repro_server_draining") == 0
+                assert _metric_value(text, "repro_server_queued") == 0
+                assert _metric_value(
+                    text, 'repro_server_shed_total{reason="overloaded"}') >= 0
+                assert _metric_value(
+                    text, 'repro_server_shed_total{reason="draining"}') >= 0
                 # The scrape itself is counted on its own label.
                 status, _head, text = await http_text(
                     server.port, "GET", "/metrics")
@@ -854,3 +863,132 @@ class TestAdmissionControl:
             assert await serving == 0  # drained, closed, exited cleanly
 
         run_async(scenario())
+
+    def test_retry_after_is_derived_not_hardcoded(self, tmp_path):
+        """Satellite of the cluster PR: the Retry-After hint reflects
+        queue depth (overload) and the remaining drain budget
+        (draining) instead of a constant second."""
+        async def scenario():
+            server = await started_server(tmp_path, max_concurrent=2)
+            try:
+                # Overload: a deep queue of slow requests pushes the
+                # hint up; an empty queue with fast requests keeps it
+                # at the 1s floor.
+                server._latency_ewma = 2.0
+                server._queued = 30
+                deep = server._retry_after_seconds("overloaded")
+                server._queued = 0
+                shallow = server._retry_after_seconds("overloaded")
+                assert shallow == 1
+                assert deep >= 10 * shallow
+                server._latency_ewma = 1000.0
+                server._queued = 1000
+                assert server._retry_after_seconds("overloaded") == 60
+
+                # Draining: the hint is the remaining drain budget, so
+                # a client retries after this process is gone.
+                server._draining = True
+                server._drain_deadline = \
+                    asyncio.get_running_loop().time() + 7.0
+                assert 6 <= server._retry_after_seconds("draining") <= 8
+                status, head, _body = await http_post_raw(
+                    server.port, "/analyze",
+                    {"kind": "diff", "old_source": QUICK_OLD,
+                     "new_source": QUICK_NEW, "name": "count"})
+                assert status == 503
+                retry_after = [
+                    line.split(":", 1)[1].strip()
+                    for line in head.splitlines()
+                    if line.lower().startswith("retry-after:")
+                ]
+                assert retry_after and 6 <= int(retry_after[0]) <= 8
+            finally:
+                await server.stop()
+
+        run_async(scenario())
+
+    def test_draining_gauge_flips_in_metrics(self, tmp_path):
+        async def scenario():
+            server = await started_server(tmp_path)
+            try:
+                _status, _head, text = await http_text(
+                    server.port, "GET", "/metrics")
+                assert _metric_value(text, "repro_server_draining") == 0
+                server._draining = True
+                _status, _head, text = await http_text(
+                    server.port, "GET", "/metrics")
+                assert _metric_value(text, "repro_server_draining") == 1
+            finally:
+                server._draining = False
+                await server.stop()
+
+        run_async(scenario())
+
+
+def _synthetic_shard(index, count, names, first_key=0):
+    """A minimal, well-formed shard report dict for merge tests."""
+    ordered = sorted(names)
+    return {
+        "directory": "batch",
+        "seconds": 0.1,
+        "shard": f"{index}/{count}",
+        "partial": False,
+        "pairs_total": len(ordered),
+        "pair_names": ordered,
+        "stats": {"submitted": len(ordered), "completed": len(ordered),
+                  "errors": 0, "timeouts": 0, "cancelled": 0,
+                  "cache_hits": 0, "retries": 0, "seconds": 0.1},
+        "results": [
+            {"job_key": f"{first_key + position:064x}", "name": name,
+             "kind": "diff", "status": "ok", "outcome": "threshold",
+             "threshold": 1.0, "threshold_str": "1", "message": "",
+             "error_type": None, "config_summary": "d1", "seconds": 0.0,
+             "cached": False, "timings": {}, "attempts": 1}
+            for position, name in enumerate(ordered)
+        ],
+    }
+
+
+class TestMergeAdversarialInputs:
+    """merge_reports must fail loudly on inputs that would silently
+    double-count: duplicate shard markers, overlapping pair sets, and
+    re-merging an already-merged partial report."""
+
+    def test_duplicate_shard_markers_rejected(self):
+        from repro.errors import AnalysisError
+
+        shard = _synthetic_shard(0, 2, ["alpha"])
+        twin = _synthetic_shard(0, 2, ["beta"], first_key=8)
+        with pytest.raises(AnalysisError, match="twice"):
+            merge_reports([shard, twin])
+
+    def test_overlapping_pair_sets_rejected(self):
+        from repro.errors import AnalysisError
+
+        shard0 = _synthetic_shard(0, 2, ["alpha", "beta"])
+        shard1 = _synthetic_shard(1, 2, ["beta", "gamma"], first_key=8)
+        with pytest.raises(AnalysisError, match="claimed by two shards"):
+            merge_reports([shard0, shard1])
+
+    def test_remerging_a_merged_partial_report_fails_loudly(self):
+        from repro.errors import AnalysisError
+
+        merged = merge_reports([_synthetic_shard(0, 2, ["alpha"])])
+        assert merged["partial"] is True
+        assert merged["missing_shards"] == [1]
+        # Alone, or folded in with the shard it is missing: both are
+        # stats double-counting and must be refused by name.
+        with pytest.raises(AnalysisError, match="merged partial report"):
+            merge_reports([merged])
+        late = _synthetic_shard(1, 2, ["beta"], first_key=8)
+        with pytest.raises(AnalysisError, match="merging a merge"):
+            merge_reports([merged, late])
+
+    def test_complete_merge_of_disjoint_shards_still_works(self):
+        merged = merge_reports([
+            _synthetic_shard(0, 2, ["alpha"]),
+            _synthetic_shard(1, 2, ["beta"], first_key=8),
+        ])
+        assert merged["partial"] is False
+        assert merged["pair_names"] == ["alpha", "beta"]
+        assert merged["stats"]["submitted"] == 2
