@@ -17,6 +17,8 @@ Subcommands::
     repro-diffcost serve [--port P] [--workers N] [--deadline S]
     repro-diffcost coord [--node URL ...] [--min-nodes N] [--batch DIR]
                          [--heartbeat-interval S] [--steal-after S]
+    repro-diffcost cache {stats|compact|evict} [--cache-dir D]
+                         [--cache-backend dir|warm|auto]
     repro-diffcost perf [--names a,b,c] [--backends exact,exact-warm]
                         [--output BENCH_lp.json] [--baseline SNAPSHOT]
     repro-diffcost show PROGRAM.imp [--dot]
@@ -185,6 +187,7 @@ def _command_suite(args: argparse.Namespace) -> int:
                 jobs=args.jobs,
                 timeout=args.timeout,
                 cache_dir=None if args.no_cache else args.cache_dir,
+                cache_backend=args.cache_backend,
                 max_retries=args.max_retries,
                 hang_timeout=args.hang_timeout,
             )
@@ -262,6 +265,7 @@ def _command_batch(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         timeout=args.timeout,
         cache_dir=None if args.no_cache else args.cache_dir,
+        cache_backend=args.cache_backend,
         max_retries=args.max_retries,
         hang_timeout=args.hang_timeout,
         # An explicit --portfolio-mode or --refute implies --portfolio:
@@ -306,7 +310,8 @@ def _command_merge_shards(args: argparse.Namespace) -> int:
             reports.append(json.load(handle))
     merged = merge_reports(reports)
     if args.cache_dir and args.source_caches:
-        copied = merge_caches(args.cache_dir, args.source_caches.split(","))
+        copied = merge_caches(args.cache_dir, args.source_caches.split(","),
+                              backend=args.cache_backend)
         print(f"merged {copied} cache entries into {args.cache_dir}",
               file=sys.stderr)
     rendered = (canonical_json(merged) if args.canonical
@@ -422,6 +427,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         deadline=args.deadline,
         job_timeout=args.timeout,
         cache_dir=None if args.no_cache else args.cache_dir,
+        cache_backend=args.cache_backend,
         max_queue=args.max_queue,
         drain_timeout=args.drain_timeout,
         max_retries=args.max_retries,
@@ -445,7 +451,19 @@ def _add_engine_arguments(parser: argparse.ArgumentParser,
                         help="persistent result cache directory")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the result cache")
+    _add_cache_backend_argument(parser)
     _add_fault_tolerance_arguments(parser)
+
+
+def _add_cache_backend_argument(parser: argparse.ArgumentParser,
+                                default: str = "dir") -> None:
+    parser.add_argument("--cache-backend", choices=["dir", "warm", "auto"],
+                        default=default,
+                        help="cache storage tier: 'dir' = one JSON file "
+                             "per entry (legacy), 'warm' = compacted "
+                             "single-file append-log (migrates a legacy "
+                             "directory on open), 'auto' = warm iff a "
+                             f"warm.log exists (default {default})")
 
 
 def _add_fault_tolerance_arguments(parser: argparse.ArgumentParser) -> None:
@@ -469,6 +487,26 @@ def _activate_faults(args: argparse.Namespace) -> None:
         from repro.faults import activate
 
         activate(args.faults)
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.engine.cache import ResultCache
+
+    cache = ResultCache(args.cache_dir, backend=args.cache_backend)
+    if args.cache_command == "stats":
+        print(json.dumps(cache.stats(), indent=2, sort_keys=True))
+        return 0
+    if args.cache_command == "compact":
+        summary = cache.compact()
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        # An aborted compaction published nothing — the old log is
+        # intact, but the caller's intent was not carried out.
+        return 1 if summary.get("aborted") else 0
+    evicted = cache.evict(max_age_s=args.max_age_s)
+    print(f"evicted {evicted} entries from {args.cache_dir}")
+    return 0
 
 
 def _command_witness(args: argparse.Namespace) -> int:
@@ -646,6 +684,7 @@ def build_parser() -> argparse.ArgumentParser:
     merge.add_argument("--source-caches", default=None, metavar="A,B",
                        help="comma-separated shard cache directories "
                             "(with --cache-dir)")
+    _add_cache_backend_argument(merge, default="auto")
     merge.set_defaults(handler=_command_merge_shards)
 
     serve = subparsers.add_parser(
@@ -671,6 +710,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persistent result cache directory")
     serve.add_argument("--no-cache", action="store_true",
                        help="disable the result cache")
+    _add_cache_backend_argument(serve)
     serve.add_argument("--max-queue", type=int, default=64, metavar="N",
                        help="requests allowed to queue for an analysis "
                             "slot before new ones are shed with 429 + "
@@ -760,6 +800,35 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_arguments(coord)
     _add_obs_arguments(coord)
     coord.set_defaults(handler=_command_coord)
+
+    cache = subparsers.add_parser(
+        "cache",
+        help="inspect and maintain a result cache "
+             "(stats / compact / evict)",
+        description="Operate on a persistent result cache directory. "
+                    "Opening a legacy per-entry directory with "
+                    "--cache-backend warm migrates it into the "
+                    "compacted warm append-log in place.",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    for name, blurb in (
+        ("stats", "print cache statistics as JSON (warm backend: no "
+                  "per-entry directory scan)"),
+        ("compact", "rewrite the warm log, dropping tombstones, stale "
+                    "and superseded records (warm backend only)"),
+        ("evict", "remove entries older than the eviction age"),
+    ):
+        sub = cache_sub.add_parser(name, help=blurb)
+        sub.add_argument("--cache-dir", default=".repro-cache",
+                         help="result cache directory "
+                              "(default .repro-cache)")
+        _add_cache_backend_argument(sub, default="auto")
+        if name == "evict":
+            sub.add_argument("--max-age-s", type=float, default=None,
+                             metavar="S",
+                             help="age bound in seconds (default: the "
+                                  "cache's eviction_age_s, 7 days)")
+        sub.set_defaults(handler=_command_cache)
 
     perf = subparsers.add_parser(
         "perf",

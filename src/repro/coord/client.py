@@ -103,6 +103,8 @@ class ResilientClient:
         parts = urlsplit(url)
         address = parts.netloc
         path = parts.path or "/"
+        if parts.query:
+            path = f"{path}?{parts.query}"
         # The attempt number reaches every site so ``max_attempts: 1``
         # rules model self-healing transients (the retry runs clean),
         # while ``max_attempts: 0`` models a standing partition.

@@ -36,6 +36,7 @@ from dataclasses import replace
 import threading
 
 from repro.config import AnalysisConfig, CoordConfig
+from repro.engine.cache.federation import federate_round
 from repro.errors import AnalysisError, ReproError
 from repro.obs import get_logger, get_registry
 from repro.serve.server import ServeError, handle_http_client
@@ -48,7 +49,8 @@ _LOG = get_logger("coord.server")
 
 _CONFIG_FIELDS = frozenset(f.name for f in dataclass_fields(AnalysisConfig))
 
-_KNOWN_PATHS = ("/batch", "/nodes", "/healthz", "/metrics")
+_KNOWN_PATHS = ("/batch", "/nodes", "/healthz", "/metrics",
+                "/cache/federate")
 
 #: Dispatch counters pre-materialized at scrape time so dashboards see
 #: them at zero from the first scrape, not the first incident.
@@ -62,6 +64,10 @@ _COUNTERS = (
     ("repro_coord_client_retries_total",
      "Node requests retried after a transient failure."),
     ("repro_coord_batches_total", "Cluster batches run to completion."),
+    ("repro_cache_federation_rounds_total",
+     "Cache federation rounds completed."),
+    ("repro_cache_federation_applied_total",
+     "Cache entries replicated onto a node by federation."),
 )
 
 
@@ -144,6 +150,12 @@ class CoordinatorServer:
         self.port: int | None = None
         self.batches = 0
         self.batches_active = 0
+        self.federation_rounds = 0
+        #: Per-node federation watermarks: the last delta timestamp
+        #: that fully round-tripped (pull + push) for each node URL.
+        #: Advancing only on success makes every round retry-safe.
+        self._watermarks: dict[str, float] = {}
+        self._federate_lock = threading.Lock()
         self._draining = False
         self._server: asyncio.base_events.Server | None = None
         self._monitor: HeartbeatMonitor | None = None
@@ -244,6 +256,27 @@ class CoordinatorServer:
             self.batches_active -= 1
         return 200, {"report": merged, "cluster": cluster}
 
+    # -- /cache/federate ---------------------------------------------------
+
+    async def _federate(self) -> tuple[int, dict]:
+        """One cache federation round over the registry's non-dead
+        nodes (suspect nodes are included: a slow heartbeat is no
+        reason to withhold cache entries — the resilient client and
+        per-node watermarks absorb any failure).  Serialized by a lock
+        so overlapping triggers can't race the watermark map."""
+        urls = [node.url for node in self.registry.nodes()
+                if node.state != "dead"]
+        if not urls:
+            return 503, {"error": "no live nodes to federate"}
+        self.federation_rounds += 1
+
+        def round_locked() -> dict:
+            with self._federate_lock:
+                return federate_round(self.client, urls, self._watermarks)
+
+        summary = await self._loop.run_in_executor(None, round_locked)
+        return 200, summary
+
     # -- probes ------------------------------------------------------------
 
     def _healthz(self) -> dict:
@@ -252,6 +285,7 @@ class CoordinatorServer:
             "draining": self._draining,
             "batches": self.batches,
             "batches_active": self.batches_active,
+            "federation_rounds": self.federation_rounds,
             "min_nodes": self.coord.min_nodes,
             "registry": self.registry.as_dict(),
         }
@@ -279,12 +313,17 @@ class CoordinatorServer:
 
     # -- routing -----------------------------------------------------------
 
-    async def _route(self, method: str, path: str, body: bytes
+    async def _route(self, method: str, path: str, body: bytes,
+                     query: str = ""
                      ) -> tuple[int, dict | str] | tuple[int, dict | str, dict]:
         get_registry().counter(
             "repro_coord_http_requests_total",
             "Coordinator HTTP requests received, by path.", ("path",),
         ).inc(path=path if path in _KNOWN_PATHS else "other")
+        if path == "/cache/federate":
+            if method != "POST":
+                return 405, {"error": "use POST for /cache/federate"}
+            return await self._federate()
         if path == "/healthz":
             if method != "GET":
                 return 405, {"error": "use GET for /healthz"}

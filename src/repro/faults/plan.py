@@ -29,8 +29,14 @@ Sites (see :func:`repro.faults.fault_point` callers):
 ``worker.hang``    worker stops heartbeating and sleeps ``seconds``
 ``job.delay``      sleep ``seconds`` before executing the job
 ``job.error``      raise :class:`InjectedFaultError` instead of running
-``cache.torn_write``  truncate the entry file after a successful store
+``cache.torn_write``  truncate the entry bytes after a successful store
+                    (also consulted with ``name="compact"`` to crash a
+                    warm-log compaction before it publishes)
 ``cache.corrupt``  overwrite entry bytes with seeded garbage
+``cache.delta_drop``  node answers ``GET /cache/delta`` with a 503 —
+                    the federation pull leg never arrives
+``cache.merge_drop``  node answers ``POST /cache/merge`` with a 503 —
+                    the federation push leg is shed
 ``server.drop``    close the client connection without any response
 ``net.refused``    coordinator client: connection refused before connect
 ``net.reset``      coordinator client: connection reset mid-exchange
@@ -63,6 +69,8 @@ FAULT_SITES = (
     "job.error",
     "cache.torn_write",
     "cache.corrupt",
+    "cache.delta_drop",
+    "cache.merge_drop",
     "server.drop",
     "net.refused",
     "net.reset",

@@ -119,7 +119,21 @@ DEFAULT_CONTRACTS = Contracts(
             "_canonical_result", "_canonical_portfolio", "canonical_report",
             "canonical_json", "merge_reports", "report_ok",
         )),
-        ("repro/engine/cache.py", ("put", "merge_from")),
+        # The tiered cache package: entry/record/index serialization
+        # feeds content-addressed bytes (checksums, the warm log and
+        # its sidecar, federation deltas), so every producer must be
+        # canonical-byte deterministic.
+        ("repro/engine/cache/__init__.py", (
+            "put", "_put_dir", "_put_warm", "merge_from", "apply_delta",
+            "delta_since",
+        )),
+        ("repro/engine/cache/entry.py", (
+            "result_checksum", "build_entry", "entry_json",
+        )),
+        ("repro/engine/cache/warm.py", (
+            "_header_line", "_record_line", "write_sidecar", "compact",
+        )),
+        ("repro/engine/cache/federation.py", ("merge_deltas",)),
         ("repro/engine/batch.py", (
             "discover_pairs", "pair_shard_index", "shard_pairs", "to_dict",
             "batch_to_json",

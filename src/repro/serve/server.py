@@ -67,7 +67,8 @@ _CONFIG_FIELDS = frozenset(f.name for f in dataclass_fields(AnalysisConfig))
 
 #: Paths worth a per-path label on the request counter; anything else is
 #: folded into ``"other"`` so scanners cannot blow up series cardinality.
-_KNOWN_PATHS = ("/analyze", "/healthz", "/metrics")
+_KNOWN_PATHS = ("/analyze", "/healthz", "/metrics",
+                "/cache/delta", "/cache/merge")
 
 
 class ServeError(ReproError):
@@ -82,10 +83,13 @@ _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
 
 
 async def read_http_request(reader: asyncio.StreamReader
-                            ) -> tuple[str, str, bytes] | None:
-    """One request off the stream: ``(METHOD, path, body)``, or ``None``
-    for a connect-and-leave probe.  Raises :class:`ServeError` on a
-    malformed request line or Content-Length."""
+                            ) -> tuple[str, str, bytes, str] | None:
+    """One request off the stream: ``(METHOD, path, body, query)``, or
+    ``None`` for a connect-and-leave probe.  ``query`` is the raw query
+    string (no leading ``?``, empty when absent); ``path`` is always
+    bare so fault-site and counter matching stay query-insensitive.
+    Raises :class:`ServeError` on a malformed request line or
+    Content-Length."""
     request_line = await reader.readline()
     if not request_line.strip():
         return None
@@ -106,14 +110,15 @@ async def read_http_request(reader: asyncio.StreamReader
                 raise ServeError("malformed Content-Length") from None
     body = (await reader.readexactly(content_length)
             if content_length else b"")
-    return method.upper(), target.split("?", 1)[0], body
+    path, _sep, query = target.partition("?")
+    return method.upper(), path, body, query
 
 
 async def handle_http_client(reader: asyncio.StreamReader,
                              writer: asyncio.StreamWriter,
                              route, *, drop_site: str | None = None) -> None:
     """The one-request-per-connection loop shared by the analysis server
-    and the coordinator.  ``route(method, path, body)`` returns
+    and the coordinator.  ``route(method, path, body, query)`` returns
     ``(status, payload)`` or ``(status, payload, headers)``; a string
     payload is sent as Prometheus text, anything else as JSON.  When
     ``drop_site`` names a fault site, a matching rule kills the
@@ -382,7 +387,8 @@ class AnalysisServer:
 
     async def start(self) -> None:
         self._loop = asyncio.get_running_loop()
-        cache = (ResultCache(self.config.cache_dir)
+        cache = (ResultCache(self.config.cache_dir,
+                             backend=self.config.cache_backend)
                  if self.config.cache_dir else None)
         self.executor = ParallelExecutor(
             jobs=self.config.workers,
@@ -736,13 +742,70 @@ class AnalysisServer:
         return status, {"error": f"server {why}; retry later"}, \
             {"Retry-After": str(retry_after)}
 
-    async def _route(self, method: str, path: str, body: bytes
+    # -- cache federation endpoints ----------------------------------------
+
+    @property
+    def _cache(self) -> ResultCache | None:
+        return self.executor.cache if self.executor else None
+
+    def _cache_delta(self, query: str) -> tuple[int, dict]:
+        """``GET /cache/delta?since=<ts>``: the trusted entries written
+        after ``since`` plus the new watermark — the federation pull
+        leg.  The ``cache.delta_drop`` fault site turns the response
+        into a retryable 503, modelling a node whose delta never
+        arrives."""
+        if self._cache is None:
+            return 404, {"error": "this node serves without a cache"}
+        if fault_point("cache.delta_drop", name="/cache/delta") is not None:
+            return 503, {"error": "cache delta dropped by fault plan"}
+        since = 0.0
+        for pair in query.split("&"):
+            name, _sep, value = pair.partition("=")
+            if name == "since":
+                try:
+                    since = float(value)
+                except ValueError:
+                    return 400, {"error": "since must be a number"}
+        watermark, records = self._cache.delta_since(since)
+        return 200, {"watermark": watermark, "records": records,
+                     "count": len(records)}
+
+    def _cache_merge(self, body: bytes) -> tuple[int, dict]:
+        """``POST /cache/merge`` with ``{"records": [...]}``: store the
+        trusted records this node lacks — the federation push leg.
+        Idempotent (first writer wins on content-addressed keys), so
+        the resilient client may retry it freely.  The
+        ``cache.merge_drop`` site sheds it with a retryable 503."""
+        if self._cache is None:
+            return 404, {"error": "this node serves without a cache"}
+        if fault_point("cache.merge_drop", name="/cache/merge") is not None:
+            return 503, {"error": "cache merge dropped by fault plan"}
+        try:
+            payload = json.loads(body or b"null")
+        except json.JSONDecodeError as error:
+            return 400, {"error": f"invalid JSON body: {error}"}
+        if not isinstance(payload, dict) \
+                or not isinstance(payload.get("records"), list):
+            return 400, {"error": 'body must be {"records": [...]}'}
+        applied, skipped = self._cache.apply_delta(payload["records"])
+        return 200, {"applied": applied, "skipped": skipped}
+
+    async def _route(self, method: str, path: str, body: bytes,
+                     query: str = ""
                      ) -> tuple[int, dict | str] | tuple[int, dict | str, dict]:
         registry = get_registry()
         registry.counter(
             "repro_http_requests_total", "HTTP requests received, by path.",
             ("path",),
         ).inc(path=path if path in _KNOWN_PATHS else "other")
+        if path == "/cache/delta":
+            if method != "GET":
+                return 405, {"error": "use GET for /cache/delta"}
+            return self._cache_delta(query)
+        if path == "/cache/merge":
+            if method != "POST":
+                return 405, {"error": "use POST for /cache/merge"}
+            return self._cache_merge(body)
         if path == "/healthz":
             if method != "GET":
                 return 405, {"error": "use GET for /healthz"}

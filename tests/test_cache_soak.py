@@ -4,9 +4,12 @@ Shard runs and the serving front-end point many *processes* at one
 cache directory, so the invariant under test is: concurrent ``put`` and
 ``merge_from`` traffic over overlapping key sets never corrupts an
 entry (every file always parses and round-trips) and never drops one
-(every key written by anyone is present at the end).  Both paths
-publish through a temp file + atomic ``os.replace``, which is exactly
-what this test would expose if it regressed to plain writes.
+(every key written by anyone is present at the end).  On the legacy
+directory backend both paths publish through a temp file + atomic
+``os.replace``; on the warm backend every append runs under the log's
+advisory lock and compaction publishes a fresh log atomically — and a
+compactor and an evictor hammering the log *while* writers append must
+never lose a verified entry either.
 """
 
 import json
@@ -142,3 +145,86 @@ class TestMultiWriterSoak:
         strays = [p.name for p in directory.iterdir()
                   if p.name.startswith(".tmp-")]
         assert strays == []
+
+
+# -- the warm tier under the same fire ---------------------------------------
+
+
+def _warm_writer(directory: str, seed: int) -> None:
+    # hot_capacity=0: this process must re-verify from the log every
+    # time, so it observes every compaction/eviction republish.
+    cache = ResultCache(directory, backend="warm", hot_capacity=0)
+    rng = random.Random(seed)
+    for _round in range(ROUNDS):
+        order = list(range(KEYS))
+        rng.shuffle(order)
+        for index in order:
+            job = _job(index)
+            assert cache.put(job, _result(job, index))
+
+
+def _warm_compactor(directory: str, rounds: int) -> None:
+    cache = ResultCache(directory, backend="warm", hot_capacity=0)
+    for _round in range(rounds):
+        summary = cache.compact()
+        assert summary["aborted"] == 0, summary
+
+
+def _warm_merger(destination: str, source: str) -> None:
+    cache = ResultCache(destination, backend="warm", hot_capacity=0)
+    for _round in range(ROUNDS * 2):
+        cache.merge_from(source)
+
+
+def _warm_evictor(directory: str, rounds: int) -> None:
+    cache = ResultCache(directory, backend="warm", hot_capacity=0)
+    for _round in range(rounds):
+        # A one-hour bound can never fire inside a test run: the
+        # eviction machinery (a compaction pass) runs, nothing may drop.
+        assert cache.evict(max_age_s=3600.0) == 0
+
+
+def _assert_warm_cache_intact(directory) -> None:
+    cache = ResultCache(directory, backend="warm")
+    assert len(cache) == KEYS
+    for index in range(KEYS):
+        result = cache.get(_job(index).key)
+        assert result is not None, f"entry {index} lost"
+        assert result.threshold == float(index)
+        assert result.threshold_str == str(index)
+    assert cache.hits == KEYS and cache.misses == 0
+    assert cache.corrupted == 0
+    assert list(directory.glob("*.corrupt")) == []
+
+
+class TestWarmTierSoak:
+    def test_concurrent_writers_compactor_and_evictor(self, tmp_path):
+        """The tentpole invariant: appends, compactions and eviction
+        passes interleaving freely over one log never tear or drop a
+        verified entry."""
+        directory = tmp_path / "warm-cache"
+        _run_processes(
+            [(_warm_writer, (str(directory), seed))
+             for seed in range(WRITERS)]
+            + [(_warm_compactor, (str(directory), ROUNDS * 2)),
+               (_warm_evictor, (str(directory), ROUNDS * 2))]
+        )
+        _assert_warm_cache_intact(directory)
+        # A final compaction squeezes out every superseded record and
+        # the full population still reads back.
+        final = ResultCache(directory, backend="warm")
+        summary = final.compact()
+        assert summary["aborted"] == 0
+        assert summary["kept"] == KEYS
+        _assert_warm_cache_intact(directory)
+
+    def test_concurrent_warm_writer_and_merger(self, tmp_path):
+        source = tmp_path / "shard-cache"
+        _warm_writer(str(source), seed=7)
+        destination = tmp_path / "merged"
+        _run_processes([
+            (_warm_writer, (str(destination), 11)),
+            (_warm_merger, (str(destination), str(source))),
+        ])
+        _assert_warm_cache_intact(destination)
+        _assert_warm_cache_intact(source)  # merge sources are read-only

@@ -414,6 +414,82 @@ class TestCacheCorruptionTolerance:
         destination = ResultCache(tmp_path / "destination")
         assert destination.merge_from(tmp_path / "source") == 0
         assert len(destination) == 0
+        assert destination.merge_skipped == 2
+
+
+class TestWarmTierFaults:
+    """The warm append-log under the same chaos sites: a torn or
+    scribbled record costs one re-execution, and a compaction crash
+    (``cache.torn_write`` with ``name="compact"``) never loses a
+    verified entry — the pre-compaction log stays published."""
+
+    def test_compaction_crash_never_loses_a_verified_entry(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", backend="warm")
+        executor = ParallelExecutor(jobs=1, cache=cache)
+        first = executor.run([make_job()])[0]
+        assert first.status == "ok"
+        assert executor.run([make_job()])[0].cached  # disk-verified
+
+        plan = FaultPlan(rules=(
+            FaultRule(site="cache.torn_write", name="compact",
+                      times=1, max_attempts=0),
+        ))
+        set_plan(plan)
+        generation = cache.warm.generation
+        summary = cache.compact()
+        assert plan.fired() == 1
+        assert summary["aborted"] == 1  # crashed before publish
+
+        # Nothing was published, nothing was lost: a fresh handle
+        # (cold hot tier) still replays the verified entry.
+        fresh = ResultCache(tmp_path / "cache", backend="warm")
+        assert fresh.warm.generation == generation
+        replay = fresh.get(make_job().key)
+        assert replay is not None
+        assert replay.threshold == first.threshold
+
+        # Fault budget spent: the retried compaction publishes, and the
+        # entry survives that too.
+        summary = cache.compact()
+        assert summary["aborted"] == 0 and summary["kept"] == 1
+        assert ResultCache(tmp_path / "cache",
+                           backend="warm").get(make_job().key) is not None
+
+    def test_warm_torn_write_costs_one_reexecution(self, tmp_path):
+        plan = FaultPlan(rules=(
+            FaultRule(site="cache.torn_write", times=1, max_attempts=0),
+        ))
+        set_plan(plan)
+        cache = ResultCache(tmp_path / "cache", backend="warm")
+        executor = ParallelExecutor(jobs=1, cache=cache)
+        first = executor.run([make_job()])[0]
+        assert first.status == "ok"
+        assert plan.fired() == 1  # the appended record really was torn
+
+        second = executor.run([make_job()])[0]
+        assert second.status == "ok"
+        assert not second.cached  # the torn record never replays
+        assert second.threshold == first.threshold
+
+        third = executor.run([make_job()])[0]
+        assert third.cached  # the rewrite (fault budget spent) is clean
+
+    def test_warm_seeded_garbage_is_quarantined_with_a_corpse(
+            self, tmp_path):
+        plan = FaultPlan(seed=2022, rules=(
+            FaultRule(site="cache.corrupt", mode="garbage", times=1,
+                      max_attempts=0),
+        ))
+        set_plan(plan)
+        cache = ResultCache(tmp_path / "cache", backend="warm")
+        executor = ParallelExecutor(jobs=1, cache=cache)
+        executor.run([make_job()])
+        result = executor.run([make_job()])[0]
+        assert result.status == "ok" and not result.cached
+        assert cache.corrupted == 1
+        corpses = list((tmp_path / "cache").glob("*.corrupt"))
+        assert len(corpses) == 1  # bit-rot evidence kept for post-mortems
+        assert executor.run([make_job()])[0].cached
 
 
 class TestChaosSoak:
